@@ -1,0 +1,117 @@
+package dmtcpsim
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// tickerApp is a minimal Resumable program used to exercise the
+// public facade end to end.
+type tickerApp struct{ ticks *int }
+
+func (a tickerApp) Main(t *Task, args []string) { a.loop(t, 0) }
+
+func (a tickerApp) Restore(t *Task, state []byte) {
+	a.loop(t, binary.BigEndian.Uint64(state))
+}
+
+func (a tickerApp) loop(t *Task, from uint64) {
+	for i := from; ; i++ {
+		t.Compute(5 * time.Millisecond)
+		var st [8]byte
+		binary.BigEndian.PutUint64(st[:], i+1)
+		t.P.SaveState(st[:])
+		*a.ticks = int(i + 1)
+	}
+}
+
+func TestPublicAPICheckpointRestart(t *testing.T) {
+	ticks := 0
+	s := New(Options{Nodes: 2, Checkpoint: Config{Compress: true}})
+	s.Register("ticker", tickerApp{ticks: &ticks})
+	s.Run(func(task *Task) {
+		if _, err := s.Launch(1, "ticker"); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(100 * time.Millisecond)
+		round, err := s.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if round.NumProcs != 1 || round.Bytes <= 0 {
+			t.Errorf("round = %+v", round)
+		}
+		atCkpt := ticks
+		if killed := s.KillAll(); killed != 1 {
+			t.Errorf("killed %d", killed)
+		}
+		stats, err := s.Restart(task, round, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if stats.Total <= 0 {
+			t.Errorf("stats = %+v", stats)
+		}
+		task.Compute(100 * time.Millisecond)
+		if ticks <= atCkpt {
+			t.Errorf("restored app made no progress: %d → %d", atCkpt, ticks)
+		}
+		// The restart script names every image.
+		script := RestartScript(round)
+		if len(script) == 0 || round.Images[0].Path == "" {
+			t.Error("no restart script")
+		}
+	})
+}
+
+func TestPublicAPIDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		ticks := 0
+		s := New(Options{Nodes: 1, Seed: 7, Checkpoint: Config{}})
+		s.Register("ticker", tickerApp{ticks: &ticks})
+		var total time.Duration
+		s.Run(func(task *Task) {
+			s.Launch(0, "ticker")
+			task.Compute(50 * time.Millisecond)
+			round, err := s.Checkpoint(task)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			total = round.Stages.Total
+		})
+		return total
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced different timings: %v vs %v", a, b)
+	}
+}
+
+func TestAwareFacade(t *testing.T) {
+	s := New(Options{Nodes: 1})
+	fired := false
+	s.Register("aware-tick", ProgramFunc(func(task *Task, _ []string) {
+		if aw := Aware(task.P); aw.IsEnabled() {
+			aw.OnPostCheckpoint(func(*Task) { fired = true })
+		}
+		task.P.SaveState([]byte{0})
+		for {
+			task.Compute(10 * time.Millisecond)
+		}
+	}))
+	s.Run(func(task *Task) {
+		s.Launch(0, "aware-tick")
+		task.Compute(50 * time.Millisecond)
+		if _, err := s.Checkpoint(task); err != nil {
+			t.Error(err)
+		}
+		task.Compute(50 * time.Millisecond)
+	})
+	if !fired {
+		t.Fatal("aware post-checkpoint hook never fired")
+	}
+}

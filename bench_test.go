@@ -1,0 +1,168 @@
+package dmtcpsim
+
+// Benchmark harness: one testing.B per paper artifact.  Each
+// iteration regenerates the artifact on a fresh simulated cluster and
+// reports the headline *modeled* quantities (virtual seconds, image
+// megabytes) as custom benchmark metrics, so `go test -bench=.`
+// doubles as the reproduction run.  Use -short for reduced scale.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func benchOpts(b *testing.B, i int) Opts {
+	return Opts{Trials: 1, Seed: int64(i + 1), Quick: testing.Short()}
+}
+
+// cell parses the leading float of a table cell ("1.234 ±0.1" → 1.234).
+func cell(tab *Table, row, col int) float64 {
+	f, _ := strconv.ParseFloat(strings.Fields(tab.Rows[row][col])[0], 64)
+	return f
+}
+
+// rowNamed finds a row by its first column prefix.
+func rowNamed(tab *Table, prefix string) int {
+	for i, r := range tab.Rows {
+		if strings.HasPrefix(r[0], prefix) {
+			return i
+		}
+	}
+	return -1
+}
+
+// BenchmarkFig3DesktopApps regenerates Figure 3 (a+b): per-application
+// checkpoint/restart times and compressed image sizes.
+func BenchmarkFig3DesktopApps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFig3(benchOpts(b, i))
+		if r := rowNamed(tab, "matlab"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 1), "matlab-ckpt-s")
+			b.ReportMetric(cell(tab, r, 3), "matlab-MB")
+		} else {
+			b.ReportMetric(cell(tab, 0, 1), "first-ckpt-s")
+		}
+	}
+}
+
+// BenchmarkRunCMS regenerates the §5.1 runCMS anecdote.
+func BenchmarkRunCMS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunRunCMS(Opts{Trials: 1, Seed: int64(i + 1)})
+		b.ReportMetric(cell(tab, 0, 1), "ckpt-s")    // paper: 25.2
+		b.ReportMetric(cell(tab, 1, 1), "restart-s") // paper: 18.4
+		b.ReportMetric(cell(tab, 2, 1), "image-MB")  // paper: 225
+	}
+}
+
+// BenchmarkFig4Distributed regenerates Figure 4 (a–c): the
+// distributed-application suite on 32 nodes, compressed and raw.
+func BenchmarkFig4Distributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFig4(benchOpts(b, i))
+		if r := rowNamed(tab, "NAS/MG"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 1), "mg-ckpt-gz-s")
+			b.ReportMetric(cell(tab, r, 2), "mg-ckpt-raw-s")
+		}
+		if r := rowNamed(tab, "NAS/IS"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 5), "is-size-gz-MB") // anomaly: tiny
+		}
+	}
+}
+
+// BenchmarkFig5Scalability regenerates Figure 5a: ParGeant4 16→128
+// compute processes, checkpoints to local disk.
+func BenchmarkFig5Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFig5(benchOpts(b, i), false)
+		first := cell(tab, 0, 2)
+		last := cell(tab, len(tab.Rows)-1, 2)
+		b.ReportMetric(first, "ckpt-smallest-s")
+		b.ReportMetric(last, "ckpt-largest-s")
+		b.ReportMetric(last/first, "flatness-ratio") // paper: ≈1
+	}
+}
+
+// BenchmarkFig5CentralStorage regenerates Figure 5b: the same sweep
+// writing to the SAN/NFS volume.
+func BenchmarkFig5CentralStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFig5(benchOpts(b, i), true)
+		b.ReportMetric(cell(tab, len(tab.Rows)-1, 2), "ckpt-128p-s")
+	}
+}
+
+// BenchmarkFig6Memory regenerates Figure 6: checkpoint time vs memory
+// footprint, uncompressed.
+func BenchmarkFig6Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFig6(benchOpts(b, i))
+		n := len(tab.Rows)
+		b.ReportMetric(cell(tab, n-1, 1), "ckpt-max-mem-s") // paper: ≈7 at 64 GB
+		if n >= 2 {
+			b.ReportMetric(cell(tab, n-1, 1)/cell(tab, 0, 1), "linearity-ratio")
+		}
+	}
+}
+
+// BenchmarkTable1Breakdown regenerates Table 1: the per-stage
+// checkpoint and restart breakdown for NAS/MG on 8 nodes.
+func BenchmarkTable1Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunTable1(benchOpts(b, i))
+		if r := rowNamed(tab, "ckpt: write"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 1), "write-raw-s")  // paper: 0.633
+			b.ReportMetric(cell(tab, r, 2), "write-gz-s")   // paper: 3.94
+			b.ReportMetric(cell(tab, r, 3), "write-fork-s") // paper: 0.062
+		}
+		if r := rowNamed(tab, "restart: memory"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 2), "restore-gz-s") // paper: 2.12
+		}
+	}
+}
+
+// BenchmarkSyncCost regenerates the §5.2 sync-after-checkpoint cost.
+func BenchmarkSyncCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunSyncCost(benchOpts(b, i))
+		b.ReportMetric(cell(tab, 0, 1), "sync-s") // paper: 0.79
+	}
+}
+
+// BenchmarkForkedCheckpoint regenerates the §5.3 forked-checkpointing
+// headline (perceived ≈0.2 s).
+func BenchmarkForkedCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunForked(benchOpts(b, i))
+		b.ReportMetric(cell(tab, 0, 1), "plain-s")
+		b.ReportMetric(cell(tab, 1, 1), "forked-s")
+	}
+}
+
+// BenchmarkBarrierScalability regenerates the §5.4 claim that the
+// centralized coordinator is not a bottleneck.
+func BenchmarkBarrierScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunBarrier(benchOpts(b, i))
+		n := len(tab.Rows)
+		b.ReportMetric(cell(tab, n-1, 2)/cell(tab, 0, 2), "flatness-ratio")
+	}
+}
+
+// BenchmarkDejaVuComparison regenerates the §2 related-work
+// comparison against a DejaVu-style logging checkpointer.
+func BenchmarkDejaVuComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunDejaVu(Opts{Seed: int64(i + 1)})
+		for _, row := range tab.Rows {
+			ov, _ := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+			switch row[0] {
+			case "dejavu":
+				b.ReportMetric(ov, "dejavu-overhead-%") // paper: ≈45
+			case "dmtcp":
+				b.ReportMetric(ov, "dmtcp-overhead-%") // paper: ≈0
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command dmtcp-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dmtcp-bench [-run id] [-trials n] [-quick] [-list]
+//
+// Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
+// sync, forked, barrier, dejavu, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	dmtcpsim "repro"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "experiment id (or comma list)")
+		trials = flag.Int("trials", 5, "trials per configuration (paper: 10)")
+		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	o := dmtcpsim.Opts{Trials: *trials, Seed: *seed, Quick: *quick}
+	type exp struct {
+		id, desc string
+		fn       func() *dmtcpsim.Table
+	}
+	exps := []exp{
+		{"fig3", "desktop apps ckpt/restart/size (Fig. 3)", func() *dmtcpsim.Table { return dmtcpsim.RunFig3(o) }},
+		{"runcms", "runCMS anecdote (§5.1)", func() *dmtcpsim.Table { return dmtcpsim.RunRunCMS(o) }},
+		{"fig4", "distributed apps, 32 nodes (Fig. 4)", func() *dmtcpsim.Table { return dmtcpsim.RunFig4(o) }},
+		{"fig5a", "ParGeant4 scaling, local disk (Fig. 5a)", func() *dmtcpsim.Table { return dmtcpsim.RunFig5(o, false) }},
+		{"fig5b", "ParGeant4 scaling, SAN/NFS (Fig. 5b)", func() *dmtcpsim.Table { return dmtcpsim.RunFig5(o, true) }},
+		{"fig6", "memory sweep (Fig. 6)", func() *dmtcpsim.Table { return dmtcpsim.RunFig6(o) }},
+		{"table1", "stage breakdown (Table 1)", func() *dmtcpsim.Table { return dmtcpsim.RunTable1(o) }},
+		{"sync", "sync-after-checkpoint cost (§5.2)", func() *dmtcpsim.Table { return dmtcpsim.RunSyncCost(o) }},
+		{"forked", "forked checkpointing (§5.3)", func() *dmtcpsim.Table { return dmtcpsim.RunForked(o) }},
+		{"barrier", "coordinator scalability (§5.4)", func() *dmtcpsim.Table { return dmtcpsim.RunBarrier(o) }},
+		{"dejavu", "DejaVu overhead comparison (§2)", func() *dmtcpsim.Table { return dmtcpsim.RunDejaVu(o) }},
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range exps {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab := e.fn()
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s regenerated in %v wall time)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+		os.Exit(2)
+	}
+}

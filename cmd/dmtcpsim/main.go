@@ -1,0 +1,154 @@
+// Command dmtcpsim runs interactive demonstration scenarios of the
+// DMTCP reproduction: launching workloads under checkpoint control,
+// checkpointing them, killing everything, and restarting from images.
+//
+// Usage:
+//
+//	dmtcpsim -scenario quickstart|mpi|migrate|vnc [-nodes n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	dmtcpsim "repro"
+	"repro/internal/apps"
+	"repro/internal/mpi"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc")
+		nodes    = flag.Int("nodes", 4, "cluster size")
+	)
+	flag.Parse()
+	switch *scenario {
+	case "quickstart":
+		quickstart(*nodes)
+	case "mpi":
+		mpiScenario(*nodes)
+	case "migrate":
+		migrate(*nodes)
+	case "vnc":
+		vnc()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func quickstart(nodes int) {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes, Checkpoint: dmtcpsim.Config{Compress: true}})
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("launching matlab under dmtcp_checkpoint ...")
+		if _, err := s.Launch(0, apps.ProgName("matlab")); err != nil {
+			panic(err)
+		}
+		t.Compute(500 * time.Millisecond)
+		round, err := s.Checkpoint(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("checkpointed %d process(es) in %v (%d MB compressed)\n",
+			round.NumProcs, round.Stages.Total.Round(time.Millisecond), round.Bytes>>20)
+		fmt.Printf("restart script:\n%s", dmtcpsim.RestartScript(round))
+		s.KillAll()
+		stats, err := s.Restart(t, round, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("restarted in %v (memory restore %v)\n",
+			stats.Total.Round(time.Millisecond), stats.Memory.Round(time.Millisecond))
+	})
+}
+
+func mpiScenario(nodes int) {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes, Checkpoint: dmtcpsim.Config{Compress: true}})
+	s.Run(func(t *dmtcpsim.Task) {
+		np := nodes * 4
+		fmt.Printf("orterun -np %d nas-lu under DMTCP ...\n", np)
+		if _, err := s.Launch(0, "orterun", strconv.Itoa(np), "4", "0",
+			strconv.Itoa(mpi.BasePort), "nas-lu", "5"); err != nil {
+			panic(err)
+		}
+		t.Compute(400 * time.Millisecond)
+		round, err := s.Checkpoint(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("checkpointed %d processes (ranks + orteds + orterun) in %v\n",
+			round.NumProcs, round.Stages.Total.Round(time.Millisecond))
+		s.KillAll()
+		if _, err := s.Restart(t, round, nil); err != nil {
+			panic(err)
+		}
+		fmt.Println("restarted; waiting for the benchmark to verify ...")
+		deadline := t.Now().Add(120 * time.Second)
+		for t.Now() < deadline && !s.C.Node(0).FS.Exists("/out/nas-lu.verify") {
+			t.Compute(100 * time.Millisecond)
+		}
+		if ino, err := s.C.Node(0).FS.ReadFile("/out/nas-lu.verify"); err == nil {
+			fmt.Printf("%s\n", ino.Data)
+		} else {
+			fmt.Println("benchmark did not finish in time")
+		}
+	})
+}
+
+func migrate(nodes int) {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
+		Checkpoint: dmtcpsim.Config{Compress: true, CkptDir: "/san/ckpt"}})
+	s.Run(func(t *dmtcpsim.Task) {
+		np := nodes
+		fmt.Printf("running a %d-rank job across the cluster ...\n", np)
+		if _, err := s.Launch(0, "orterun", strconv.Itoa(np), "1", "0",
+			strconv.Itoa(mpi.BasePort), "nas-ep", "10"); err != nil {
+			panic(err)
+		}
+		t.Compute(400 * time.Millisecond)
+		round, err := s.Checkpoint(t)
+		if err != nil {
+			panic(err)
+		}
+		s.KillAll()
+		laptop := dmtcpsim.NodeID(nodes - 1)
+		place := dmtcpsim.Placement{}
+		for _, img := range round.Images {
+			place[img.Host] = laptop
+		}
+		fmt.Printf("restarting all %d processes on node%02d (the laptop) ...\n",
+			len(round.Images), laptop)
+		if _, err := s.Restart(t, round, place); err != nil {
+			panic(err)
+		}
+		t.Compute(100 * time.Millisecond)
+		for _, p := range s.Sys.ManagedProcesses() {
+			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)
+		}
+	})
+}
+
+func vnc() {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: 1, Checkpoint: dmtcpsim.Config{Compress: true}})
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("checkpointing a headless VNC session (server + twm + xterm) ...")
+		if _, err := s.Launch(0, apps.ProgName("tightvnc+twm")); err != nil {
+			panic(err)
+		}
+		t.Compute(500 * time.Millisecond)
+		round, err := s.Checkpoint(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("checkpointed %d processes in %v (%d MB)\n",
+			round.NumProcs, round.Stages.Total.Round(time.Millisecond), round.Bytes>>20)
+		s.KillAll()
+		if _, err := s.Restart(t, round, nil); err != nil {
+			panic(err)
+		}
+		fmt.Println("session restored; clients may reconnect")
+	})
+}

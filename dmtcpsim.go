@@ -1,0 +1,181 @@
+// Package dmtcpsim is the public API of the DMTCP reproduction: a
+// deterministic simulation of transparent distributed checkpointing
+// for cluster computations and the desktop, after Ansel, Arya &
+// Cooperman, "DMTCP: Transparent Checkpointing for Cluster
+// Computations and the Desktop" (IPDPS 2009).
+//
+// A Sim wires together a virtual cluster (nodes, kernels, TCP
+// network, disks), a DMTCP session (coordinator, per-process
+// checkpoint managers injected via the simulated LD_PRELOAD), and the
+// paper's workloads (21 desktop applications, MPICH2/OpenMPI resource
+// managers, the NAS Parallel Benchmarks, ParGeant4, iPython).  The
+// three shipped commands mirror the paper's user interface:
+//
+//	sim.Launch(node, prog, args...)   // dmtcp_checkpoint prog args
+//	sim.Checkpoint(task)              // dmtcp_command --checkpoint
+//	sim.Restart(task, round, place)   // dmtcp_restart script
+//
+// Custom applications implement Program (and Resumable to survive
+// restarts); see examples/ for complete scenarios, including the
+// paper's cluster-to-laptop migration and deadlock-revert use cases.
+package dmtcpsim
+
+import (
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/experiments"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Re-exported core types: these aliases are the supported public
+// surface over the internal packages.
+type (
+	// Task is the calling thread inside a simulated process; programs
+	// receive one and make all "system calls" through it.
+	Task = kernel.Task
+	// Process is a simulated OS process.
+	Process = kernel.Process
+	// Program is an executable registered with the cluster.
+	Program = kernel.Program
+	// Resumable is a Program that can continue from a restored
+	// checkpoint (see DESIGN.md on the resumable-program model).
+	Resumable = kernel.Resumable
+	// ProgramFunc adapts a function to Program.
+	ProgramFunc = kernel.ProgramFunc
+	// Addr is a host:port address in the simulated network.
+	Addr = kernel.Addr
+	// NodeID identifies a cluster node.
+	NodeID = kernel.NodeID
+	// Cluster is the simulated machine room.
+	Cluster = kernel.Cluster
+	// Node is one simulated machine.
+	Node = kernel.Node
+
+	// Config selects checkpointing behavior (compression, fsync,
+	// forked checkpointing, interval, checkpoint directory).
+	Config = dmtcp.Config
+	// CkptRound reports a completed cluster-wide checkpoint.
+	CkptRound = dmtcp.CkptRound
+	// RestartStages breaks a restart into Table-1b stages.
+	RestartStages = dmtcp.RestartStages
+	// Placement maps original hostnames to restart nodes.
+	Placement = dmtcp.Placement
+	// StageTimes breaks a checkpoint into Table-1a stages.
+	StageTimes = dmtcp.StageTimes
+	// AwareAPI is the dmtcpaware programming interface (§3.1).
+	AwareAPI = dmtcp.AwareAPI
+
+	// Params is the calibrated performance model.
+	Params = model.Params
+	// MemClass characterizes memory compressibility.
+	MemClass = model.MemClass
+
+	// Engine is the discrete-event simulator.
+	Engine = sim.Engine
+
+	// Table is a rendered experiment result.
+	Table = experiments.Table
+	// Opts controls experiment scale.
+	Opts = experiments.Opts
+)
+
+// Aware returns the dmtcpaware handle for a process (nil when the
+// process does not run under DMTCP).
+func Aware(p *Process) *AwareAPI { return dmtcp.Aware(p) }
+
+// Sim is a simulated cluster with a DMTCP session installed and every
+// paper workload registered.
+type Sim struct {
+	Eng *Engine
+	C   *Cluster
+	Sys *dmtcp.System
+}
+
+// Options configures a new simulation.
+type Options struct {
+	// Seed drives the deterministic engine (default 1).
+	Seed int64
+	// Nodes is the cluster size (default 4).
+	Nodes int
+	// Checkpoint selects session-wide checkpointing behavior.
+	Checkpoint Config
+	// Jitter adds run-to-run variance (fraction, e.g. 0.06); zero
+	// keeps runs bit-identical.
+	Jitter float64
+}
+
+// New builds a simulation ready to run scenarios.
+func New(o Options) *Sim {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	env := experiments.NewEnv(o.Seed, o.Nodes, o.Checkpoint)
+	env.C.Params.JitterPct = o.Jitter
+	return &Sim{Eng: env.Eng, C: env.C, Sys: env.Sys}
+}
+
+// Register adds a custom program to the cluster; implement Resumable
+// so it survives restarts.
+func (s *Sim) Register(name string, p Program) { s.C.Register(name, p) }
+
+// Launch starts `dmtcp_checkpoint prog args...` on the given node.
+func (s *Sim) Launch(node NodeID, prog string, args ...string) (*Process, error) {
+	return s.Sys.Launch(node, prog, args...)
+}
+
+// Checkpoint requests a cluster-wide checkpoint from the calling task
+// and blocks until it completes.
+func (s *Sim) Checkpoint(t *Task) (*CkptRound, error) { return s.Sys.Checkpoint(t) }
+
+// KillAll terminates every checkpointed process (the failure a
+// restart recovers from); it returns how many were killed.
+func (s *Sim) KillAll() int { return s.Sys.KillManaged() }
+
+// Restart restores every process of a round, optionally on different
+// nodes, and blocks until the computation is running again.
+func (s *Sim) Restart(t *Task, round *CkptRound, place Placement) (*RestartStages, error) {
+	return s.Sys.RestartAll(t, round, place)
+}
+
+// RestartScript renders the generated dmtcp_restart_script.sh for a
+// round (§3).
+func RestartScript(round *CkptRound) string { return dmtcp.RestartScript(round) }
+
+// Run drives a scenario: fn runs as an orchestration task on node 0,
+// with the whole cluster live; the simulation ends when fn returns.
+func (s *Sim) Run(fn func(*Task)) {
+	s.C.RegisterFunc("scenario", func(task *Task, _ []string) {
+		task.Compute(2 * time.Millisecond) // let daemons come up
+		fn(task)
+		s.Eng.Stop()
+	})
+	if _, err := s.C.Node(0).Kern.Spawn("scenario", nil, nil); err != nil {
+		panic(err)
+	}
+	if err := s.Eng.Run(); err != nil {
+		panic(err)
+	}
+	s.Eng.Shutdown()
+}
+
+// Experiments: regenerate the paper's tables and figures.  Each
+// returns a Table whose Render method prints the series.
+var (
+	RunFig3     = experiments.RunFig3
+	RunFig4     = experiments.RunFig4
+	RunFig5     = experiments.RunFig5
+	RunFig6     = experiments.RunFig6
+	RunTable1   = experiments.RunTable1
+	RunRunCMS   = experiments.RunRunCMS
+	RunSyncCost = experiments.RunSyncCost
+	RunForked   = experiments.RunForked
+	RunBarrier  = experiments.RunBarrier
+	RunDejaVu   = experiments.RunDejaVu
+	RunAll      = experiments.All
+)

@@ -1,0 +1,167 @@
+// Deadlock-revert: use case 8 of the paper (§1.1) — "upon detecting
+// distributed deadlock, automatically revert to an earlier checkpoint
+// image and restart in slower, 'safe mode', until beyond the danger
+// point."
+//
+// Two processes take periodic checkpoints while exchanging messages.
+// At a known step they enter a lock-ordering trap and deadlock.  A
+// watchdog notices the lack of progress, kills the computation,
+// plants a safe-mode flag, and restarts from the last checkpoint; the
+// restored processes see the flag, serialize the risky section, and
+// finish.
+//
+//	go run ./examples/deadlock-revert
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"time"
+
+	dmtcpsim "repro"
+)
+
+const (
+	steps     = 40
+	trapStep  = 25
+	port      = 9500
+	safeFlag  = "/etc/safe-mode"
+	progressF = "/out/progress"
+)
+
+// lockApp simulates two processes that, at trapStep, grab two shared
+// "locks" in opposite orders unless safe mode is on.
+type lockApp struct{}
+
+func (lockApp) Main(t *dmtcpsim.Task, args []string) {
+	id, _ := strconv.Atoi(args[0])
+	var fd int
+	if id == 0 {
+		lfd, err := t.ListenTCP(port)
+		if err != nil {
+			panic(err)
+		}
+		fd, err = t.Accept(lfd)
+		if err != nil {
+			return
+		}
+	} else {
+		fd = t.Socket()
+		for t.Connect(fd, dmtcpsim.Addr{Host: "node00", Port: port}) != nil {
+			t.Close(fd)
+			t.Compute(time.Millisecond)
+			fd = t.Socket()
+		}
+	}
+	lockRun(t, id, fd, 0)
+}
+
+func (lockApp) Restore(t *dmtcpsim.Task, state []byte) {
+	id := int(binary.BigEndian.Uint32(state[:4]))
+	fd := int(binary.BigEndian.Uint32(state[4:8]))
+	step := int(binary.BigEndian.Uint32(state[8:12]))
+	lockRun(t, id, fd, step)
+}
+
+func save(t *dmtcpsim.Task, id, fd, step int) {
+	var st [12]byte
+	binary.BigEndian.PutUint32(st[:4], uint32(id))
+	binary.BigEndian.PutUint32(st[4:8], uint32(fd))
+	binary.BigEndian.PutUint32(st[8:12], uint32(step))
+	t.P.SaveState(st[:])
+}
+
+func lockRun(t *dmtcpsim.Task, id, fd, step int) {
+	safe := t.P.Node.FS.Exists(safeFlag)
+	for ; step < steps; step++ {
+		t.Compute(20 * time.Millisecond)
+		if step == trapStep && !safe {
+			// The bug: both sides wait for the peer's token before
+			// sending their own — a classic cyclic wait.
+			if _, err := t.Recv(fd, 16); err != nil {
+				return
+			}
+			t.Send(fd, []byte("tok"))
+		} else {
+			// Correct (or safe-mode serialized) exchange.
+			if id == 0 {
+				t.Send(fd, []byte("tok"))
+				if _, err := t.RecvN(fd, 3); err != nil {
+					return
+				}
+			} else {
+				if _, err := t.RecvN(fd, 3); err != nil {
+					return
+				}
+				t.Send(fd, []byte("tok"))
+			}
+		}
+		t.BeginCritical()
+		save(t, id, fd, step+1)
+		if id == 0 {
+			t.P.Node.FS.WriteFile(progressF, []byte(strconv.Itoa(step+1)), 0)
+		}
+		t.EndCritical()
+	}
+	if id == 0 {
+		t.P.Node.FS.WriteFile("/out/finished", []byte("ok"), 0)
+	}
+	for {
+		t.Compute(time.Second)
+	}
+}
+
+func progress(s *dmtcpsim.Sim) int {
+	if ino, err := s.C.Node(0).FS.ReadFile(progressF); err == nil {
+		n, _ := strconv.Atoi(string(ino.Data))
+		return n
+	}
+	return 0
+}
+
+func main() {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: 2, Checkpoint: dmtcpsim.Config{Compress: true}})
+	s.Register("lockapp", lockApp{})
+
+	s.Run(func(t *dmtcpsim.Task) {
+		if _, err := s.Launch(0, "lockapp", "0"); err != nil {
+			panic(err)
+		}
+		if _, err := s.Launch(1, "lockapp", "1"); err != nil {
+			panic(err)
+		}
+		t.Compute(100 * time.Millisecond)
+
+		var last *dmtcpsim.CkptRound
+		stall := 0
+		for !s.C.Node(0).FS.Exists("/out/finished") {
+			before := progress(s)
+			round, err := s.Checkpoint(t)
+			if err != nil {
+				panic(err)
+			}
+			t.Compute(300 * time.Millisecond)
+			after := progress(s)
+			if after > before {
+				last = round
+				stall = 0
+				fmt.Printf("watchdog: progress %d/%d, checkpoint taken\n", after, steps)
+				continue
+			}
+			stall++
+			if stall < 2 || last == nil {
+				continue
+			}
+			fmt.Printf("watchdog: DEADLOCK at step %d — reverting to last checkpoint in safe mode\n", after)
+			s.KillAll()
+			s.C.Node(0).FS.WriteFile(safeFlag, []byte("1"), 0)
+			s.C.Node(1).FS.WriteFile(safeFlag, []byte("1"), 0)
+			if _, err := s.Restart(t, last, nil); err != nil {
+				panic(err)
+			}
+			stall = 0
+		}
+		fmt.Printf("computation finished: %d/%d steps (survived the deadlock)\n", progress(s), steps)
+	})
+}

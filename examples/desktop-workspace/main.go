@@ -1,0 +1,65 @@
+// Desktop-workspace: use cases 1 and 2 of the paper (§1.1) — DMTCP as
+// a universal "save/restore workspace" and "undump" facility.  A
+// whole interactive session (MATLAB, a VNC server with its window
+// manager and an xterm, and vim with a cscope child over a promoted
+// pipe) is checkpointed with periodic interval checkpoints, torn
+// down, and brought back exactly as it was.
+//
+//	go run ./examples/desktop-workspace
+package main
+
+import (
+	"fmt"
+	"time"
+
+	dmtcpsim "repro"
+	"repro/internal/apps"
+)
+
+func main() {
+	s := dmtcpsim.New(dmtcpsim.Options{
+		Nodes: 1,
+		Checkpoint: dmtcpsim.Config{
+			Compress: true,
+			Interval: 4 * time.Second, // dmtcp_checkpoint --interval 4
+		},
+	})
+
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("opening the workspace: matlab, tightvnc+twm, vim/cscope")
+		for _, app := range []string{"matlab", "tightvnc+twm", "vim/cscope"} {
+			if _, err := s.Launch(0, apps.ProgName(app)); err != nil {
+				panic(err)
+			}
+		}
+		// Work for a while; interval checkpoints fire on their own.
+		// (matlab alone takes ≈3 s per checkpoint, so give them room.)
+		t.Compute(15 * time.Second)
+		rounds := len(s.Sys.Coord.Rounds)
+		fmt.Printf("interval checkpointing took %d automatic checkpoints\n", rounds)
+
+		round := s.Sys.Coord.LastRound()
+		if round == nil {
+			panic("no completed checkpoint rounds")
+		}
+		fmt.Printf("last checkpoint: %d processes, %d MB compressed, %v\n",
+			round.NumProcs, round.Bytes>>20, round.Stages.Total.Round(time.Millisecond))
+
+		fmt.Println("logging out (killing the whole session)")
+		s.KillAll()
+
+		fmt.Println("restoring the workspace from the last checkpoint")
+		stats, err := s.Restart(t, round, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("workspace back in %v\n", stats.Total.Round(time.Millisecond))
+
+		t.Compute(200 * time.Millisecond)
+		fmt.Println("restored processes:")
+		for _, p := range s.Sys.ManagedProcesses() {
+			fmt.Printf("  %-24s pid=%d (virtual %d)\n",
+				p.ProgName, p.Pid, dmtcpsim.Aware(p).VirtPid())
+		}
+	})
+}

@@ -1,0 +1,261 @@
+// Package apps models the desktop applications of the paper's
+// single-node evaluation (Fig. 3): twenty-one commonly used
+// interactive programs — shell-like language interpreters, editors, a
+// headless VNC server with its window manager — plus runCMS, the
+// 680 MB CERN physics application with 540 shared libraries (§5.1).
+//
+// Each profile reproduces the application's process structure (extra
+// threads, child processes over sockets or promoted pipes, ptys) and
+// memory composition (text vs. data, compressibility), which is what
+// checkpoint time and image size depend on.
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// Profile describes one desktop application.
+type Profile struct {
+	// Name is the Fig. 3 label.
+	Name string
+	// TextMB is code+library footprint; DataMB is heap/data.
+	TextMB, DataMB int64
+	// HeapClass characterizes heap compressibility.
+	HeapClass model.MemClass
+	// Threads is the number of extra runtime threads (GC, UI, ...).
+	Threads int
+	// UsesPty opens a pseudo-terminal (interactive terminal apps).
+	UsesPty bool
+	// Children are co-processes: name:conn where conn is "tcp" (a
+	// loopback socket, e.g. X clients to the VNC server) or "pipe" (a
+	// pipe pair, promoted to a socketpair under DMTCP).
+	Children []Child
+	// Libs overrides the number of mapped library areas (runCMS maps
+	// 540; most apps a handful).
+	Libs int
+	// StartupCPU models interpreter startup work.
+	StartupCPU time.Duration
+}
+
+// Child is a helper co-process of a desktop app.
+type Child struct {
+	Name   string
+	Conn   string // "tcp" or "pipe"
+	TextMB int64
+	DataMB int64
+}
+
+// Profiles lists the Fig. 3 applications.  TextMB/DataMB are
+// calibrated so gzip-compressed images land at the sizes the paper's
+// Fig. 3b reports (≈2–35 MB) with checkpoint times in Fig. 3a's
+// 0.1–3.5 s range.
+var Profiles = []Profile{
+	{Name: "bc", TextMB: 2, DataMB: 3, HeapClass: model.ClassData, UsesPty: true, Libs: 4},
+	{Name: "emacs", TextMB: 13, DataMB: 14, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 18},
+	{Name: "ghci", TextMB: 36, DataMB: 46, HeapClass: model.ClassData, UsesPty: true, Threads: 2, Libs: 12},
+	{Name: "ghostscript", TextMB: 14, DataMB: 18, HeapClass: model.ClassData, UsesPty: true, Libs: 14},
+	{Name: "gnuplot", TextMB: 9, DataMB: 12, HeapClass: model.ClassData, UsesPty: true, Libs: 10},
+	{Name: "gst", TextMB: 13, DataMB: 19, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 9},
+	{Name: "lynx", TextMB: 9, DataMB: 12, HeapClass: model.ClassData, UsesPty: true, Libs: 11},
+	{Name: "macaulay2", TextMB: 20, DataMB: 25, HeapClass: model.ClassData, UsesPty: true, Libs: 13},
+	{Name: "matlab", TextMB: 40, DataMB: 46, HeapClass: model.ClassData, UsesPty: true, Threads: 4, Libs: 38},
+	{Name: "mzscheme", TextMB: 11, DataMB: 16, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 7},
+	{Name: "ocaml", TextMB: 7, DataMB: 9, HeapClass: model.ClassData, UsesPty: true, Libs: 6},
+	{Name: "octave", TextMB: 17, DataMB: 21, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 16},
+	{Name: "perl", TextMB: 8, DataMB: 11, HeapClass: model.ClassData, UsesPty: true, Libs: 8},
+	{Name: "php", TextMB: 12, DataMB: 15, HeapClass: model.ClassData, UsesPty: true, Libs: 12},
+	{Name: "python", TextMB: 9, DataMB: 13, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 11},
+	{Name: "ruby", TextMB: 10, DataMB: 14, HeapClass: model.ClassData, UsesPty: true, Threads: 1, Libs: 9},
+	{Name: "slsh", TextMB: 6, DataMB: 8, HeapClass: model.ClassData, UsesPty: true, Libs: 6},
+	{Name: "sqlite", TextMB: 4, DataMB: 7, HeapClass: model.ClassData, UsesPty: true, Libs: 5},
+	{Name: "tclsh", TextMB: 6, DataMB: 8, HeapClass: model.ClassData, UsesPty: true, Libs: 6},
+	{Name: "tightvnc+twm", TextMB: 12, DataMB: 16, HeapClass: model.ClassData, Threads: 2, Libs: 15,
+		Children: []Child{
+			{Name: "twm", Conn: "tcp", TextMB: 3, DataMB: 3},
+			{Name: "xterm", Conn: "tcp", TextMB: 3, DataMB: 4},
+		}},
+	{Name: "vim/cscope", TextMB: 9, DataMB: 11, HeapClass: model.ClassData, UsesPty: true, Libs: 8,
+		Children: []Child{
+			{Name: "cscope", Conn: "pipe", TextMB: 2, DataMB: 5},
+		}},
+}
+
+// RunCMS is the CERN CMS software profile (§5.1): 680 MB of data
+// after 12 minutes, 540 dynamic libraries, 225 MB compressed.
+var RunCMS = Profile{
+	Name:       "runcms",
+	TextMB:     180,
+	DataMB:     500,
+	HeapClass:  model.ClassData,
+	Threads:    3,
+	Libs:       540,
+	StartupCPU: 100 * time.Millisecond, // database reads modeled separately
+}
+
+// ProfileFor returns the profile with the given name.
+func ProfileFor(name string) (Profile, bool) {
+	if name == RunCMS.Name {
+		return RunCMS, true
+	}
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// progName is the registered program name for a profile.
+func progName(name string) string { return "app:" + name }
+
+// ProgName returns the registered program name for a profile (what
+// you pass to dmtcp_checkpoint).
+func ProgName(name string) string { return progName(name) }
+
+// Register installs every desktop application (and its helper
+// children) as cluster programs.
+func Register(c *kernel.Cluster) {
+	all := append(append([]Profile(nil), Profiles...), RunCMS)
+	for _, p := range all {
+		c.Register(progName(p.Name), &App{P: p})
+		for _, ch := range p.Children {
+			c.Register(progName(p.Name)+"/"+ch.Name, &helperApp{ch: ch, parent: p.Name})
+		}
+	}
+}
+
+// App is a generic desktop application program.
+type App struct {
+	P Profile
+}
+
+// helperPort is where multi-process apps (the VNC server) listen for
+// their helper clients.
+const helperPort = 5901
+
+// Main sets up the process structure and then behaves interactively.
+func (a *App) Main(t *kernel.Task, args []string) {
+	p := a.P
+	t.Compute(p.StartupCPU)
+	// Map libraries: many small text areas (runCMS's 540 libraries
+	// make per-area costs visible, §5.1).
+	libs := p.Libs
+	if libs <= 0 {
+		libs = 6
+	}
+	per := p.TextMB * model.MB / int64(libs)
+	for i := 0; i < libs; i++ {
+		t.MapLib(fmt.Sprintf("/usr/lib/%s/lib%03d.so", p.Name, i), per)
+	}
+	t.MapAnon("[heap]", p.DataMB*model.MB, p.HeapClass)
+	t.MapAnon("[stack]", 256*model.KB, model.ClassData)
+
+	if p.UsesPty {
+		mfd, name := t.Openpt()
+		if sfd, err := t.OpenPts(name); err == nil {
+			t.SetCtrlTerminal(sfd)
+			_ = mfd
+		}
+	}
+	// Extra runtime threads, idle at the prompt.
+	for i := 0; i < p.Threads; i++ {
+		t.P.SpawnTask(fmt.Sprintf("rt%d", i), false, func(rt *kernel.Task) {
+			for {
+				rt.Compute(80 * time.Millisecond)
+			}
+		})
+	}
+	// Helper co-processes.
+	var lfd int = -1
+	if hasTCPChild(p) {
+		lfd, _ = t.ListenTCP(helperPort)
+	}
+	for _, ch := range p.Children {
+		ch := ch
+		prog := progName(p.Name) + "/" + ch.Name
+		switch ch.Conn {
+		case "tcp":
+			host := t.P.Node.Hostname
+			t.ForkFn(ch.Name, func(c *kernel.Task) {
+				c.Exec(prog, []string{host})
+			})
+			if cfd, err := t.Accept(lfd); err == nil {
+				_ = cfd // X-protocol session held open
+			}
+		case "pipe":
+			r, w := t.Pipe() // promoted to a socketpair under DMTCP
+			t.ForkFn(ch.Name, func(c *kernel.Task) {
+				c.Exec(prog, nil)
+			})
+			_, _ = r, w
+		}
+	}
+	t.P.SaveState([]byte{1})
+	a.idle(t)
+}
+
+// Restore resumes the interactive loop; runtime threads are
+// re-created (their stacks held no application state).
+func (a *App) Restore(t *kernel.Task, _ []byte) {
+	for i := 0; i < a.P.Threads; i++ {
+		t.P.SpawnTask(fmt.Sprintf("rt%d", i), false, func(rt *kernel.Task) {
+			for {
+				rt.Compute(80 * time.Millisecond)
+			}
+		})
+	}
+	a.idle(t)
+}
+
+// idle models an interactive session: mostly waiting, with light heap
+// churn.
+func (a *App) idle(t *kernel.Task) {
+	for i := 0; ; i++ {
+		t.Compute(40 * time.Millisecond)
+		if i%64 == 63 {
+			if h := t.P.Mem.Area("[heap]"); h != nil {
+				h.Bytes += 64 * model.KB
+			}
+		}
+	}
+}
+
+func hasTCPChild(p Profile) bool {
+	for _, ch := range p.Children {
+		if ch.Conn == "tcp" {
+			return true
+		}
+	}
+	return false
+}
+
+// helperApp is a child co-process (twm, xterm, cscope).
+type helperApp struct {
+	ch     Child
+	parent string
+}
+
+func (h *helperApp) Main(t *kernel.Task, args []string) {
+	t.MapLib("/usr/lib/"+h.ch.Name+".so", h.ch.TextMB*model.MB)
+	t.MapAnon("[heap]", h.ch.DataMB*model.MB, model.ClassData)
+	if h.ch.Conn == "tcp" && len(args) > 0 {
+		fd := t.Socket()
+		if err := t.Connect(fd, kernel.Addr{Host: args[0], Port: helperPort}); err != nil {
+			return
+		}
+	}
+	t.P.SaveState([]byte{1})
+	h.idle(t)
+}
+
+func (h *helperApp) Restore(t *kernel.Task, _ []byte) { h.idle(t) }
+
+func (h *helperApp) idle(t *kernel.Task) {
+	for {
+		t.Compute(60 * time.Millisecond)
+	}
+}

@@ -1,0 +1,156 @@
+package apps_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func newEnv(t *testing.T) (*sim.Engine, *kernel.Cluster, *dmtcp.System) {
+	t.Helper()
+	eng := sim.NewEngine(9)
+	c := kernel.NewCluster(eng, model.Default(), 1)
+	kernel.StartInfra(c)
+	sys := dmtcp.Install(c, dmtcp.Config{Compress: true})
+	apps.Register(c)
+	if err := sys.SpawnCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Shutdown)
+	return eng, c, sys
+}
+
+func drive(t *testing.T, eng *sim.Engine, c *kernel.Cluster, fn func(*kernel.Task)) {
+	t.Helper()
+	c.RegisterFunc("apps-driver", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond)
+		fn(task)
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("apps-driver", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilesCoverFigure3(t *testing.T) {
+	if len(apps.Profiles) != 21 {
+		t.Fatalf("profiles = %d, want the 21 applications of Fig. 3", len(apps.Profiles))
+	}
+	seen := map[string]bool{}
+	for _, p := range apps.Profiles {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.TextMB <= 0 || p.DataMB <= 0 {
+			t.Fatalf("%s: empty footprint", p.Name)
+		}
+	}
+	for _, name := range []string{"matlab", "python", "tightvnc+twm", "vim/cscope"} {
+		if !seen[name] {
+			t.Fatalf("missing %q", name)
+		}
+	}
+}
+
+func TestRunCMSProfileAnchors(t *testing.T) {
+	p, ok := apps.ProfileFor("runcms")
+	if !ok {
+		t.Fatal("no runcms profile")
+	}
+	if p.Libs != 540 {
+		t.Fatalf("runCMS libs = %d, want 540 (§5.1)", p.Libs)
+	}
+	if total := p.TextMB + p.DataMB; total < 600 || total > 760 {
+		t.Fatalf("runCMS footprint %d MB, want ≈680", total)
+	}
+}
+
+func TestVNCSessionStructure(t *testing.T) {
+	eng, c, sys := newEnv(t)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := sys.Launch(0, apps.ProgName("tightvnc+twm")); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(300 * time.Millisecond)
+		// Server + twm + xterm, all under DMTCP.
+		if n := sys.NumManaged(); n != 3 {
+			t.Errorf("managed = %d, want 3", n)
+		}
+		round, err := sys.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if round.NumProcs != 3 {
+			t.Errorf("checkpointed %d, want 3", round.NumProcs)
+		}
+	})
+}
+
+func TestVimCscopePipePromoted(t *testing.T) {
+	eng, c, sys := newEnv(t)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := sys.Launch(0, apps.ProgName("vim/cscope")); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(300 * time.Millisecond)
+		// The vim↔cscope pipe must have been promoted to a socketpair
+		// (no FKPipe descriptors anywhere under DMTCP).
+		for _, p := range sys.ManagedProcesses() {
+			for fd, of := range p.FDs() {
+				if of.Kind == kernel.FKPipeR || of.Kind == kernel.FKPipeW {
+					t.Errorf("%s fd %d is an unpromoted pipe", p.ProgName, fd)
+				}
+			}
+		}
+		if _, err := sys.Checkpoint(task); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestDesktopRestartKeepsPty(t *testing.T) {
+	eng, c, sys := newEnv(t)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := sys.Launch(0, apps.ProgName("bc")); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(200 * time.Millisecond)
+		round, err := sys.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sys.KillManaged()
+		if _, err := sys.RestartAll(task, round, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(100 * time.Millisecond)
+		procs := sys.ManagedProcesses()
+		if len(procs) != 1 {
+			t.Fatalf("restored %d processes", len(procs))
+		}
+		hasPty := false
+		for _, of := range procs[0].FDs() {
+			if of.Kind == kernel.FKPtyMaster || of.Kind == kernel.FKPtySlave {
+				hasPty = true
+			}
+		}
+		if !hasPty {
+			t.Error("restored bc lost its pty")
+		}
+	})
+}

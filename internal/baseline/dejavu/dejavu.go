@@ -1,0 +1,247 @@
+// Package dejavu implements a model of the DejaVu checkpointer that
+// the paper's related-work section compares against (§2, citing
+// Ruscio et al.): a transparent user-level system that logs all
+// communication and uses page protection to detect modified pages
+// between checkpoints.  Both mechanisms tax normal execution — the
+// paper quotes ≈45% run-time overhead and ≈10 checkpoints/hour on a
+// Chombo benchmark, versus DMTCP's essentially zero overhead between
+// checkpoints and ≈2 s checkpoints.
+//
+// The comparator runs the same Chombo-like stencil workload on the
+// same simulated cluster under three regimes — no checkpointing,
+// DMTCP wrappers installed (no checkpoint requested: the paper's
+// "essentially zero overhead while not checkpointing"), and the
+// DejaVu model (page-fault and message-logging overheads plus its own
+// incremental checkpoint writes) — and reports run-time overhead
+// relative to the unprotected run.  DMTCP's checkpoint cost itself is
+// what Figure 4 measures.
+package dejavu
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/sim"
+)
+
+// Overheads parameterizes the DejaVu cost model.
+type Overheads struct {
+	// PageFault is the cost of one write-protection fault; every
+	// page dirtied since the previous checkpoint pays it once.
+	PageFault time.Duration
+	// MsgLogFactor multiplies communication time (sender-side
+	// logging of all traffic).
+	MsgLogFactor float64
+	// CPUFactor multiplies computation (protection churn, tracking).
+	CPUFactor float64
+}
+
+// DefaultOverheads is calibrated so a communication- and
+// memory-write-intensive workload lands near the ≈45% the paper
+// quotes for Chombo under DejaVu.
+func DefaultOverheads() Overheads {
+	return Overheads{
+		PageFault:    1800 * time.Nanosecond,
+		MsgLogFactor: 2.0, // DejaVu logs traffic to stable storage
+		CPUFactor:    0.12,
+	}
+}
+
+// Workload is the Chombo-like stencil: iterations of compute +
+// neighbor exchange with a given dirty-page rate.
+type Workload struct {
+	Nodes       int
+	Ranks       int
+	Iters       int
+	CPUPerIter  time.Duration
+	MsgKB       int
+	DirtyMBIter int64 // MB of memory dirtied per rank per iteration
+	FootMB      int64 // per-rank resident footprint
+}
+
+// DefaultWorkload is a medium AMR-like stencil.
+func DefaultWorkload() Workload {
+	return Workload{
+		Nodes:       2,
+		Ranks:       8,
+		Iters:       30,
+		CPUPerIter:  25 * time.Millisecond,
+		MsgKB:       96,
+		DirtyMBIter: 8,
+		FootMB:      120,
+	}
+}
+
+// Result reports one regime's measurements.
+type Result struct {
+	Regime      string
+	Runtime     time.Duration
+	Checkpoints int
+	OverheadPct float64
+}
+
+// chomboProg runs the stencil under an injected overhead model.
+type chomboProg struct {
+	w    Workload
+	over *Overheads // nil for native execution
+	ckpt func(t *kernel.Task, dirtyBytes int64)
+	done *int
+}
+
+func (c *chomboProg) Main(t *kernel.Task, args []string) {
+	ra, err := mpi.ParseRankArgs(args)
+	if err != nil {
+		return
+	}
+	w, err := mpi.Init(t, ra.Rank, ra.Layout,
+		mpi.MergePeers(mpi.RingPeers(ra.Rank, ra.Layout.Size), mpi.TreePeers(ra.Rank, ra.Layout.Size)))
+	if err != nil {
+		return
+	}
+	t.MapAnon("[amr]", c.w.FootMB*model.MB, model.ClassNumeric)
+	msg := make([]byte, c.w.MsgKB*1024)
+	pageSize := t.P.Node.Cluster.Params.PageSize
+	for i := 0; i < c.w.Iters; i++ {
+		cpu := c.w.CPUPerIter
+		if c.over != nil {
+			cpu = time.Duration(float64(cpu) * (1 + c.over.CPUFactor))
+			pages := c.w.DirtyMBIter * model.MB / pageSize
+			cpu += time.Duration(pages) * c.over.PageFault
+		}
+		t.Compute(cpu)
+		for _, p := range mpi.MergePeers(mpi.RingPeers(ra.Rank, ra.Layout.Size)) {
+			if _, err := w.Sendrecv(p, i, msg); err != nil {
+				return
+			}
+			if c.over != nil {
+				// Sender-side message logging.
+				t.Compute(time.Duration(c.over.MsgLogFactor * float64(len(msg)) /
+					t.P.Node.Cluster.Params.NetBandwidth * float64(time.Second)))
+			}
+		}
+		if c.ckpt != nil && i%10 == 9 {
+			c.ckpt(t, c.w.DirtyMBIter*10*model.MB)
+		}
+		w.Commit([]byte{byte(i)})
+	}
+	*c.done++
+	mpi.NotifyDone(t, ra)
+}
+
+func (c *chomboProg) Restore(t *kernel.Task, state []byte) {
+	// The comparator never restarts mid-run; required for interface.
+	*c.done++
+}
+
+// Run executes the three regimes and returns their results.
+func Run(seed int64) []Result {
+	native := runRegime(seed, "native", nil, false)
+	dm := runRegime(seed, "dmtcp", nil, true)
+	dv := runRegime(seed, "dejavu", func() *Overheads { o := DefaultOverheads(); return &o }(), false)
+	for i := range dm {
+		dm[i].OverheadPct = pct(dm[i].Runtime, native[0].Runtime)
+	}
+	for i := range dv {
+		dv[i].OverheadPct = pct(dv[i].Runtime, native[0].Runtime)
+	}
+	return append(append(native, dm...), dv...)
+}
+
+func pct(r, base time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (r.Seconds() - base.Seconds()) / base.Seconds()
+}
+
+func runRegime(seed int64, regime string, over *Overheads, underDMTCP bool) []Result {
+	return runRegimeWith(seed, regime, over, underDMTCP, over != nil)
+}
+
+func runRegimeWith(seed int64, regime string, over *Overheads, underDMTCP, withCkpt bool) []Result {
+	eng := sim.NewEngine(seed)
+	c := kernel.NewCluster(eng, model.Default(), 2)
+	kernel.StartInfra(c)
+	cfg := dmtcp.Config{Compress: true}
+	// No interval: the DMTCP regime measures pure wrapper overhead
+	// between checkpoints, which is the paper's §2 comparison.
+	sys := dmtcp.Install(c, cfg)
+	mpi.RegisterPrograms(c)
+	npb.Register(c)
+	w := DefaultWorkload()
+	done := 0
+	ckpts := 0
+	prog := &chomboProg{w: w, done: &done}
+	if over != nil {
+		prog.over = over
+	}
+	if withCkpt {
+		prog.ckpt = func(t *kernel.Task, dirty int64) {
+			// Incremental checkpoint: the dirtied pages go to disk
+			// asynchronously (DejaVu checkpoints copy-on-write in the
+			// background); the run-time tax is the logging and the
+			// protection faults, not a synchronous write stall.
+			ckpts++
+			t.P.SpawnTask("dv-ckpt", false, func(bg *kernel.Task) {
+				bg.P.Node.WritePipeFor("/ckpt/dv").Write(bg.T, dirty)
+			})
+		}
+	}
+	c.Register("chombo", prog)
+	if err := sys.SpawnCoordinator(); err != nil {
+		panic(err)
+	}
+	var runtime time.Duration
+	c.RegisterFunc("dv-driver", func(task *kernel.Task, _ []string) {
+		task.Compute(2 * time.Millisecond)
+		start := task.Now()
+		layout := mpi.Layout{Size: w.Ranks, PerNode: w.Ranks / w.Nodes}
+		for r := 0; r < w.Ranks; r++ {
+			ra := mpi.RankArgs{Rank: r, Layout: layout,
+				DoneAddr: kernel.Addr{Host: "node00", Port: 9999}}
+			node := c.LookupHost(layout.HostOf(r))
+			env := map[string]string(nil)
+			if underDMTCP {
+				env = sys.CheckpointEnv()
+			}
+			if _, err := node.Kern.Spawn("chombo", ra.Format(), env); err != nil {
+				panic(err)
+			}
+		}
+		for done < w.Ranks {
+			task.Compute(20 * time.Millisecond)
+		}
+		runtime = task.Now().Sub(start)
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("dv-driver", nil, nil); err != nil {
+		panic(err)
+	}
+	if err := eng.Run(); err != nil {
+		panic(fmt.Sprintf("dejavu %s: %v", regime, err))
+	}
+	eng.Shutdown()
+	n := ckpts
+	if underDMTCP {
+		n = len(sys.Coord.Rounds)
+	}
+	return []Result{{Regime: regime, Runtime: runtime, Checkpoints: n}}
+}
+
+// Describe renders results for display.
+func Describe(rs []Result) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, fmt.Sprintf("%-7s runtime=%.2fs checkpoints=%d overhead=%.1f%%",
+			r.Regime, r.Runtime.Seconds(), r.Checkpoints, r.OverheadPct))
+	}
+	return out
+}
+
+var _ = strconv.Itoa

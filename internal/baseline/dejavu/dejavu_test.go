@@ -1,0 +1,41 @@
+package dejavu
+
+import "testing"
+
+func TestOverheadOrdering(t *testing.T) {
+	rs := Run(2)
+	byName := map[string]Result{}
+	for _, r := range rs {
+		byName[r.Regime] = r
+	}
+	native, ok1 := byName["native"]
+	dm, ok2 := byName["dmtcp"]
+	dv, ok3 := byName["dejavu"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing regimes: %v", rs)
+	}
+	if native.Checkpoints != 0 {
+		t.Errorf("native run took %d checkpoints", native.Checkpoints)
+	}
+	if dv.Runtime <= native.Runtime {
+		t.Error("dejavu must be slower than native")
+	}
+	// The §2 claim: DejaVu ≈45% overhead; DMTCP near zero between
+	// checkpoints.
+	if dv.OverheadPct < 25 || dv.OverheadPct > 80 {
+		t.Errorf("dejavu overhead %.1f%%, want ≈45%%", dv.OverheadPct)
+	}
+	if dm.OverheadPct > 10 {
+		t.Errorf("dmtcp overhead %.1f%%, want ≈0%%", dm.OverheadPct)
+	}
+	if dv.Checkpoints == 0 {
+		t.Error("dejavu regime should have taken incremental checkpoints")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	out := Describe([]Result{{Regime: "x", Checkpoints: 3}})
+	if len(out) != 1 {
+		t.Fatal("bad describe")
+	}
+}

@@ -1,0 +1,367 @@
+package dmtcp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Config selects session-wide checkpointing behavior.
+type Config struct {
+	// CoordNode and CoordPort locate the checkpoint coordinator.
+	CoordNode kernel.NodeID
+	CoordPort int
+	// CkptDir is where checkpoint images are written; paths under
+	// /san go to central storage (Fig. 5b).
+	CkptDir string
+	// Compress enables the gzip pipeline (the DMTCP default).
+	Compress bool
+	// Fsync issues a sync after each checkpoint (§5.2).
+	Fsync bool
+	// Forked enables forked checkpointing (§5.3).
+	Forked bool
+	// Interval enables periodic checkpoints (--interval).
+	Interval time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.CoordPort == 0 {
+		c.CoordPort = DefaultCoordPort
+	}
+	if c.CkptDir == "" {
+		c.CkptDir = "/ckpt"
+	}
+}
+
+// System is one DMTCP session over a simulated cluster: the installed
+// wrappers, the coordinator, and the registry of managed processes.
+type System struct {
+	C     *kernel.Cluster
+	Cfg   Config
+	Coord *Coordinator
+
+	ofid       int64
+	restartGen int64
+
+	// byVirt maps "host/virtpid" to the live managed process.
+	byVirt   map[string]*Manager
+	managers map[*kernel.Process]*Manager
+
+	// shm registry: "host/backing" → restored segment (shared among
+	// processes restored on the same host, §4.5).
+	shm map[string]*kernel.ShmSegment
+}
+
+// Install wires a DMTCP session into the cluster: registers the
+// dmtcp_* programs and installs the hook factory that injects a
+// Manager into every process whose environment carries LD_PRELOAD.
+func Install(c *kernel.Cluster, cfg Config) *System {
+	cfg.fillDefaults()
+	sys := &System{
+		C:        c,
+		Cfg:      cfg,
+		byVirt:   make(map[string]*Manager),
+		managers: make(map[*kernel.Process]*Manager),
+		shm:      make(map[string]*kernel.ShmSegment),
+	}
+	coordNode := c.Node(cfg.CoordNode)
+	sys.Coord = &Coordinator{
+		Sys:        sys,
+		Node:       coordNode,
+		Port:       cfg.CoordPort,
+		clients:    make(map[int64]*coordClient),
+		advertised: make(map[string]kernel.Addr),
+		pendingQ:   make(map[string][]int),
+		groups:     make(map[string]*groupBarrier),
+		doneW:      sim.NewWaitQueue(c.Eng, "coord.done"),
+	}
+	c.HookFactory = func(p *kernel.Process) kernel.Hooks { return newManager(sys, p) }
+
+	c.RegisterFunc("dmtcp_coordinator", sys.Coord.main)
+	c.RegisterFunc("dmtcp_checkpoint", sys.checkpointMain)
+	c.RegisterFunc("dmtcp_command", sys.commandMain)
+	c.RegisterFunc("dmtcp_restart", sys.restartMain)
+	return sys
+}
+
+// SpawnCoordinator starts the coordinator process.
+func (s *System) SpawnCoordinator() error {
+	p, err := s.Coord.Node.Kern.Spawn("dmtcp_coordinator", nil, nil)
+	if err != nil {
+		return err
+	}
+	s.Coord.proc = p
+	return nil
+}
+
+func (s *System) coordAddr() kernel.Addr { return s.Coord.Addr() }
+
+// CheckpointEnv returns the environment dmtcp_checkpoint gives target
+// programs: library injection plus coordinator location.
+func (s *System) CheckpointEnv() map[string]string {
+	return map[string]string{
+		kernel.LDPreloadVar: kernel.HijackLib,
+		"DMTCP_HOST":        s.Coord.Node.Hostname,
+		"DMTCP_PORT":        strconv.Itoa(s.Coord.Port),
+	}
+}
+
+// Launch spawns `dmtcp_checkpoint prog args...` on the given node —
+// the paper's command-line entry point (§3).
+func (s *System) Launch(node kernel.NodeID, prog string, args ...string) (*kernel.Process, error) {
+	argv := append([]string{prog}, args...)
+	return s.C.Node(node).Kern.Spawn("dmtcp_checkpoint", argv, s.CheckpointEnv())
+}
+
+// checkpointMain is the dmtcp_checkpoint program: inject and exec.
+func (s *System) checkpointMain(t *kernel.Task, args []string) {
+	if len(args) == 0 {
+		t.Printf("usage: dmtcp_checkpoint <program> [args...]\n")
+		t.Exit(2)
+	}
+	for k, v := range s.CheckpointEnv() {
+		t.P.Env[k] = v
+	}
+	if err := t.Exec(args[0], args[1:]); err != nil {
+		t.Printf("dmtcp_checkpoint: %v\n", err)
+		t.Exit(127)
+	}
+}
+
+// commandMain is the dmtcp_command program (§3).
+func (s *System) commandMain(t *kernel.Task, args []string) {
+	if len(args) == 0 {
+		t.Printf("usage: dmtcp_command --checkpoint|--status|--quit\n")
+		t.Exit(2)
+	}
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true
+	}
+	if err := t.Connect(fd, s.coordAddr()); err != nil {
+		t.Printf("dmtcp_command: %v\n", err)
+		t.Exit(1)
+	}
+	defer t.Close(fd)
+	switch args[0] {
+	case "--checkpoint", "-c":
+		t.SendFrame(fd, []byte{msgCheckpoint})
+		if _, err := t.RecvFrame(fd); err != nil {
+			t.Exit(1)
+		}
+	case "--status", "-s":
+		t.SendFrame(fd, []byte{msgStatus})
+		frame, err := t.RecvFrame(fd)
+		if err == nil && len(frame) > 1 {
+			d := &bin.Decoder{B: frame[1:]}
+			t.Printf("clients=%d rounds=%d\n", d.Int(), d.Int())
+		}
+	case "--quit", "-q":
+		t.SendFrame(fd, []byte{msgQuit})
+	default:
+		t.Printf("dmtcp_command: unknown option %s\n", args[0])
+		t.Exit(2)
+	}
+}
+
+// Checkpoint requests a cluster-wide checkpoint from driver task t
+// and blocks until the round completes, returning its stats.
+func (s *System) Checkpoint(t *kernel.Task) (*CkptRound, error) {
+	want := len(s.Coord.Rounds) + 1
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true
+	}
+	if err := t.Connect(fd, s.coordAddr()); err != nil {
+		return nil, fmt.Errorf("dmtcp: checkpoint request: %w", err)
+	}
+	defer t.Close(fd)
+	if err := t.SendFrame(fd, []byte{msgCheckpoint}); err != nil {
+		return nil, err
+	}
+	if _, err := t.RecvFrame(fd); err != nil {
+		return nil, fmt.Errorf("dmtcp: waiting for checkpoint: %w", err)
+	}
+	if len(s.Coord.Rounds) < want {
+		return nil, fmt.Errorf("dmtcp: round did not complete")
+	}
+	return s.Coord.Rounds[want-1], nil
+}
+
+// NumManaged returns the number of live checkpointable processes.
+func (s *System) NumManaged() int { return len(s.managers) }
+
+// ManagedProcesses returns the live checkpointed processes, ordered
+// by (node, pid) for determinism.
+func (s *System) ManagedProcesses() []*kernel.Process {
+	out := make([]*kernel.Process, 0, len(s.managers))
+	for p := range s.managers {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && procLess(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func procLess(a, b *kernel.Process) bool {
+	if a.Node.ID != b.Node.ID {
+		return a.Node.ID < b.Node.ID
+	}
+	return a.Pid < b.Pid
+}
+
+// KillManaged terminates every checkpointed process — the crash (or
+// intentional shutdown) that a restart recovers from.
+func (s *System) KillManaged() int {
+	killed := 0
+	for _, p := range s.ManagedProcesses() {
+		if !p.Dead && !p.Zombie {
+			p.Kern.Kill(p.Pid)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Placement maps original hostnames to restart nodes; nil entries (or
+// a nil map) restart in place.
+type Placement map[string]kernel.NodeID
+
+// RestartAll restarts every process of a checkpoint round from its
+// images, optionally on different nodes, and blocks until the whole
+// computation is running again.  It returns the aggregated restart
+// stage times (Table 1b).
+func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (*RestartStages, error) {
+	if round == nil || len(round.Images) == 0 {
+		return nil, fmt.Errorf("dmtcp: empty round")
+	}
+	byHost := make(map[string][]ImageInfo)
+	var hosts []string
+	for _, img := range round.Images {
+		if _, seen := byHost[img.Host]; !seen {
+			hosts = append(hosts, img.Host)
+		}
+		byHost[img.Host] = append(byHost[img.Host], img)
+	}
+	s.restartGen++
+	gen := s.restartGen
+	s.Coord.RestartStats = nil
+
+	for _, host := range hosts {
+		imgs := byHost[host]
+		target := s.C.LookupHost(host)
+		if place != nil {
+			if nid, ok := place[host]; ok {
+				target = s.C.Node(nid)
+			}
+		}
+		if target == nil {
+			return nil, fmt.Errorf("dmtcp: unknown host %q", host)
+		}
+		// Migration: make the images visible on the target node (the
+		// paper's restart script assumes images are reachable; /san
+		// paths already are).
+		src := s.C.LookupHost(host)
+		if src != target {
+			for _, img := range imgs {
+				if ino, err := src.FS.ReadFile(img.Path); err == nil && !target.FS.Exists(img.Path) {
+					target.FS.WriteFile(img.Path, ino.Data, ino.LogicalSize)
+				}
+			}
+		}
+		args := []string{
+			strconv.Itoa(len(hosts)),
+			strconv.Itoa(len(round.Images)),
+			strconv.FormatInt(gen, 10),
+		}
+		for _, img := range imgs {
+			args = append(args, img.Path)
+		}
+		if _, err := target.Kern.Spawn("dmtcp_restart", args, nil); err != nil {
+			return nil, err
+		}
+	}
+	for s.Coord.RestartStats == nil {
+		s.Coord.doneW.Wait(t.T)
+	}
+	return s.Coord.RestartStats, nil
+}
+
+// RestartScript renders the dmtcp_restart_script.sh contents for a
+// round (§3: "a shell script ... is created containing all the
+// commands needed to restart the distributed computation").
+func RestartScript(round *CkptRound) string {
+	var b strings.Builder
+	b.WriteString("#!/bin/sh\n# generated by dmtcp_checkpoint\n")
+	byHost := make(map[string][]string)
+	var hosts []string
+	for _, img := range round.Images {
+		if _, seen := byHost[img.Host]; !seen {
+			hosts = append(hosts, img.Host)
+		}
+		byHost[img.Host] = append(byHost[img.Host], img.Path)
+	}
+	for _, h := range hosts {
+		fmt.Fprintf(&b, "ssh %s dmtcp_restart %s &\n", h, strings.Join(byHost[h], " "))
+	}
+	b.WriteString("wait\n")
+	return b.String()
+}
+
+// --- session registries ----------------------------------------------
+
+func (s *System) nextOFID() int64 {
+	s.ofid++
+	return s.ofid
+}
+
+func vkey(host string, virt kernel.Pid) string {
+	return fmt.Sprintf("%s/%d", host, virt)
+}
+
+func (s *System) registerProc(m *Manager) {
+	s.byVirt[vkey(m.p.Node.Hostname, m.virtPid)] = m
+	s.managers[m.p] = m
+}
+
+func (s *System) unregisterProc(m *Manager) {
+	delete(s.byVirt, vkey(m.p.Node.Hostname, m.virtPid))
+	delete(s.managers, m.p)
+}
+
+func (s *System) virtPidInUse(host string, virt kernel.Pid) bool {
+	_, used := s.byVirt[vkey(host, virt)]
+	return used
+}
+
+func (s *System) procByVirt(host string, virt kernel.Pid) *kernel.Process {
+	if m, ok := s.byVirt[vkey(host, virt)]; ok {
+		return m.p
+	}
+	return nil
+}
+
+// resolveShm implements the §4.5 shared-memory restore rules for a
+// host: the first restored process re-creates the segment (and its
+// backing file if missing); later ones share it.
+func (s *System) resolveShm(t *kernel.Task, backing string, bytes int64, class model.MemClass) *kernel.ShmSegment {
+	key := t.P.Node.Hostname + "/" + backing
+	if seg, ok := s.shm[key]; ok {
+		return seg
+	}
+	seg := s.C.NewShmSegment(t.P.Node, backing, bytes, class)
+	s.shm[key] = seg
+	return seg
+}
+
+// ManagerOf returns the DMTCP manager embedded in a process, if any.
+func (s *System) ManagerOf(p *kernel.Process) *Manager { return s.managers[p] }

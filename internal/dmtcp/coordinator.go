@@ -1,0 +1,404 @@
+package dmtcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+)
+
+// DefaultCoordPort is the coordinator's default TCP port.
+const DefaultCoordPort = 7779
+
+// Protocol message types (first byte of each frame).
+const (
+	msgRegister   = 'R' // manager → coord: join as checkpointable client
+	msgCheckpoint = 'C' // command → coord: request a checkpoint round
+	msgBarrier    = 'B' // manager → coord: reached named barrier
+	msgRelease    = 'L' // coord → manager: barrier released
+	msgDoCkpt     = 'K' // coord → manager: begin checkpoint (with config)
+	msgStatus     = 'S' // command → coord: status query
+	msgAdvertise  = 'A' // restart → coord: advertise guid → address
+	msgQuery      = 'Q' // restart → coord: resolve guid (blocks until known)
+	msgGroup      = 'G' // restart → coord: generic group barrier join
+	msgRestartEnd = 'T' // restart → coord: restart stage times
+	msgQuit       = 'X' // command → coord: shut down
+)
+
+// Checkpoint barrier names, in protocol order (§4.3: six global
+// barriers; the first is the implicit wait-for-checkpoint-request).
+var ckptBarriers = []string{"suspended", "elected", "drained", "checkpointed", "refilled"}
+
+// coordClient is one registered checkpoint manager connection.
+type coordClient struct {
+	id   int64
+	fd   int
+	desc string
+}
+
+type roundState struct {
+	idx          int
+	start        sim.Time
+	participants map[int64]*coordClient
+	arrived      map[string]map[int64]bool
+	stageMax     map[string]time.Duration
+	images       []ImageInfo
+	bytes, raw   int64
+	syncMax      time.Duration
+}
+
+type groupBarrier struct {
+	want    int
+	arrived []int // fds to release
+}
+
+// Coordinator is the harness-side handle to a running checkpoint
+// coordinator process.  Fields are updated by the coordinator program
+// as the simulation runs; the engine's cooperative scheduling makes
+// the sharing safe.
+type Coordinator struct {
+	Sys  *System
+	Node *kernel.Node
+	Port int
+
+	// Rounds holds completed checkpoint rounds, oldest first.
+	Rounds []*CkptRound
+
+	// RestartStats holds the most recent completed restart.
+	RestartStats *RestartStages
+
+	proc    *kernel.Process
+	clients map[int64]*coordClient
+	nextCID int64
+
+	round       *roundState
+	pendingCkpt int // queued checkpoint requests
+	cmdWaiters  []chan2
+
+	advertised map[string]kernel.Addr
+	pendingQ   map[string][]int // guid → fds awaiting resolution
+
+	groups map[string]*groupBarrier
+
+	restartExpect int
+	restartAgg    []RestartStages
+
+	// doneW wakes harness tasks waiting for round/restart completion.
+	doneW *sim.WaitQueue
+}
+
+// chan2 tracks a command connection waiting for round completion.
+type chan2 struct{ fd int }
+
+// Addr returns the coordinator's address.
+func (co *Coordinator) Addr() kernel.Addr {
+	return kernel.Addr{Host: co.Node.Hostname, Port: co.Port}
+}
+
+// NumClients returns the number of registered checkpointable
+// processes.
+func (co *Coordinator) NumClients() int { return len(co.clients) }
+
+// LastRound returns the most recent completed checkpoint round.
+func (co *Coordinator) LastRound() *CkptRound {
+	if len(co.Rounds) == 0 {
+		return nil
+	}
+	return co.Rounds[len(co.Rounds)-1]
+}
+
+// main is the coordinator program body.
+func (co *Coordinator) main(t *kernel.Task, _ []string) {
+	lfd, err := t.ListenTCP(co.Port)
+	if err != nil {
+		t.Printf("dmtcp_coordinator: %v\n", err)
+		return
+	}
+	if iv := co.Sys.Cfg.Interval; iv > 0 {
+		t.P.SpawnTask("interval", true, func(tick *kernel.Task) {
+			for {
+				tick.Compute(iv)
+				co.requestCheckpoint(tick)
+			}
+		})
+	}
+	for {
+		fd, err := t.Accept(lfd)
+		if err != nil {
+			return
+		}
+		co.nextCID++
+		id := co.nextCID
+		t.P.SpawnTask(fmt.Sprintf("conn%d", id), false, func(h *kernel.Task) {
+			co.serve(h, id, fd)
+		})
+	}
+}
+
+// serve handles one client connection.
+func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
+	defer t.Close(fd)
+	for {
+		frame, err := t.RecvFrame(fd)
+		if err != nil {
+			co.disconnect(t, cid)
+			return
+		}
+		if len(frame) == 0 {
+			continue
+		}
+		body := frame[1:]
+		switch frame[0] {
+		case msgRegister:
+			d := &bin.Decoder{B: body}
+			c := &coordClient{id: cid, fd: fd, desc: d.Str()}
+			co.clients[cid] = c
+		case msgCheckpoint:
+			co.cmdWaiters = append(co.cmdWaiters, chan2{fd: fd})
+			co.requestCheckpoint(t)
+		case msgBarrier:
+			co.onBarrier(t, cid, body)
+		case msgStatus:
+			var e bin.Encoder
+			e.B = append(e.B, 's')
+			e.Int(len(co.clients))
+			e.Int(len(co.Rounds))
+			t.SendFrame(fd, e.B)
+		case msgAdvertise:
+			d := &bin.Decoder{B: body}
+			guid, host, port := d.Str(), d.Str(), d.Int()
+			co.advertised[guid] = kernel.Addr{Host: host, Port: port}
+			for _, qfd := range co.pendingQ[guid] {
+				co.replyQuery(t, qfd, guid)
+			}
+			delete(co.pendingQ, guid)
+		case msgQuery:
+			d := &bin.Decoder{B: body}
+			guid := d.Str()
+			if _, ok := co.advertised[guid]; ok {
+				co.replyQuery(t, fd, guid)
+			} else {
+				co.pendingQ[guid] = append(co.pendingQ[guid], fd)
+			}
+		case msgGroup:
+			d := &bin.Decoder{B: body}
+			name, want := d.Str(), d.Int()
+			g := co.groups[name]
+			if g == nil {
+				g = &groupBarrier{want: want}
+				co.groups[name] = g
+			}
+			g.arrived = append(g.arrived, fd)
+			if len(g.arrived) >= g.want {
+				for _, rfd := range g.arrived {
+					var e bin.Encoder
+					e.B = append(e.B, msgRelease)
+					e.Str(name)
+					t.SendFrame(rfd, e.B)
+				}
+				delete(co.groups, name)
+			}
+		case msgRestartEnd:
+			co.onRestartEnd(t, body)
+		case msgQuit:
+			co.Sys.C.Eng.Stop()
+			return
+		}
+	}
+}
+
+func (co *Coordinator) replyQuery(t *kernel.Task, fd int, guid string) {
+	addr := co.advertised[guid]
+	var e bin.Encoder
+	e.B = append(e.B, 'q')
+	e.Str(guid)
+	e.Str(addr.Host)
+	e.Int(addr.Port)
+	t.SendFrame(fd, e.B)
+}
+
+// requestCheckpoint starts a round now, or queues one if a round is
+// already in progress.
+func (co *Coordinator) requestCheckpoint(t *kernel.Task) {
+	if co.round != nil {
+		co.pendingCkpt++
+		return
+	}
+	if len(co.clients) == 0 {
+		// Nothing to checkpoint; satisfy waiters immediately.
+		co.finishRound(t, &roundState{start: t.Now(), participants: map[int64]*coordClient{}})
+		return
+	}
+	co.round = &roundState{
+		idx:          len(co.Rounds),
+		start:        t.Now(),
+		participants: make(map[int64]*coordClient, len(co.clients)),
+		arrived:      make(map[string]map[int64]bool),
+		stageMax:     make(map[string]time.Duration),
+	}
+	for id, c := range co.clients {
+		co.round.participants[id] = c
+	}
+	cfg := co.Sys.Cfg
+	var e bin.Encoder
+	e.B = append(e.B, msgDoCkpt)
+	e.Str(cfg.CkptDir)
+	e.Bool(cfg.Compress)
+	e.Bool(cfg.Fsync)
+	e.Bool(cfg.Forked)
+	for _, c := range sortedClients(co.round.participants) {
+		t.SendFrame(c.fd, e.B)
+	}
+}
+
+// sortedClients orders clients by registration id so that broadcasts
+// are deterministic.
+func sortedClients(m map[int64]*coordClient) []*coordClient {
+	out := make([]*coordClient, 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// onBarrier counts a manager's arrival at a named barrier and
+// releases the barrier when everyone is in.
+func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
+	r := co.round
+	if r == nil || r.participants[cid] == nil {
+		return
+	}
+	d := &bin.Decoder{B: body}
+	name := d.Str()
+	stage := time.Duration(d.I64())
+	if stage > r.stageMax[name] {
+		r.stageMax[name] = stage
+	}
+	if name == "checkpointed" {
+		img := ImageInfo{
+			Host:    d.Str(),
+			Path:    d.Str(),
+			Prog:    d.Str(),
+			VirtPid: kernel.Pid(d.I64()),
+			Bytes:   d.I64(),
+			Raw:     d.I64(),
+		}
+		sync := time.Duration(d.I64())
+		r.images = append(r.images, img)
+		r.bytes += img.Bytes
+		r.raw += img.Raw
+		if sync > r.syncMax {
+			r.syncMax = sync
+		}
+	}
+	if r.arrived[name] == nil {
+		r.arrived[name] = make(map[int64]bool)
+	}
+	r.arrived[name][cid] = true
+	if len(r.arrived[name]) < len(r.participants) {
+		return
+	}
+	// Release.
+	var e bin.Encoder
+	e.B = append(e.B, msgRelease)
+	e.Str(name)
+	for _, c := range sortedClients(r.participants) {
+		t.SendFrame(c.fd, e.B)
+	}
+	if name == ckptBarriers[len(ckptBarriers)-1] {
+		co.finishRound(t, r)
+	}
+}
+
+func (co *Coordinator) finishRound(t *kernel.Task, r *roundState) {
+	round := &CkptRound{
+		Index:    len(co.Rounds),
+		NumProcs: len(r.participants),
+		Stages: StageTimes{
+			Suspend: r.stageMax["suspended"],
+			Elect:   r.stageMax["elected"],
+			Drain:   r.stageMax["drained"],
+			Write:   r.stageMax["checkpointed"],
+			Refill:  r.stageMax["refilled"],
+			Total:   t.Now().Sub(r.start),
+		},
+		Bytes:    r.bytes,
+		RawBytes: r.raw,
+		SyncCost: r.syncMax,
+		Images:   r.images,
+		Compress: co.Sys.Cfg.Compress,
+		Forked:   co.Sys.Cfg.Forked,
+	}
+	co.Rounds = append(co.Rounds, round)
+	co.round = nil
+	for _, w := range co.cmdWaiters {
+		t.SendFrame(w.fd, []byte{'c'})
+	}
+	co.cmdWaiters = nil
+	co.doneW.WakeAll()
+	if co.pendingCkpt > 0 {
+		co.pendingCkpt--
+		co.requestCheckpoint(t)
+	}
+}
+
+// onRestartEnd aggregates restart stage times; when all expected
+// restart processes have reported, RestartStats is published.
+func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
+	d := &bin.Decoder{B: body}
+	expect := d.Int()
+	st := RestartStages{
+		Files:  time.Duration(d.I64()),
+		Conns:  time.Duration(d.I64()),
+		Memory: time.Duration(d.I64()),
+		Refill: time.Duration(d.I64()),
+		Total:  time.Duration(d.I64()),
+	}
+	co.restartExpect = expect
+	co.restartAgg = append(co.restartAgg, st)
+	if len(co.restartAgg) < expect {
+		return
+	}
+	// Per the paper, the per-host stages (files, conns) are averaged
+	// across hosts; the globally synchronized stages use the max.
+	var agg RestartStages
+	for _, s := range co.restartAgg {
+		agg.Files += s.Files
+		agg.Conns += s.Conns
+		if s.Memory > agg.Memory {
+			agg.Memory = s.Memory
+		}
+		if s.Refill > agg.Refill {
+			agg.Refill = s.Refill
+		}
+		if s.Total > agg.Total {
+			agg.Total = s.Total
+		}
+	}
+	n := time.Duration(len(co.restartAgg))
+	agg.Files /= n
+	agg.Conns /= n
+	co.RestartStats = &agg
+	co.restartAgg = nil
+	co.doneW.WakeAll()
+}
+
+// disconnect removes a dead client; if a round is in flight the
+// barrier counts are re-checked so the round can still complete.
+func (co *Coordinator) disconnect(t *kernel.Task, cid int64) {
+	delete(co.clients, cid)
+	if r := co.round; r != nil && r.participants[cid] != nil {
+		delete(r.participants, cid)
+		for name, m := range r.arrived {
+			delete(m, cid)
+			_ = name
+		}
+	}
+}

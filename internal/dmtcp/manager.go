@@ -1,0 +1,642 @@
+package dmtcp
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/mtcp"
+)
+
+// drainToken is the flush cookie sent through every socket at drain
+// time (§4.3 step 4).
+var drainToken = []byte("\x00\x01DMTCP-EOB\x01\x00")
+
+// Manager is the per-process DMTCP library instance: the libc
+// wrappers (as a kernel.Hooks implementation) plus the checkpoint
+// manager thread.  One Manager exists inside every checkpointed
+// process, exactly like the injected dmtcphijack.so.
+type Manager struct {
+	kernel.BaseHooks
+
+	sys *System
+	p   *kernel.Process
+
+	started bool
+	// restored is true for managers reconstructed by dmtcp_restart.
+	restored bool
+
+	virtPid kernel.Pid
+	// pidTable maps virtual → real pids for this process's children
+	// (and itself).
+	pidTable map[kernel.Pid]kernel.Pid
+
+	// socks records wrapper-observed stream sockets by open-file
+	// description, so fork/dup sharing is tracked naturally.
+	socks map[*kernel.OpenFile]*SockMeta
+
+	coordFD int
+	mgrTask *kernel.Task
+
+	nextConnSeq int64
+
+	aware awareHooks
+
+	// lastStats records the most recent checkpoint's stage times as
+	// measured inside this process.
+	lastStats StageTimes
+}
+
+type awareHooks struct {
+	preCkpt     []func(*kernel.Task)
+	postCkpt    []func(*kernel.Task)
+	postRestart []func(*kernel.Task)
+}
+
+func newManager(sys *System, p *kernel.Process) *Manager {
+	return &Manager{
+		sys:      sys,
+		p:        p,
+		pidTable: make(map[kernel.Pid]kernel.Pid),
+		socks:    make(map[*kernel.OpenFile]*SockMeta),
+	}
+}
+
+// Start implements the library initializer: it connects to the
+// coordinator and launches the checkpoint manager thread (§4.2).
+func (m *Manager) Start(t *kernel.Task) {
+	if m.started {
+		return
+	}
+	m.started = true
+	if m.virtPid == 0 {
+		m.virtPid = m.p.Pid // original pid becomes the virtual pid
+	}
+	m.pidTable[m.virtPid] = m.p.Pid
+	m.sys.registerProc(m)
+	m.connectCoordinator(t)
+	m.mgrTask = m.p.SpawnTask("ckpt-mgr", true, m.loop)
+}
+
+func (m *Manager) connectCoordinator(t *kernel.Task) {
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true // excluded from checkpointing
+	}
+	addr := m.sys.coordAddr()
+	if err := t.Connect(fd, addr); err != nil {
+		panic(fmt.Sprintf("dmtcp: cannot reach coordinator at %v: %v", addr, err))
+	}
+	var e bin.Encoder
+	e.B = append(e.B, msgRegister)
+	e.Str(fmt.Sprintf("%s/%s[%d]", m.p.Node.Hostname, m.p.ProgName, m.virtPid))
+	if err := t.SendFrame(fd, e.B); err != nil {
+		panic(fmt.Sprintf("dmtcp: register: %v", err))
+	}
+	m.coordFD = fd
+}
+
+// loop is the checkpoint manager thread: it blocks at the special
+// barrier (waiting for a checkpoint request) and runs the checkpoint
+// algorithm when one arrives.
+func (m *Manager) loop(t *kernel.Task) {
+	for {
+		frame, err := t.RecvFrame(m.coordFD)
+		if err != nil {
+			return // coordinator gone or process dying
+		}
+		if len(frame) == 0 || frame[0] != msgDoCkpt {
+			continue
+		}
+		d := &bin.Decoder{B: frame[1:]}
+		cfg := ckptConfig{
+			Dir:      d.Str(),
+			Compress: d.Bool(),
+			Fsync:    d.Bool(),
+			Forked:   d.Bool(),
+		}
+		m.doCheckpoint(t, cfg)
+	}
+}
+
+type ckptConfig struct {
+	Dir      string
+	Compress bool
+	Fsync    bool
+	Forked   bool
+}
+
+// barrier reports arrival at a named global barrier and blocks until
+// the coordinator releases it (§4.3: "the only global communication
+// primitive used at checkpoint time is a barrier").
+func (m *Manager) barrier(t *kernel.Task, name string, stage time.Duration, extra func(*bin.Encoder)) error {
+	var e bin.Encoder
+	e.B = append(e.B, msgBarrier)
+	e.Str(name)
+	e.I64(int64(stage))
+	if extra != nil {
+		extra(&e)
+	}
+	if err := t.SendFrame(m.coordFD, e.B); err != nil {
+		return err
+	}
+	for {
+		frame, err := t.RecvFrame(m.coordFD)
+		if err != nil {
+			return err
+		}
+		if len(frame) > 0 && frame[0] == msgRelease {
+			d := &bin.Decoder{B: frame[1:]}
+			if d.Str() == name {
+				return nil
+			}
+		}
+	}
+}
+
+// doCheckpoint executes stages 2–7 of the checkpoint algorithm.
+func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
+	p := t.P
+	params := m.sys.C.Params
+	start := t.Now()
+
+	// ---- Stage 2: suspend user threads --------------------------------
+	p.CkptPending = true
+	for _, cb := range m.aware.preCkpt {
+		cb(t)
+	}
+	users := p.UserTasks()
+	for _, u := range users {
+		for u.InCritical() {
+			p.CritW.Wait(t.T)
+		}
+	}
+	t.Compute(params.Jitter(m.sys.C.Eng.Rand(),
+		params.SuspendQuantum+time.Duration(len(users))*params.SuspendPerThread))
+	for _, u := range users {
+		u.T.Suspend()
+	}
+	// Save descriptor ownership and stamp shared-description ids.
+	owners := make(map[int]kernel.Pid)
+	fdmap := p.FDs()
+	for _, fd := range p.SortedFDs() {
+		of := fdmap[fd]
+		if of.Protected {
+			continue
+		}
+		if of.CkptID == 0 {
+			of.CkptID = m.sys.nextOFID()
+		}
+		owners[fd] = of.Owner
+	}
+	if err := m.barrier(t, "suspended", t.Now().Sub(start), nil); err != nil {
+		return
+	}
+
+	// ---- Stage 3: elect shared-FD leaders ------------------------------
+	s3 := t.Now()
+	drainFDs := m.drainableFDs(t)
+	for _, fd := range drainFDs {
+		t.Fcntl(fd, kernel.FSetOwn, p.Pid) // last writer wins (§4.3)
+	}
+	if err := m.barrier(t, "elected", t.Now().Sub(s3), nil); err != nil {
+		return
+	}
+
+	// ---- Stage 4: drain kernel buffers ---------------------------------
+	s4 := t.Now()
+	var leaders []int
+	for _, fd := range drainFDs {
+		if own, _ := t.Fcntl(fd, kernel.FGetOwn, 0); own == p.Pid {
+			leaders = append(leaders, fd)
+		}
+	}
+	drained := m.drainAll(t, leaders)
+	t.Compute(params.DrainSettle) // final poll timeout concluding the drain
+	if err := m.barrier(t, "drained", t.Now().Sub(s4), nil); err != nil {
+		return
+	}
+
+	// ---- Stage 5: write checkpoint to disk -----------------------------
+	s5 := t.Now()
+	img := mtcp.Capture(p, m.virtPid)
+	img.Ext["dmtcp.fdtable"] = encodeFDTable(m.fdTable(t, owners))
+	img.Ext["dmtcp.conns"] = encodeConns(m.connRecs(t, drained))
+	img.Ext["dmtcp.pids"] = encodePids(m.virtPid, m.pidTable)
+	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync}
+	var res mtcp.WriteResult
+	if cfg.Forked {
+		// Forked checkpointing (§5.3): the child writes and
+		// compresses in the background; the parent's perceived cost
+		// is the fork itself.
+		t.ForkRaw("ckpt-writer", func(c *kernel.Task) {
+			mtcp.WriteImage(c, img, opts)
+			c.Exit(0)
+		})
+		res = mtcp.WriteResult{
+			Path:     mtcp.ImagePath(opts.Dir, img, opts.Compress),
+			RawBytes: img.LogicalBytes(),
+			Bytes:    img.LogicalBytes(),
+		}
+		if opts.Compress {
+			res.Bytes = img.CompressedBytes(params)
+		}
+	} else {
+		res = mtcp.WriteImage(t, img, opts)
+	}
+	writeDur := t.Now().Sub(s5)
+	err := m.barrier(t, "checkpointed", writeDur, func(e *bin.Encoder) {
+		e.Str(p.Node.Hostname)
+		e.Str(res.Path)
+		e.Str(p.ProgName)
+		e.I64(int64(m.virtPid))
+		e.I64(res.Bytes)
+		e.I64(res.RawBytes)
+		e.I64(int64(res.SyncTook))
+	})
+	if err != nil {
+		return
+	}
+
+	// ---- Stage 6: refill kernel buffers --------------------------------
+	s6 := t.Now()
+	m.refill(t, drained)
+	for _, fd := range t.P.SortedFDs() { // restore original F_SETOWN (§4.3)
+		if own, ok := owners[fd]; ok {
+			t.Fcntl(fd, kernel.FSetOwn, own)
+		}
+	}
+	if err := m.barrier(t, "refilled", t.Now().Sub(s6), nil); err != nil {
+		return
+	}
+
+	// ---- Stage 7: resume user threads ----------------------------------
+	for _, u := range users {
+		u.T.Resume()
+	}
+	p.CkptPending = false
+	p.ResumeW.WakeAll()
+	for _, cb := range m.aware.postCkpt {
+		cb(t)
+	}
+	m.lastStats = StageTimes{
+		Suspend: s3.Sub(start),
+		Elect:   s4.Sub(s3),
+		Drain:   s5.Sub(s4),
+		Write:   s6.Sub(s5),
+		Refill:  t.Now().Sub(s6),
+		Total:   t.Now().Sub(start),
+	}
+}
+
+// drainableFDs returns the descriptors participating in election and
+// drain: connected stream sockets (incl. promoted pipes) and ptys.
+func (m *Manager) drainableFDs(t *kernel.Task) []int {
+	var out []int
+	fds := t.P.FDs()
+	for _, fd := range t.P.SortedFDs() {
+		of := fds[fd]
+		if of.Protected {
+			continue
+		}
+		switch of.Kind {
+		case kernel.FKTCP, kernel.FKUnix:
+			if of.TCP != nil && m.socks[of] != nil {
+				out = append(out, fd)
+			}
+		case kernel.FKPtyMaster, kernel.FKPtySlave:
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// drainJob tracks one socket's drain progress.
+type drainJob struct {
+	fd       int
+	tokenOut []byte
+	buf      []byte
+	done     bool
+}
+
+// drainAll flushes and drains the given descriptors concurrently:
+// tokens are pushed with non-blocking sends and data is consumed as
+// it arrives, so full buffers in either direction cannot deadlock the
+// stage (§4.3 step 4).
+func (m *Manager) drainAll(t *kernel.Task, fds []int) map[int][]byte {
+	jobs := make([]*drainJob, 0, len(fds))
+	for _, fd := range fds {
+		jobs = append(jobs, &drainJob{fd: fd, tokenOut: drainToken})
+	}
+	deadline := t.Now().Add(500 * time.Millisecond)
+	for {
+		alive := false
+		progress := false
+		for _, j := range jobs {
+			if len(j.tokenOut) > 0 {
+				n, err := t.TrySend(j.fd, j.tokenOut)
+				if err != nil {
+					j.tokenOut = nil // peer gone; nothing to flush
+				} else {
+					j.tokenOut = j.tokenOut[n:]
+					if n > 0 {
+						progress = true
+					}
+				}
+				if len(j.tokenOut) > 0 {
+					alive = true
+				}
+			}
+			if j.done {
+				continue
+			}
+			avail, err := t.Avail(j.fd)
+			if err != nil {
+				j.done = true
+				continue
+			}
+			if avail > 0 {
+				data, err := t.Recv(j.fd, avail)
+				if err == nil {
+					j.buf = append(j.buf, data...)
+					progress = true
+				}
+			}
+			if bytes.HasSuffix(j.buf, drainToken) {
+				j.buf = j.buf[:len(j.buf)-len(drainToken)]
+				j.done = true
+			} else {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if t.Now() > deadline {
+			// Poll timeout: peers without a draining leader (e.g. a
+			// pty with no process on the other end) give up here.
+			break
+		}
+		if !progress {
+			t.Compute(200 * time.Microsecond) // let in-flight data land
+		}
+	}
+	out := make(map[int][]byte, len(jobs))
+	for _, j := range jobs {
+		out[j.fd] = j.buf
+	}
+	return out
+}
+
+// refill pushes drained bytes back into the kernel receive buffers,
+// charging the paper's two network crossings (receiver returns the
+// data to the sender, who re-sends it — §4.3 step 6).
+func (m *Manager) refill(t *kernel.Task, drained map[int][]byte) {
+	fds := t.P.FDs()
+	for _, fd := range t.P.SortedFDs() {
+		data, ok := drained[fd]
+		if !ok || len(data) == 0 {
+			continue
+		}
+		of := fds[fd]
+		var ep *kernel.TCPEndpoint
+		switch {
+		case of.TCP != nil:
+			ep = of.TCP
+		case of.Pty != nil:
+			ep = of.Pty.Endpoint()
+		}
+		if ep == nil {
+			continue
+		}
+		t.Compute(ep.RefillCost(int64(len(data))).Duration())
+		ep.Unread(data)
+	}
+}
+
+// fdTable builds the descriptor-table records stored in the image.
+func (m *Manager) fdTable(t *kernel.Task, owners map[int]kernel.Pid) []FDRec {
+	var out []FDRec
+	fds := t.P.FDs()
+	for _, fd := range t.P.SortedFDs() {
+		of := fds[fd]
+		if of.Protected {
+			continue
+		}
+		rec := FDRec{FD: fd, OFID: of.CkptID, Owner: int64(owners[fd])}
+		switch of.Kind {
+		case kernel.FKConsole:
+			rec.Kind = FDConsole
+		case kernel.FKFile:
+			rec.Kind = FDFile
+			rec.Path = of.File.Path
+			rec.Offset = of.File.Offset
+		case kernel.FKTCPListen:
+			rec.Kind = FDListener
+			rec.Port = of.Listen.Addr().Port
+		case kernel.FKUnixListen:
+			rec.Kind = FDUnixListener
+			rec.Path = of.Listen.Path()
+		case kernel.FKTCP, kernel.FKUnix:
+			meta := m.socks[of]
+			if meta == nil {
+				continue // unmanaged socket: not restorable
+			}
+			rec.Kind = FDConn
+			rec.GUID = string(meta.GUID)
+			rec.Accept = meta.Acceptor
+		case kernel.FKPtyMaster:
+			rec.Kind = FDPtyMaster
+			rec.Pty = of.Pty.Pty.Name
+			rec.Modes = of.Pty.Pty.Modes
+		case kernel.FKPtySlave:
+			rec.Kind = FDPtySlave
+			rec.Pty = of.Pty.Pty.Name
+			rec.Modes = of.Pty.Pty.Modes
+		default:
+			continue
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// connRecs pairs drained data with socket GUIDs for the image; pty
+// buffers travel under synthetic per-end ids.
+func (m *Manager) connRecs(t *kernel.Task, drained map[int][]byte) []ConnRec {
+	var out []ConnRec
+	fds := t.P.FDs()
+	for _, fd := range t.P.SortedFDs() {
+		data, ok := drained[fd]
+		if !ok {
+			continue
+		}
+		of := fds[fd]
+		switch {
+		case m.socks[of] != nil:
+			out = append(out, ConnRec{GUID: string(m.socks[of].GUID), Drained: data})
+		case of.Pty != nil:
+			end := "s"
+			if of.Pty.Master {
+				end = "m"
+			}
+			out = append(out, ConnRec{GUID: "pty:" + of.Pty.Pty.Name + ":" + end, Drained: data})
+		}
+	}
+	return out
+}
+
+// newGUID mints a globally unique socket id (§4.4).
+func (m *Manager) newGUID(t *kernel.Task) GUID {
+	m.nextConnSeq++
+	return MakeGUID(m.p.Node.Hostname, m.virtPid, int64(t.Now()), m.nextConnSeq)
+}
+
+// --- kernel.Hooks implementation (the libc wrappers, §4.2) -----------
+
+// PreConnect stages the connector→acceptor information transfer
+// (§4.4): the connection's globally unique ID travels with the
+// connection itself, so peers without wrappers (a plain sshd, an
+// uncheckpointed vncviewer) are undisturbed and such sockets are
+// simply left unmanaged.
+func (m *Manager) PreConnect(t *kernel.Task, fd int, of *kernel.OpenFile, addr kernel.Addr) {
+	if of.Protected {
+		return
+	}
+	guid := m.newGUID(t)
+	m.socks[of] = &SockMeta{GUID: guid}
+	of.PendingTag = string(guid)
+}
+
+// PostAccept picks up the connector's transferred information.
+func (m *Manager) PostAccept(t *kernel.Task, fd int, of *kernel.OpenFile) {
+	if of.Protected || of.TCP == nil {
+		return
+	}
+	tag := of.TCP.Tag()
+	if tag == "" {
+		return // connector not under DMTCP: leave the socket unmanaged
+	}
+	m.socks[of] = &SockMeta{GUID: GUID(tag), Acceptor: true}
+}
+
+// PostSocketpair registers both ends of a socketpair.
+func (m *Manager) PostSocketpair(t *kernel.Task, a, b int, ofA, ofB *kernel.OpenFile) {
+	guid := m.newGUID(t)
+	m.socks[ofA] = &SockMeta{GUID: guid}
+	m.socks[ofB] = &SockMeta{GUID: guid, Acceptor: true}
+	if ofA.TCP != nil {
+		ofA.TCP.SetTag(string(guid))
+	}
+}
+
+// PipeOverride promotes pipes to socketpairs (§4.5).
+func (m *Manager) PipeOverride(t *kernel.Task) (int, int, bool) {
+	a, b := t.SocketPair()
+	// a is the read end, b the write end by convention.
+	fds := t.P.FDs()
+	if meta := m.socks[fds[a]]; meta != nil {
+		meta.IsPipe = true
+	}
+	if meta := m.socks[fds[b]]; meta != nil {
+		meta.IsPipe = true
+	}
+	return a, b, true
+}
+
+// RewriteExec prefixes remote ssh commands with dmtcp_checkpoint so
+// remote children run under DMTCP too (§3).
+func (m *Manager) RewriteExec(t *kernel.Task, prog string, args []string) (string, []string) {
+	if prog == "ssh" && len(args) >= 2 && args[1] != "dmtcp_checkpoint" {
+		rewritten := append([]string{args[0], "dmtcp_checkpoint"}, args[1:]...)
+		return prog, rewritten
+	}
+	return prog, args
+}
+
+// PostFork inherits wrapper state into the child and checks for
+// virtual-pid conflicts (§4.5).
+func (m *Manager) PostFork(parent, child *kernel.Process) bool {
+	childHooks, ok := child.Hooks().(*Manager)
+	if !ok || childHooks == nil {
+		return true // raw/internal fork: nothing to inherit
+	}
+	if m.sys.virtPidInUse(child.Node.Hostname, child.Pid) {
+		return false // conflict: kernel kills the child and re-forks
+	}
+	childHooks.virtPid = child.Pid
+	for of, meta := range m.socks {
+		childHooks.socks[of] = meta
+	}
+	m.pidTable[child.Pid] = child.Pid
+	return true
+}
+
+// Getpid virtualizes the process id (§4.5).
+func (m *Manager) Getpid(p *kernel.Process) (kernel.Pid, bool) {
+	return m.virtPid, true
+}
+
+// PidToVirt translates fork return values.
+func (m *Manager) PidToVirt(p *kernel.Process, real kernel.Pid) (kernel.Pid, bool) {
+	for v, r := range m.pidTable {
+		if r == real {
+			return v, true
+		}
+	}
+	return real, true
+}
+
+// PidToReal translates waitpid/kill arguments.
+func (m *Manager) PidToReal(p *kernel.Process, virt kernel.Pid) (kernel.Pid, bool) {
+	if r, ok := m.pidTable[virt]; ok {
+		return r, true
+	}
+	return virt, true
+}
+
+// WaitVirtual implements waitpid for restored children that are no
+// longer kernel children (restart re-parents everything under the
+// restart program).
+func (m *Manager) WaitVirtual(t *kernel.Task, virt kernel.Pid) (int, bool) {
+	proc := m.sys.procByVirt(m.p.Node.Hostname, virt)
+	if proc == nil {
+		return 0, false
+	}
+	code := t.WatchExit(proc)
+	delete(m.pidTable, virt)
+	return code, true
+}
+
+// VirtualChildren lists restored children for wait-any semantics.
+func (m *Manager) VirtualChildren(p *kernel.Process) []*kernel.Process {
+	var out []*kernel.Process
+	for v := range m.pidTable {
+		if v == m.virtPid {
+			continue
+		}
+		if proc := m.sys.procByVirt(p.Node.Hostname, v); proc != nil {
+			out = append(out, proc)
+		}
+	}
+	return out
+}
+
+// ConsumeVirtualChild removes a reaped virtual child.
+func (m *Manager) ConsumeVirtualChild(virt kernel.Pid) {
+	delete(m.pidTable, virt)
+}
+
+// AtExit deregisters the process from the session.
+func (m *Manager) AtExit(p *kernel.Process) {
+	m.sys.unregisterProc(m)
+}
+
+// LastStats returns the stage times of this process's most recent
+// checkpoint.
+func (m *Manager) LastStats() StageTimes { return m.lastStats }
+
+// VirtPid returns the process's virtual pid.
+func (m *Manager) VirtPid() kernel.Pid { return m.virtPid }

@@ -1,0 +1,522 @@
+package dmtcp
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/mtcp"
+	"repro/internal/sim"
+)
+
+// restartMain is the dmtcp_restart program (§4.4): a single restart
+// process per host that reopens files and ptys, reconnects sockets
+// through the discovery service, forks into the user processes,
+// rearranges descriptors, restores memory and threads, refills kernel
+// buffers, and resumes.
+//
+// args: <nRestartProcs> <nGlobalProcs> <generation> <image>...
+func (s *System) restartMain(t *kernel.Task, args []string) {
+	if len(args) < 4 {
+		t.Printf("usage: dmtcp_restart nRestart nGlobal gen images...\n")
+		t.Exit(2)
+	}
+	nRestart, _ := strconv.Atoi(args[0])
+	nGlobal, _ := strconv.Atoi(args[1])
+	gen := args[2]
+	paths := args[3:]
+
+	start := t.Now()
+	var st RestartStages
+
+	// Coordinator link for discovery and restart barriers.
+	cfd := t.Socket()
+	if of, err := t.P.FD(cfd); err == nil {
+		of.Protected = true
+	}
+	if err := t.Connect(cfd, s.coordAddr()); err != nil {
+		t.Printf("dmtcp_restart: coordinator: %v\n", err)
+		t.Exit(1)
+	}
+
+	// Load images (headers + metadata tables).
+	type procImage struct {
+		path  string
+		img   *mtcp.Image
+		fds   []FDRec
+		conns []ConnRec
+		vpid  kernel.Pid
+		table map[kernel.Pid]kernel.Pid
+	}
+	var imgs []*procImage
+	for _, path := range paths {
+		img, err := mtcp.LoadImage(t, path)
+		if err != nil {
+			t.Printf("dmtcp_restart: %s: %v\n", path, err)
+			t.Exit(1)
+		}
+		pi := &procImage{path: path, img: img}
+		if b, ok := img.Ext["dmtcp.fdtable"]; ok {
+			pi.fds, err = decodeFDTable(b)
+			if err != nil {
+				t.Exit(1)
+			}
+		}
+		if b, ok := img.Ext["dmtcp.conns"]; ok {
+			pi.conns, err = decodeConns(b)
+			if err != nil {
+				t.Exit(1)
+			}
+		}
+		if b, ok := img.Ext["dmtcp.pids"]; ok {
+			pi.vpid, pi.table, err = decodePids(b)
+			if err != nil {
+				t.Exit(1)
+			}
+		}
+		imgs = append(imgs, pi)
+	}
+
+	// ---- Step 1: reopen files and recreate ptys ------------------------
+	objects := make(map[int64]*kernel.OpenFile) // OFID → restored object
+	ptyNames := make(map[string]string)         // old pts name → new
+	ptyPairs := make(map[string][2]*kernel.OpenFile)
+	for _, pi := range imgs {
+		for _, rec := range pi.fds {
+			if _, done := objects[rec.OFID]; done {
+				continue
+			}
+			switch rec.Kind {
+			case FDFile:
+				if !t.P.Node.FS.Exists(rec.Path) {
+					t.P.Node.FS.WriteFile(rec.Path, nil, 0)
+				}
+				fd, err := t.Open(rec.Path)
+				if err != nil {
+					continue
+				}
+				of, _ := t.P.FD(fd)
+				of.File.Offset = rec.Offset
+				objects[rec.OFID] = of
+			case FDListener:
+				fd, err := t.ListenTCP(rec.Port)
+				if err != nil {
+					t.Printf("dmtcp_restart: rebind %d: %v\n", rec.Port, err)
+					continue
+				}
+				of, _ := t.P.FD(fd)
+				objects[rec.OFID] = of
+			case FDUnixListener:
+				fd := t.UnixSocket()
+				if err := t.BindUnix(fd, rec.Path); err == nil {
+					t.Listen(fd)
+				}
+				of, _ := t.P.FD(fd)
+				objects[rec.OFID] = of
+			case FDPtyMaster, FDPtySlave:
+				pair, ok := ptyPairs[rec.Pty]
+				if !ok {
+					mfd, newName := t.Openpt()
+					sfd, err := t.OpenPts(newName)
+					if err != nil {
+						continue
+					}
+					mof, _ := t.P.FD(mfd)
+					sof, _ := t.P.FD(sfd)
+					t.TcSetAttr(mfd, rec.Modes)
+					pair = [2]*kernel.OpenFile{mof, sof}
+					ptyPairs[rec.Pty] = pair
+					ptyNames[rec.Pty] = newName
+				}
+				if rec.Kind == FDPtyMaster {
+					objects[rec.OFID] = pair[0]
+				} else {
+					objects[rec.OFID] = pair[1]
+				}
+			}
+		}
+	}
+	st.Files = t.Now().Sub(start)
+
+	// ---- Step 2: recreate and reconnect sockets ------------------------
+	s2 := t.Now()
+	type connSide struct {
+		ofid   int64
+		accept bool
+	}
+	sides := make(map[string][]connSide)
+	var guidOrder []string
+	for _, pi := range imgs {
+		for _, rec := range pi.fds {
+			if rec.Kind != FDConn {
+				continue
+			}
+			dup := false
+			for _, cs := range sides[rec.GUID] {
+				if cs.ofid == rec.OFID {
+					dup = true // shared description seen from another process
+				}
+			}
+			if dup {
+				continue
+			}
+			if len(sides[rec.GUID]) == 0 {
+				guidOrder = append(guidOrder, rec.GUID)
+			}
+			sides[rec.GUID] = append(sides[rec.GUID], connSide{ofid: rec.OFID, accept: rec.Accept})
+		}
+	}
+	// Local pairs first: both endpoints restored by this process.
+	var remote []string
+	for _, guid := range guidOrder {
+		ss := sides[guid]
+		if len(ss) == 2 {
+			a, b := t.SocketPair()
+			ofA, _ := t.P.FD(a)
+			ofB, _ := t.P.FD(b)
+			// Connector gets the first end, acceptor the second.
+			if ss[0].accept {
+				ss[0], ss[1] = ss[1], ss[0]
+			}
+			objects[ss[0].ofid] = ofA
+			objects[ss[1].ofid] = ofB
+		} else {
+			remote = append(remote, guid)
+		}
+	}
+	// Remote endpoints: the acceptor side advertises its restart
+	// listener; the connector queries the discovery service and
+	// connects (§4.4).
+	inbound := 0
+	for _, guid := range remote {
+		if sides[guid][0].accept {
+			inbound++
+		}
+	}
+	if len(remote) > 0 {
+		lfd := t.Socket()
+		t.Bind(lfd, 0)
+		t.Listen(lfd)
+		lof, _ := t.P.FD(lfd)
+		port := lof.Listen.Addr().Port
+		got := 0
+		gotW := sim.NewWaitQueue(t.P.Node.Cluster.Eng, "restart.accept")
+		if inbound > 0 {
+			n := inbound
+			t.P.SpawnTask("racceptor", false, func(a *kernel.Task) {
+				for i := 0; i < n; i++ {
+					cfd2, err := a.Accept(lfd)
+					if err != nil {
+						return
+					}
+					frame, err := a.RecvFrame(cfd2)
+					if err != nil {
+						continue
+					}
+					d := &bin.Decoder{B: frame}
+					guid := d.Str()
+					of, _ := a.P.FD(cfd2)
+					for _, cs := range sides[guid] {
+						objects[cs.ofid] = of
+					}
+					got++
+					gotW.WakeAll()
+				}
+			})
+		}
+		for _, guid := range remote {
+			if !sides[guid][0].accept {
+				continue
+			}
+			var e bin.Encoder
+			e.B = append(e.B, msgAdvertise)
+			e.Str(guid)
+			e.Str(t.P.Node.Hostname)
+			e.Int(port)
+			t.SendFrame(cfd, e.B)
+		}
+		for _, guid := range remote {
+			if sides[guid][0].accept {
+				continue
+			}
+			var e bin.Encoder
+			e.B = append(e.B, msgQuery)
+			e.Str(guid)
+			t.SendFrame(cfd, e.B)
+			frame, err := t.RecvFrame(cfd)
+			if err != nil {
+				break
+			}
+			d := &bin.Decoder{B: frame[1:]}
+			_ = d.Str() // guid echo
+			addr := kernel.Addr{Host: d.Str(), Port: d.Int()}
+			sfd := t.Socket()
+			if err := t.Connect(sfd, addr); err != nil {
+				t.Printf("dmtcp_restart: reconnect %s: %v\n", guid, err)
+				continue
+			}
+			var h bin.Encoder
+			h.Str(guid)
+			t.SendFrame(sfd, h.B)
+			of, _ := t.P.FD(sfd)
+			objects[sides[guid][0].ofid] = of
+		}
+		for got < inbound {
+			gotW.Wait(t.T)
+		}
+	}
+	st.Conns = t.Now().Sub(s2)
+
+	// ---- Steps 3–7: fork, rearrange, restore, refill, resume -----------
+	vpidToProc := make(map[kernel.Pid]*kernel.Process)
+	gateOpen := false
+	gate := sim.NewWaitQueue(t.P.Node.Cluster.Eng, "restart.gate")
+	doneCount := 0
+	doneW := sim.NewWaitQueue(t.P.Node.Cluster.Eng, "restart.done")
+	var memMax, refillMax time.Duration
+
+	report := func(mem, refill time.Duration) {
+		if mem > memMax {
+			memMax = mem
+		}
+		if refill > refillMax {
+			refillMax = refill
+		}
+		doneCount++
+		doneW.WakeAll()
+	}
+	for _, pi := range imgs {
+		pi := pi
+		pid := t.ForkRaw(pi.img.ProgName, func(c *kernel.Task) {
+			for !gateOpen {
+				gate.Wait(c.T)
+			}
+			// restoreProcess calls report just before handing control
+			// to the program's Restore; when Restore returns, this
+			// main task ends and the process exits normally.
+			s.restoreProcess(c, pi.path, pi.img, pi.fds, pi.conns,
+				pi.vpid, pi.table, objects, ptyNames, vpidToProc, nGlobal, gen, report)
+		})
+		proc, _ := t.P.Kern.Process(pid)
+		vpidToProc[pi.vpid] = proc
+	}
+	// Reconstruct app-level parent-child relationships among restored
+	// processes on this host.
+	for _, pi := range imgs {
+		parent := vpidToProc[pi.vpid]
+		for virt := range pi.table {
+			if virt == pi.vpid {
+				continue
+			}
+			if child, ok := vpidToProc[virt]; ok && parent != nil {
+				t.P.Kern.Reparent(child, parent)
+			}
+		}
+	}
+	gateOpen = true
+	gate.WakeAll()
+	for doneCount < len(imgs) {
+		doneW.Wait(t.T)
+	}
+	st.Memory = memMax
+	st.Refill = refillMax
+	st.Total = t.Now().Sub(start)
+
+	// Report restart stage times; the coordinator aggregates across
+	// hosts (Table 1b).
+	var e bin.Encoder
+	e.B = append(e.B, msgRestartEnd)
+	e.Int(nRestart)
+	e.I64(int64(st.Files))
+	e.I64(int64(st.Conns))
+	e.I64(int64(st.Memory))
+	e.I64(int64(st.Refill))
+	e.I64(int64(st.Total))
+	t.SendFrame(cfd, e.B)
+
+	// Remain as the parent of the restored processes (the paper's
+	// restart process stays in the tree after forking).
+	for {
+		if _, _, err := t.WaitAny(); err != nil {
+			return
+		}
+	}
+}
+
+// restoreProcess runs inside a forked child of the restart program:
+// descriptor rearrangement, memory restore, manager reconstruction,
+// refill, and thread resume.  It reports the memory and refill stage
+// durations through report, then runs the program's Restore inline in
+// the calling (main) task.
+func (s *System) restoreProcess(
+	c *kernel.Task,
+	path string,
+	img *mtcp.Image,
+	fdRecs []FDRec,
+	conns []ConnRec,
+	vpid kernel.Pid,
+	pidTable map[kernel.Pid]kernel.Pid,
+	objects map[int64]*kernel.OpenFile,
+	ptyNames map[string]string,
+	vpidToProc map[kernel.Pid]*kernel.Process,
+	nGlobal int,
+	gen string,
+	report func(mem, refill time.Duration),
+) {
+	p := c.P
+
+	// ---- Step 4: rearrange FDs (dup2/close) ----------------------------
+	for _, fd := range p.SortedFDs() {
+		c.Close(fd)
+	}
+	for _, rec := range fdRecs {
+		var of *kernel.OpenFile
+		if rec.Kind == FDConsole {
+			of = kernel.NewConsole(p)
+		} else {
+			of = objects[rec.OFID]
+		}
+		if of == nil {
+			continue
+		}
+		of.Owner = kernel.Pid(rec.Owner)
+		p.InstallFD(rec.FD, of)
+	}
+
+	// ---- Step 5: restore memory and threads ----------------------------
+	m5 := c.Now()
+	mtcp.ChargeMemoryRestore(c, img, path)
+	mtcp.InstallMemory(p, img, c, func(t *kernel.Task, rec mtcp.AreaRecord) *kernel.ShmSegment {
+		seg := s.resolveShm(t, rec.ShmBacking, rec.Bytes, rec.Class())
+		if len(seg.Payload) == 0 && len(rec.Payload) > 0 {
+			// First process to touch the segment writes the
+			// checkpointed contents back (§4.5: both writers carry
+			// the same data).
+			seg.Payload = append([]byte(nil), rec.Payload...)
+		}
+		return seg
+	})
+	p.Env = make(map[string]string, len(img.Env))
+	for k, v := range img.Env {
+		p.Env[k] = v
+	}
+
+	// Rebuild the DMTCP manager with restored identity and tables.
+	mgr := newManager(s, p)
+	mgr.restored = true
+	mgr.virtPid = vpid
+	for virt := range pidTable {
+		if proc, ok := vpidToProc[virt]; ok {
+			mgr.pidTable[virt] = proc.Pid
+		}
+	}
+	mgr.pidTable[vpid] = p.Pid
+	for _, rec := range fdRecs {
+		if rec.Kind != FDConn {
+			continue
+		}
+		if of := objects[rec.OFID]; of != nil {
+			mgr.socks[of] = &SockMeta{GUID: GUID(rec.GUID), Acceptor: rec.Accept}
+		}
+	}
+	p.SetHooks(mgr)
+	mgr.started = true
+	mgr.sys.registerProc(mgr)
+	mgr.connectCoordinator(c)
+	memDur := c.Now().Sub(m5)
+
+	// Global barrier: every restored process has its memory back
+	// (the paper's restored processes resume at Barrier 5).
+	s.groupBarrier(c, mgr.coordFD, "r-mem-"+gen, nGlobal)
+
+	// ---- Step 6: refill kernel buffers ---------------------------------
+	r6 := c.Now()
+	fds := p.FDs()
+	findEndpoint := func(guid string) *kernel.TCPEndpoint {
+		for _, of := range fds {
+			if meta := mgr.socks[of]; meta != nil && string(meta.GUID) == guid && of.TCP != nil {
+				return of.TCP
+			}
+		}
+		if len(guid) > 4 && guid[:4] == "pty:" {
+			// pty:<oldname>:<m|s>
+			rest := guid[4:]
+			end := rest[len(rest)-1]
+			old := rest[:len(rest)-2]
+			if newName, ok := ptyNames[old]; ok {
+				for _, of := range fds {
+					if of.Pty != nil && of.Pty.Pty.Name == newName {
+						if (end == 'm') == of.Pty.Master {
+							return of.Pty.Endpoint()
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+	for _, cr := range conns {
+		if len(cr.Drained) == 0 {
+			continue
+		}
+		if ep := findEndpoint(cr.GUID); ep != nil {
+			c.Compute(ep.RefillCost(int64(len(cr.Drained))).Duration())
+			ep.Unread(cr.Drained)
+		}
+	}
+	refillDur := c.Now().Sub(r6)
+	report(memDur, refillDur)
+	s.groupBarrier(c, mgr.coordFD, "r-refill-"+gen, nGlobal)
+
+	// ---- Step 7: resume user threads -----------------------------------
+	// Manager thread resumes its wait-for-checkpoint loop.
+	mgr.mgrTask = p.SpawnTask("ckpt-mgr", true, mgr.loop)
+	// Complete interrupted sends so streams stay byte-exact.
+	for _, tr := range img.Threads {
+		if tr.ContFD >= 0 && len(tr.ContData) > 0 {
+			tr := tr
+			p.SpawnTask("send-cont", false, func(sc *kernel.Task) {
+				sc.Send(int(tr.ContFD), tr.ContData)
+			})
+		}
+	}
+	for _, cb := range mgr.aware.postRestart {
+		cb(c)
+	}
+	prog, ok := s.C.Program(img.ProgName)
+	if !ok {
+		c.Printf("dmtcp_restart: unknown program %q\n", img.ProgName)
+		return
+	}
+	res, ok := prog.(kernel.Resumable)
+	if !ok {
+		c.Printf("dmtcp_restart: program %q is not resumable\n", img.ProgName)
+		return
+	}
+	res.Restore(c, p.LoadState())
+}
+
+// groupBarrier joins a named cluster-wide barrier through the
+// coordinator and blocks until released.
+func (s *System) groupBarrier(t *kernel.Task, fd int, name string, total int) {
+	var e bin.Encoder
+	e.B = append(e.B, msgGroup)
+	e.Str(name)
+	e.Int(total)
+	if err := t.SendFrame(fd, e.B); err != nil {
+		return
+	}
+	for {
+		frame, err := t.RecvFrame(fd)
+		if err != nil {
+			return
+		}
+		if len(frame) > 0 && frame[0] == msgRelease {
+			d := &bin.Decoder{B: frame[1:]}
+			if d.Str() == name {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5): per-application checkpoint/restart timings
+// and image sizes (Fig. 3), distributed applications compressed vs.
+// uncompressed (Fig. 4), ParGeant4 scalability on local and central
+// storage (Fig. 5), checkpoint time vs. memory (Fig. 6), the
+// checkpoint/restart stage breakdown (Table 1), plus the runCMS,
+// sync-cost, DejaVu-comparison, and coordinator-scalability results
+// quoted in the text.
+//
+// Each experiment builds a fresh simulated cluster per trial
+// (different seeds produce the run-to-run variance the paper reports
+// as error bars), drives the workload and the DMTCP session from an
+// orchestration task, and returns a Table whose rows mirror the
+// paper's series.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/dmtcp"
+	"repro/internal/ipython"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/sim"
+	"repro/internal/topc"
+)
+
+// Opts controls experiment scale.
+type Opts struct {
+	// Trials per configuration (the paper uses 10).
+	Trials int
+	// Seed is the base random seed; trial i uses Seed+i.
+	Seed int64
+	// Quick shrinks cluster/footprint scale for smoke tests.
+	Quick bool
+}
+
+// DefaultOpts mirrors the paper's methodology at a tractable scale.
+func DefaultOpts() Opts { return Opts{Trials: 5, Seed: 1} }
+
+func (o Opts) trials() int {
+	if o.Trials <= 0 {
+		return 1
+	}
+	return o.Trials
+}
+
+// Env is one simulated cluster wired with every workload and a DMTCP
+// session.
+type Env struct {
+	Eng *sim.Engine
+	C   *kernel.Cluster
+	Sys *dmtcp.System
+}
+
+// NewEnv builds a cluster with all programs registered and the
+// coordinator started.
+func NewEnv(seed int64, nodes int, cfg dmtcp.Config) *Env {
+	eng := sim.NewEngine(seed)
+	params := model.Default()
+	params.JitterPct = 0.06
+	c := kernel.NewCluster(eng, params, nodes)
+	kernel.StartInfra(c)
+	sys := dmtcp.Install(c, cfg)
+	mpi.RegisterPrograms(c)
+	npb.Register(c)
+	topc.Register(c)
+	ipython.Register(c)
+	apps.Register(c)
+	if err := sys.SpawnCoordinator(); err != nil {
+		panic(err)
+	}
+	return &Env{Eng: eng, C: c, Sys: sys}
+}
+
+// Drive runs fn as an orchestration task on node 0 and stops the
+// engine when it returns; it panics on simulation errors.
+func (e *Env) Drive(fn func(*kernel.Task)) {
+	e.C.RegisterFunc("exp-driver", func(task *kernel.Task, _ []string) {
+		task.Compute(2 * time.Millisecond)
+		fn(task)
+		e.Eng.Stop()
+	})
+	if _, err := e.C.Node(0).Kern.Spawn("exp-driver", nil, nil); err != nil {
+		panic(err)
+	}
+	if err := e.Eng.Run(); err != nil {
+		panic(fmt.Sprintf("experiment run: %v", err))
+	}
+	e.Eng.Shutdown()
+}
+
+// Sample accumulates trial measurements.
+type Sample struct{ xs []float64 }
+
+// Add records one measurement.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddDur records one duration in seconds.
+func (s *Sample) AddDur(d time.Duration) { s.Add(d.Seconds()) }
+
+// Mean returns the sample mean.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var v float64
+	for _, x := range s.xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(s.xs)-1))
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i := range t.Columns {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		if i < len(t.Columns)-1 {
+			b.WriteString("  ")
+		}
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
+
+func meanStd(s *Sample) string {
+	return fmt.Sprintf("%.3f ±%.3f", s.Mean(), s.Std())
+}
+
+func mb(n int64) string { return fmt.Sprintf("%.1f", float64(n)/float64(model.MB)) }
+
+// waitForFile polls the node store until path exists or the deadline
+// passes.
+func waitForFile(t *kernel.Task, n *kernel.Node, path string, d time.Duration) bool {
+	deadline := t.Now().Add(d)
+	for t.Now() < deadline {
+		if n.FS.Exists(path) {
+			return true
+		}
+		t.Compute(50 * time.Millisecond)
+	}
+	return n.FS.Exists(path)
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/ipython"
+	"repro/internal/kernel"
+	"repro/internal/mpi"
+)
+
+// fig4Config is one row of Figure 4.
+type fig4Config struct {
+	Label string
+	Kind  string // "sockets", "mpich2", "openmpi"
+	Prog  string // rank program for MPI jobs
+	NP    int
+	PPN   int
+	Args  []string // app args
+	Warm  time.Duration
+}
+
+// fig4Configs mirrors Figure 4's x axis.  [1] sockets, [2] MPICH2,
+// [3] OpenMPI; BT/SP use 36 processes (square requirement).
+func fig4Configs(nodes int) []fig4Config {
+	np := nodes * 4
+	return []fig4Config{
+		{Label: "iPython/Shell[1]", Kind: "ipython-shell"},
+		{Label: "iPython/Demo[1]", Kind: "ipython-demo"},
+		{Label: "Baseline[2]", Kind: "mpich2", Prog: "mpi-hello", NP: nodes, PPN: 1, Warm: 300 * time.Millisecond},
+		{Label: "ParGeant4[2]", Kind: "mpich2", Prog: "pargeant4", NP: np, PPN: 4, Args: []string{"1000000"}, Warm: 800 * time.Millisecond},
+		{Label: "NAS/CG[2]", Kind: "mpich2", Prog: "nas-cg", NP: nodes, PPN: 1, Warm: 500 * time.Millisecond},
+		{Label: "Baseline[3]", Kind: "openmpi", Prog: "mpi-hello", NP: nodes, PPN: 1, Warm: 300 * time.Millisecond},
+		{Label: "NAS/EP[3]", Kind: "openmpi", Prog: "nas-ep", NP: np, PPN: 4, Warm: 500 * time.Millisecond},
+		{Label: "NAS/LU[3]", Kind: "openmpi", Prog: "nas-lu", NP: np, PPN: 4, Warm: 500 * time.Millisecond},
+		{Label: "NAS/SP[3]", Kind: "openmpi", Prog: "nas-sp", NP: 36, PPN: 4, Warm: 500 * time.Millisecond},
+		{Label: "NAS/MG[3]", Kind: "openmpi", Prog: "nas-mg", NP: np, PPN: 4, Warm: 500 * time.Millisecond},
+		{Label: "NAS/IS[3]", Kind: "openmpi", Prog: "nas-is", NP: np, PPN: 4, Warm: 500 * time.Millisecond},
+		{Label: "NAS/BT[3]", Kind: "openmpi", Prog: "nas-bt", NP: 36, PPN: 4, Warm: 500 * time.Millisecond},
+	}
+}
+
+// fig4Row measures one configuration at one compression setting.
+type fig4Row struct {
+	ckpt, restart, size Sample
+}
+
+// launchFig4 starts the workload for cfg and returns after warmup.
+func launchFig4(task *kernel.Task, env *Env, cfg fig4Config, nodes int) {
+	switch cfg.Kind {
+	case "ipython-shell":
+		if _, err := env.Sys.Launch(0, "ipython-shell"); err != nil {
+			panic(err)
+		}
+		task.Compute(200 * time.Millisecond)
+	case "ipython-demo":
+		_, err := ipython.LaunchDemo(env.C.Node(0).Kern, env.C, env.Sys.CheckpointEnv(),
+			0, nodes, 1, 1<<20)
+		if err != nil {
+			panic(err)
+		}
+		task.Compute(400 * time.Millisecond)
+	case "mpich2":
+		boot, err := env.Sys.Launch(0, "mpdboot", strconv.Itoa(nodes))
+		if err != nil {
+			panic(err)
+		}
+		task.WatchExit(boot)
+		argv := append([]string{strconv.Itoa(cfg.NP), strconv.Itoa(cfg.PPN), "0",
+			strconv.Itoa(mpi.BasePort), cfg.Prog}, cfg.Args...)
+		if _, err := env.Sys.Launch(0, "mpiexec", argv...); err != nil {
+			panic(err)
+		}
+		task.Compute(cfg.Warm)
+	case "openmpi":
+		argv := append([]string{strconv.Itoa(cfg.NP), strconv.Itoa(cfg.PPN), "0",
+			strconv.Itoa(mpi.BasePort), cfg.Prog}, cfg.Args...)
+		if _, err := env.Sys.Launch(0, "orterun", argv...); err != nil {
+			panic(err)
+		}
+		task.Compute(cfg.Warm)
+	default:
+		panic("unknown fig4 kind " + cfg.Kind)
+	}
+}
+
+// RunFig4 reproduces Figure 4: checkpoint time (a), restart time (b),
+// and aggregate image size (c) for the distributed applications, with
+// and without compression, on 32 nodes.
+func RunFig4(o Opts) *Table {
+	nodes := 32
+	cfgs := fig4Configs(nodes)
+	if o.Quick {
+		nodes = 4
+		cfgs = fig4Configs(nodes)[:6]
+	}
+	t := &Table{
+		ID:    "fig4",
+		Title: fmt.Sprintf("Distributed applications on %d nodes (mean ± σ over %d trials)", nodes, o.trials()),
+		Columns: []string{"application", "ckpt gz (s)", "ckpt raw (s)",
+			"restart gz (s)", "restart raw (s)", "size gz (MB)", "size raw (MB)", "procs"},
+		Notes: []string{
+			"paper Fig. 4: compressed checkpoints ≈2–8 s, uncompressed ≈0.2–2 s;",
+			"restart below checkpoint when compressed; NAS/IS compresses anomalously fast/small (§5.4)",
+		},
+	}
+	for _, cfg := range cfgs {
+		rows := map[bool]*fig4Row{true: {}, false: {}}
+		var procs int
+		for _, compress := range []bool{true, false} {
+			r := rows[compress]
+			for trial := 0; trial < o.trials(); trial++ {
+				env := NewEnv(o.Seed+int64(trial), nodes, dmtcp.Config{Compress: compress})
+				env.Drive(func(task *kernel.Task) {
+					launchFig4(task, env, cfg, nodes)
+					round, err := env.Sys.Checkpoint(task)
+					if err != nil {
+						panic(err)
+					}
+					r.ckpt.AddDur(round.Stages.Total)
+					r.size.Add(float64(round.Bytes) / (1 << 20))
+					if round.NumProcs > procs {
+						procs = round.NumProcs
+					}
+					env.Sys.KillManaged()
+					stats, err := env.Sys.RestartAll(task, round, nil)
+					if err != nil {
+						panic(err)
+					}
+					r.restart.AddDur(stats.Total)
+				})
+			}
+		}
+		gz, raw := rows[true], rows[false]
+		t.Rows = append(t.Rows, []string{
+			cfg.Label,
+			meanStd(&gz.ckpt), meanStd(&raw.ckpt),
+			meanStd(&gz.restart), meanStd(&raw.restart),
+			meanStd(&gz.size), meanStd(&raw.size),
+			fmt.Sprintf("%d", procs),
+		})
+	}
+	return t
+}

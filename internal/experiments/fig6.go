@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/mpi"
+)
+
+// RunFig6 reproduces Figure 6: checkpoint and restart time as total
+// memory grows, for a synthetic OpenMPI program allocating random
+// data on 32 nodes, compression disabled, checkpoints on local disk.
+func RunFig6(o Opts) *Table {
+	nodes := 32
+	// Memory sweep in GB of cluster-wide footprint (the memhog's
+	// scale argument is percent of 64 GB).
+	sweep := []int{4, 8, 16, 24, 32, 40, 48, 56, 64}
+	if o.Quick {
+		nodes = 4
+		sweep = []int{1, 2}
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("Synthetic OpenMPI memory sweep on %d nodes (no compression, local disk)", nodes),
+		Columns: []string{"total memory (GB)", "ckpt (s)", "restart (s)"},
+		Notes: []string{
+			"paper Fig. 6: both curves grow linearly with memory, ≈7 s checkpoint at ≈64 GB;",
+			"implied write bandwidth exceeds disk speed (kernel page cache, §5.2)",
+		},
+	}
+	np := nodes * 4
+	for _, gb := range sweep {
+		scale := gb * 100 / 64
+		if o.Quick {
+			scale = gb * 100 / 8 // smaller full-scale on the quick cluster
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		var ck, rs Sample
+		for trial := 0; trial < o.trials(); trial++ {
+			env := NewEnv(o.Seed+int64(trial), nodes, dmtcp.Config{Compress: false})
+			env.Drive(func(task *kernel.Task) {
+				if _, err := env.Sys.Launch(0, "orterun", strconv.Itoa(np), "4", "0",
+					strconv.Itoa(mpi.BasePort), "mpi-memhog", strconv.Itoa(scale)); err != nil {
+					panic(err)
+				}
+				task.Compute(500 * time.Millisecond)
+				round, err := env.Sys.Checkpoint(task)
+				if err != nil {
+					panic(err)
+				}
+				ck.AddDur(round.Stages.Total)
+				env.Sys.KillManaged()
+				stats, err := env.Sys.RestartAll(task, round, nil)
+				if err != nil {
+					panic(err)
+				}
+				rs.AddDur(stats.Total)
+			})
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", gb), meanStd(&ck), meanStd(&rs)})
+	}
+	return t
+}

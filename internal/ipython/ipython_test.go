@@ -1,0 +1,119 @@
+package ipython_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/ipython"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func newEnv(t *testing.T, nodes int) (*sim.Engine, *kernel.Cluster, *dmtcp.System) {
+	t.Helper()
+	eng := sim.NewEngine(6)
+	c := kernel.NewCluster(eng, model.Default(), nodes)
+	kernel.StartInfra(c)
+	sys := dmtcp.Install(c, dmtcp.Config{Compress: true})
+	ipython.Register(c)
+	if err := sys.SpawnCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Shutdown)
+	return eng, c, sys
+}
+
+func drive(t *testing.T, eng *sim.Engine, c *kernel.Cluster, fn func(*kernel.Task)) {
+	t.Helper()
+	c.RegisterFunc("ipy-driver", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond)
+		fn(task)
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("ipy-driver", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoCompletesTasks(t *testing.T) {
+	eng, c, sys := newEnv(t, 2)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := ipython.LaunchDemo(c.Node(0).Kern, c, sys.CheckpointEnv(), 0, 2, 2, 40); err != nil {
+			t.Error(err)
+			return
+		}
+		deadline := task.Now().Add(30 * time.Second)
+		for task.Now() < deadline && !c.Node(0).FS.Exists("/out/ipython-demo.done") {
+			task.Compute(50 * time.Millisecond)
+		}
+	})
+	ino, err := c.Node(0).FS.ReadFile("/out/ipython-demo.done")
+	if err != nil {
+		t.Fatal("demo never finished")
+	}
+	if !strings.Contains(string(ino.Data), "done=40") {
+		t.Fatalf("demo output %q", ino.Data)
+	}
+}
+
+func TestDemoCheckpointRestart(t *testing.T) {
+	eng, c, sys := newEnv(t, 2)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := ipython.LaunchDemo(c.Node(0).Kern, c, sys.CheckpointEnv(), 0, 2, 2, 300); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(300 * time.Millisecond) // mid-demo
+		round, err := sys.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if round.NumProcs != 5 { // controller + 4 engines
+			t.Errorf("checkpointed %d, want 5", round.NumProcs)
+		}
+		sys.KillManaged()
+		if _, err := sys.RestartAll(task, round, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		deadline := task.Now().Add(60 * time.Second)
+		for task.Now() < deadline && !c.Node(0).FS.Exists("/out/ipython-demo.done") {
+			task.Compute(100 * time.Millisecond)
+		}
+	})
+	ino, err := c.Node(0).FS.ReadFile("/out/ipython-demo.done")
+	if err != nil {
+		t.Fatal("restored demo never finished")
+	}
+	if !strings.Contains(string(ino.Data), "done=300") {
+		t.Fatalf("demo output %q, want done=300", ino.Data)
+	}
+}
+
+func TestShellIdleCheckpoint(t *testing.T) {
+	eng, c, sys := newEnv(t, 1)
+	drive(t, eng, c, func(task *kernel.Task) {
+		if _, err := sys.Launch(0, "ipython-shell"); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(200 * time.Millisecond)
+		round, err := sys.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// An idle shell checkpoints fast and small (Fig. 4's cheapest
+		// entry).
+		if round.Stages.Total > 3*time.Second {
+			t.Errorf("shell ckpt took %v", round.Stages.Total)
+		}
+	})
+}

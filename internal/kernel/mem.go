@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// AreaKind classifies a virtual memory area, mirroring the categories
+// visible in /proc/<pid>/maps.
+type AreaKind int
+
+const (
+	// AreaText is program or library code.
+	AreaText AreaKind = iota
+	// AreaData is initialized data / BSS.
+	AreaData
+	// AreaHeap is brk/malloc memory.
+	AreaHeap
+	// AreaStack is a thread stack.
+	AreaStack
+	// AreaAnon is an anonymous private mmap.
+	AreaAnon
+	// AreaShm is a shared mapping backed by a file (mmap MAP_SHARED).
+	AreaShm
+	// AreaFileMap is a private file-backed mapping.
+	AreaFileMap
+)
+
+func (k AreaKind) String() string {
+	switch k {
+	case AreaText:
+		return "text"
+	case AreaData:
+		return "data"
+	case AreaHeap:
+		return "heap"
+	case AreaStack:
+		return "stack"
+	case AreaAnon:
+		return "anon"
+	case AreaShm:
+		return "shm"
+	case AreaFileMap:
+		return "filemap"
+	default:
+		return "unknown"
+	}
+}
+
+// VMArea is one mapped region of a process address space.  Bytes is
+// the modeled (logical) size that checkpoint images account for;
+// Payload carries real application state that round-trips through
+// checkpoint images byte-exactly.
+type VMArea struct {
+	Name    string // e.g. "[heap]", "/usr/lib/libfoo.so"
+	Kind    AreaKind
+	Bytes   int64
+	Class   model.MemClass
+	Payload []byte
+
+	// Seg links a shared mapping to its segment; nil otherwise.
+	Seg *ShmSegment
+}
+
+// clone returns a private copy of the area (fork semantics: shared
+// segments stay shared, private payloads are copied).
+func (a *VMArea) clone() *VMArea {
+	na := *a
+	if a.Seg == nil && a.Payload != nil {
+		na.Payload = append([]byte(nil), a.Payload...)
+	}
+	return &na
+}
+
+// AddressSpace is the ordered set of areas mapped by a process.
+type AddressSpace struct {
+	areas []*VMArea
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace { return &AddressSpace{} }
+
+// Map adds an area and returns it.
+func (as *AddressSpace) Map(a *VMArea) *VMArea {
+	as.areas = append(as.areas, a)
+	return a
+}
+
+// MapAnon maps an anonymous area with the given name, size and class.
+func (as *AddressSpace) MapAnon(name string, bytes int64, class model.MemClass) *VMArea {
+	return as.Map(&VMArea{Name: name, Kind: AreaAnon, Bytes: bytes, Class: class})
+}
+
+// Unmap removes the given area.
+func (as *AddressSpace) Unmap(a *VMArea) {
+	for i, x := range as.areas {
+		if x == a {
+			as.areas = append(as.areas[:i], as.areas[i+1:]...)
+			return
+		}
+	}
+}
+
+// Area returns the first area with the given name, or nil.
+func (as *AddressSpace) Area(name string) *VMArea {
+	for _, a := range as.areas {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Areas returns the areas in mapping order.  The returned slice must
+// not be mutated.
+func (as *AddressSpace) Areas() []*VMArea { return as.areas }
+
+// NumAreas returns the number of mapped areas.
+func (as *AddressSpace) NumAreas() int { return len(as.areas) }
+
+// RSS returns the total resident size in bytes.
+func (as *AddressSpace) RSS() int64 {
+	var n int64
+	for _, a := range as.areas {
+		n += a.Bytes
+	}
+	return n
+}
+
+// clone implements fork: private areas are copied (COW collapsed to a
+// copy; the fork *cost* is charged by the caller), shared mappings
+// alias the same segment.
+func (as *AddressSpace) clone() *AddressSpace {
+	na := &AddressSpace{areas: make([]*VMArea, 0, len(as.areas))}
+	for _, a := range as.areas {
+		na.areas = append(na.areas, a.clone())
+	}
+	return na
+}
+
+// Maps renders a /proc/<pid>/maps-like listing, sorted by area name
+// within mapping order; DMTCP uses it to probe process state.
+func (as *AddressSpace) Maps() []string {
+	out := make([]string, 0, len(as.areas))
+	for _, a := range as.areas {
+		out = append(out, fmt.Sprintf("%-8s %10d %s", a.Kind, a.Bytes, a.Name))
+	}
+	return out
+}
+
+// ShmSegment is a shared-memory object backed by a file path on a
+// node (mmap of a file with MAP_SHARED, or POSIX shm under /dev/shm).
+type ShmSegment struct {
+	ID      int64
+	Node    *Node
+	Backing string // backing file path
+	Bytes   int64
+	Class   model.MemClass
+	Payload []byte
+	refs    int
+}
+
+// Attach maps the segment into as under the given area name.
+func (s *ShmSegment) Attach(as *AddressSpace, name string) *VMArea {
+	s.refs++
+	return as.Map(&VMArea{
+		Name:  name,
+		Kind:  AreaShm,
+		Bytes: s.Bytes,
+		Class: s.Class,
+		Seg:   s,
+	})
+}
+
+// Detach releases one reference.
+func (s *ShmSegment) Detach() {
+	if s.refs > 0 {
+		s.refs--
+	}
+}
+
+// Refs returns the current attachment count.
+func (s *ShmSegment) Refs() int { return s.refs }
+
+// sortedAreaNames is a test helper ordering for deterministic output.
+func sortedAreaNames(as *AddressSpace) []string {
+	names := make([]string, 0, len(as.areas))
+	for _, a := range as.areas {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

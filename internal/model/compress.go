@@ -1,0 +1,93 @@
+package model
+
+import "time"
+
+// MemClass characterizes the compressibility of a memory region.  It
+// drives both the size of compressed checkpoint images and the time
+// gzip spends on them.
+type MemClass struct {
+	// Entropy in [0,1]: 0 compresses like repetitive text, 1 is
+	// incompressible random data.
+	Entropy float64
+	// ZeroFrac in [0,1] is the fraction of the region that is
+	// zero-filled pages (untouched allocations, slack in buckets —
+	// the NAS/IS case the paper calls out in §5.4).
+	ZeroFrac float64
+}
+
+// Common classes, used by the app and benchmark models.
+var (
+	// ClassText models code/library pages (machine code gzips ~0.45).
+	ClassText = MemClass{Entropy: 0.42, ZeroFrac: 0.02}
+	// ClassData models initialized program data and heaps.
+	ClassData = MemClass{Entropy: 0.30, ZeroFrac: 0.10}
+	// ClassNumeric models dense floating-point arrays (NAS kernels).
+	ClassNumeric = MemClass{Entropy: 0.68, ZeroFrac: 0.03}
+	// ClassSparseZero models mostly-untouched allocations such as
+	// IS's over-provisioned buckets.
+	ClassSparseZero = MemClass{Entropy: 0.55, ZeroFrac: 0.93}
+	// ClassRandom models high-entropy data (the Fig. 6 synthetic
+	// program allocates random data precisely so compression is
+	// uninteresting; Fig. 6 runs uncompressed anyway).
+	ClassRandom = MemClass{Entropy: 0.99, ZeroFrac: 0.0}
+)
+
+// clamp01 bounds x to [0,1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// gzip ratio anchors: zero pages collapse ~200:1; entropy interpolates
+// between highly repetitive (~0.12) and incompressible (~1.02 — gzip
+// slightly inflates random data).
+const (
+	zeroRatio = 0.005
+	minRatio  = 0.12
+	maxRatio  = 1.02
+)
+
+// CompressRatio returns compressedBytes/uncompressedBytes for the
+// class under gzip.
+func (p *Params) CompressRatio(c MemClass) float64 {
+	e, z := clamp01(c.Entropy), clamp01(c.ZeroFrac)
+	nonZero := minRatio + e*(maxRatio-minRatio)
+	return z*zeroRatio + (1-z)*nonZero
+}
+
+// CompressedSize returns the modeled gzip output size for n input
+// bytes of the class.
+func (p *Params) CompressedSize(n int64, c MemClass) int64 {
+	out := int64(float64(n) * p.CompressRatio(c))
+	if n > 0 && out < 64 {
+		out = 64 // gzip header/trailer floor
+	}
+	return out
+}
+
+// CompressTime returns gzip CPU time for n input bytes of the class.
+// Zero pages stream through the run-length fast path.
+func (p *Params) CompressTime(n int64, c MemClass) time.Duration {
+	z := clamp01(c.ZeroFrac)
+	zeroBytes := float64(n) * z
+	dataBytes := float64(n) - zeroBytes
+	// Higher-entropy data is somewhat slower to deflate.
+	bw := p.GzipBW * (1.15 - 0.3*clamp01(c.Entropy))
+	sec := zeroBytes/p.GzipZeroBW + dataBytes/bw
+	return time.Duration(sec * float64(time.Second))
+}
+
+// DecompressTime returns gunzip CPU time to reproduce n output bytes
+// of the class.
+func (p *Params) DecompressTime(n int64, c MemClass) time.Duration {
+	z := clamp01(c.ZeroFrac)
+	zeroBytes := float64(n) * z
+	dataBytes := float64(n) - zeroBytes
+	sec := zeroBytes/p.GunzipZeroBW + dataBytes/p.GunzipBW
+	return time.Duration(sec * float64(time.Second))
+}

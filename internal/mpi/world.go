@@ -1,0 +1,518 @@
+// Package mpi implements a message-passing library over the simulated
+// kernel's TCP sockets, plus the MPICH2 (MPD ring) and OpenMPI (ORTE)
+// style launchers the paper checkpoints transparently (§5.2).
+//
+// # Checkpoint-exact messaging
+//
+// Real DMTCP restores threads mid-system-call, so MPI libraries need
+// no cooperation.  This reproduction cannot capture goroutine stacks
+// (see DESIGN.md), so the library provides the equivalent guarantee
+// itself: message streams are exactly-once across restart.  Three
+// mechanisms combine:
+//
+//   - the kernel completes interrupted sends at restart (send
+//     continuations), so the byte stream is exact;
+//   - received bytes are appended to a per-peer reassembly log whose
+//     writes are committed to process state atomically (no scheduling
+//     point between the read and the commit);
+//   - the application's control state commits together with the log's
+//     consumption offset (Commit), and send calls replayed after a
+//     rollback are suppressed by comparing the per-channel call count
+//     against the committed on-wire count.
+//
+// The result: after any checkpoint/kill/restart, a rank re-executes
+// from its last Commit, re-observes exactly the messages it had not
+// yet consumed, and duplicates none of its sends.
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// BasePort is the first rank listener port; rank r listens on
+// BasePort+r on its node.
+const BasePort = 30000
+
+// Layout describes how ranks map onto the cluster.
+type Layout struct {
+	Size     int // number of ranks
+	PerNode  int // ranks per node (paper: 4, one per core)
+	BaseNode int // first node index used
+	Port     int // listener port base
+}
+
+// HostOf returns the hostname for a rank under block placement.
+func (l Layout) HostOf(rank int) string {
+	return fmt.Sprintf("node%02d", l.BaseNode+rank/l.PerNode)
+}
+
+// PortOf returns the listener port for a rank.
+func (l Layout) PortOf(rank int) int {
+	p := l.Port
+	if p == 0 {
+		p = BasePort
+	}
+	return p + rank
+}
+
+func (l Layout) encode(e *bin.Encoder) {
+	e.Int(l.Size)
+	e.Int(l.PerNode)
+	e.Int(l.BaseNode)
+	e.Int(l.Port)
+}
+
+func decodeLayout(d *bin.Decoder) Layout {
+	return Layout{Size: d.Int(), PerNode: d.Int(), BaseNode: d.Int(), Port: d.Int()}
+}
+
+// chanState is the persistent per-peer channel state.
+type chanState struct {
+	fd int // connection descriptor (stable across restart)
+
+	// rx is the reassembly log: every byte received from the peer
+	// and not yet discarded by a Commit.
+	rx []byte
+	// rxCommitted is the log offset the application had consumed at
+	// its last Commit; live consumption runs ahead in memory only.
+	rxCommitted int
+
+	// sentWire counts messages committed to the wire (incremented
+	// before each physical send, so an interrupted send — completed
+	// by the restart continuation — is never duplicated).
+	sentWire int
+	// sentAtCommit is the send-call count at the last Commit; replayed
+	// calls between sentAtCommit and sentWire are suppressed.
+	sentAtCommit int
+
+	// live (unserialized) state, rebuilt at restore:
+	rxLive   int // live consumption offset
+	sentLive int // live send-call count
+}
+
+// World is one rank's view of the communicator.
+type World struct {
+	T      *kernel.Task
+	Rank   int
+	Layout Layout
+
+	chans    map[int]*chanState
+	peers    []int // sorted peer ranks with established channels
+	listenFD int
+
+	app []byte // application state section, opaque to the library
+
+	accepted map[int]int // inbound rank → fd (handshook, unclaimed)
+	acceptW  *sim.WaitQueue
+}
+
+// Size returns the communicator size.
+func (w *World) Size() int { return w.Layout.Size }
+
+// msg header: sender rank (known from channel), tag, length.
+func frame(tag int, data []byte) []byte {
+	var e bin.Encoder
+	e.Int(tag)
+	e.Bytes(data)
+	return e.B
+}
+
+// parseFrame reads one frame from buf, returning the tag, payload,
+// and bytes consumed (0 if incomplete).
+func parseFrame(buf []byte) (tag int, data []byte, n int) {
+	if len(buf) < 12 {
+		return 0, nil, 0
+	}
+	d := &bin.Decoder{B: buf}
+	tag = d.Int()
+	ln := int(d.U32())
+	total := 8 + 4 + ln
+	if len(buf) < total {
+		return 0, nil, 0
+	}
+	return tag, buf[12 : 12+ln : 12+ln], total
+}
+
+// Init creates the world for this rank and establishes channels to
+// the given peers (deterministically: the higher rank connects, the
+// lower accepts).  peers must list every rank this rank will ever
+// talk to; collectives add their tree/ring neighbors automatically
+// via PeersFor helpers.
+func Init(t *kernel.Task, rank int, layout Layout, peers []int) (*World, error) {
+	w := &World{
+		T:        t,
+		Rank:     rank,
+		Layout:   layout,
+		chans:    make(map[int]*chanState),
+		accepted: make(map[int]int),
+	}
+	w.acceptW = sim.NewWaitQueue(t.P.Node.Cluster.Eng, fmt.Sprintf("mpi.accept.%d", rank))
+	lfd, err := t.ListenTCP(layout.PortOf(rank))
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen: %w", rank, err)
+	}
+	w.listenFD = lfd
+	w.startAcceptLoop()
+
+	sorted := append([]int(nil), peers...)
+	insertionSort(sorted)
+	for _, p := range sorted {
+		if p == rank {
+			continue
+		}
+		w.peers = append(w.peers, p)
+	}
+	// Outbound connections to lower ranks.
+	for _, p := range w.peers {
+		if p > rank {
+			continue
+		}
+		fd, err := w.dial(p)
+		if err != nil {
+			return nil, err
+		}
+		w.chans[p] = &chanState{fd: fd}
+	}
+	// Inbound from higher ranks.
+	for _, p := range w.peers {
+		if p < rank {
+			continue
+		}
+		fd := w.awaitInbound(p)
+		w.chans[p] = &chanState{fd: fd}
+	}
+	return w, nil
+}
+
+// dial connects to a peer's listener with retry (it may not be up
+// yet) and sends the identification handshake.
+func (w *World) dial(p int) (int, error) {
+	addr := kernel.Addr{Host: w.Layout.HostOf(p), Port: w.Layout.PortOf(p)}
+	for attempt := 0; ; attempt++ {
+		fd := w.T.Socket()
+		err := w.T.Connect(fd, addr)
+		if err == nil {
+			var e bin.Encoder
+			e.Int(w.Rank)
+			if err := w.T.SendFrame(fd, e.B); err != nil {
+				return -1, err
+			}
+			return fd, nil
+		}
+		w.T.Close(fd)
+		if attempt > 2000 {
+			return -1, fmt.Errorf("mpi: rank %d cannot reach rank %d at %v: %w", w.Rank, p, addr, err)
+		}
+		w.T.Compute(time.Millisecond)
+	}
+}
+
+// startAcceptLoop launches the listener thread that handshakes
+// inbound rank connections.
+func (w *World) startAcceptLoop() {
+	lfd := w.listenFD
+	w.T.P.SpawnTask("mpi-accept", false, func(a *kernel.Task) {
+		for {
+			cfd, err := a.Accept(lfd)
+			if err != nil {
+				return
+			}
+			hs, err := a.RecvFrame(cfd)
+			if err != nil {
+				continue
+			}
+			d := &bin.Decoder{B: hs}
+			from := d.Int()
+			w.accepted[from] = cfd
+			w.acceptW.WakeAll()
+		}
+	})
+}
+
+// awaitInbound blocks until the accept loop delivers a connection
+// from rank p.
+func (w *World) awaitInbound(p int) int {
+	for {
+		if fd, ok := w.accepted[p]; ok {
+			delete(w.accepted, p)
+			return fd
+		}
+		w.acceptW.Wait(w.T.T)
+	}
+}
+
+// insertionSort keeps the package dependency-free.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// --- persistence ------------------------------------------------------
+
+// saveState persists the library + application state into process
+// memory (where checkpoint images capture it).  Callers must invoke
+// it only inside a critical section or other atomic region.
+func (w *World) saveState() {
+	var e bin.Encoder
+	e.Int(w.Rank)
+	w.Layout.encode(&e)
+	e.Int(w.listenFD)
+	e.U32(uint32(len(w.peers)))
+	for _, p := range w.peers {
+		ch := w.chans[p]
+		e.Int(p)
+		e.Int(ch.fd)
+		e.Bytes(ch.rx)
+		e.Int(ch.rxCommitted)
+		e.Int(ch.sentWire)
+		e.Int(ch.sentAtCommit)
+	}
+	e.Bytes(w.app)
+	w.T.P.SaveState(e.B)
+}
+
+// Resume reconstructs a World inside a restored process and returns
+// the application state as of its last Commit.
+func Resume(t *kernel.Task, state []byte) (*World, []byte, error) {
+	d := &bin.Decoder{B: state}
+	w := &World{
+		T:        t,
+		chans:    make(map[int]*chanState),
+		accepted: make(map[int]int),
+	}
+	w.Rank = d.Int()
+	w.Layout = decodeLayout(d)
+	w.listenFD = d.Int()
+	n := int(d.U32())
+	for i := 0; i < n; i++ {
+		p := d.Int()
+		ch := &chanState{
+			fd:           d.Int(),
+			rx:           d.Bytes(),
+			rxCommitted:  d.Int(),
+			sentWire:     d.Int(),
+			sentAtCommit: d.Int(),
+		}
+		// Live cursors resume from the committed positions.
+		ch.rxLive = ch.rxCommitted
+		ch.sentLive = ch.sentAtCommit
+		w.peers = append(w.peers, p)
+		w.chans[p] = ch
+	}
+	w.app = d.Bytes()
+	if d.Err != nil {
+		return nil, nil, fmt.Errorf("mpi: corrupt state: %w", d.Err)
+	}
+	w.acceptW = sim.NewWaitQueue(t.P.Node.Cluster.Eng, fmt.Sprintf("mpi.accept.%d", w.Rank))
+	w.startAcceptLoop()
+	return w, w.app, nil
+}
+
+// Commit atomically persists the application state together with the
+// library's consumption cursors; this is the rollback point a restart
+// returns to.
+func (w *World) Commit(appState []byte) {
+	w.T.BeginCritical()
+	w.app = append(w.app[:0], appState...)
+	for _, p := range w.peers {
+		ch := w.chans[p]
+		// Discard consumed log bytes and advance committed cursors.
+		ch.rx = append([]byte(nil), ch.rx[ch.rxLive:]...)
+		ch.rxCommitted = 0
+		ch.rxLive = 0
+		ch.sentAtCommit = ch.sentLive
+	}
+	w.saveState()
+	w.T.EndCritical()
+}
+
+// AppState returns the state from the last Commit.
+func (w *World) AppState() []byte { return w.app }
+
+// --- messaging --------------------------------------------------------
+
+// Send transmits a tagged message to a peer, exactly once across
+// restarts: replayed calls are suppressed, and the on-wire count is
+// committed before bytes move so an interrupted send (completed by
+// the restart continuation) is never re-sent.
+func (w *World) Send(to, tag int, data []byte) {
+	ch := w.chans[to]
+	if ch == nil {
+		panic(fmt.Sprintf("mpi: rank %d has no channel to %d", w.Rank, to))
+	}
+	ch.sentLive++
+	if ch.sentLive <= ch.sentWire {
+		return // replay of a send already on the wire
+	}
+	w.T.BeginCritical()
+	ch.sentWire++
+	w.saveState()
+	w.T.EndCritical()
+	// Raw library framing (parseFrame delimits); an interrupted send
+	// is completed by the restart continuation.
+	w.progressSend(ch, frame(tag, data))
+}
+
+// progressSend pushes payload without ever blocking on a full window:
+// while the peer's receive buffer is full it services inbound traffic
+// instead (the MPI progress engine), so symmetric exchanges larger
+// than the kernel socket buffers cannot deadlock.
+func (w *World) progressSend(ch *chanState, payload []byte) {
+	// Register the remainder as a send continuation so a checkpoint
+	// taken mid-progress restores a byte-exact stream (the on-wire
+	// counter was already committed by the caller).
+	w.T.SetSendContinuation(ch.fd, payload)
+	defer w.T.SetSendContinuation(ch.fd, nil)
+	sent := 0
+	for sent < len(payload) {
+		n, err := w.T.TrySend(ch.fd, payload[sent:])
+		if err != nil {
+			return
+		}
+		sent += n
+		w.T.SetSendContinuation(ch.fd, payload[sent:])
+		if sent >= len(payload) {
+			return
+		}
+		w.pumpAny()
+	}
+}
+
+// pumpAny makes progress on any channel with readable data, or waits
+// briefly for in-flight traffic to land.
+func (w *World) pumpAny() {
+	moved := false
+	for _, p := range w.peers {
+		ch := w.chans[p]
+		if avail, err := w.T.Avail(ch.fd); err == nil && avail > 0 {
+			data, err := w.T.Recv(ch.fd, avail)
+			if err != nil {
+				continue
+			}
+			w.commitRx(ch, data)
+			moved = true
+		}
+	}
+	if !moved {
+		w.T.Compute(300 * time.Microsecond)
+	}
+}
+
+// commitRx appends received bytes to the reassembly log atomically.
+func (w *World) commitRx(ch *chanState, data []byte) {
+	w.T.BeginCritical()
+	ch.rx = append(ch.rx, data...)
+	w.saveState()
+	w.T.EndCritical()
+}
+
+// Message is a received tagged payload.
+type Message struct {
+	Tag  int
+	Data []byte
+}
+
+// RecvAny returns the next message from a peer regardless of tag
+// (TOP-C style task/stop dispatch).
+func (w *World) RecvAny(from int) (Message, error) {
+	ch := w.chans[from]
+	if ch == nil {
+		return Message{}, fmt.Errorf("mpi: rank %d has no channel to %d", w.Rank, from)
+	}
+	for {
+		gotTag, data, n := parseFrame(ch.rx[ch.rxLive:])
+		if n > 0 {
+			out := append([]byte(nil), data...)
+			ch.rxLive += n
+			return Message{Tag: gotTag, Data: out}, nil
+		}
+		if err := w.pumpFor(ch); err != nil {
+			return Message{}, err
+		}
+	}
+}
+
+// Recv returns the next message from a peer, blocking as needed.  It
+// verifies the tag (channels are FIFO and our kernels' exchanges are
+// deterministic).
+func (w *World) Recv(from, tag int) ([]byte, error) {
+	ch := w.chans[from]
+	if ch == nil {
+		return nil, fmt.Errorf("mpi: rank %d has no channel to %d", w.Rank, from)
+	}
+	for {
+		gotTag, data, n := parseFrame(ch.rx[ch.rxLive:])
+		if n > 0 {
+			if gotTag != tag {
+				return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d", w.Rank, tag, from, gotTag)
+			}
+			out := append([]byte(nil), data...)
+			ch.rxLive += n
+			return out, nil
+		}
+		if err := w.pumpFor(ch); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pumpFor waits for bytes on the awaited channel but keeps servicing
+// the other channels while blocked, so stalled senders elsewhere can
+// always make progress (no cyclic waits among ranks).
+func (w *World) pumpFor(ch *chanState) error {
+	data, err := w.T.RecvTimeout(ch.fd, 1<<20, sim.Time(2*time.Millisecond))
+	if err == nil {
+		w.commitRx(ch, data)
+		return nil
+	}
+	if err != kernel.ErrTimeout {
+		return err
+	}
+	w.pumpAny()
+	return nil
+}
+
+// pump blocks for more bytes from the peer and appends them to the
+// reassembly log atomically (read → commit with no scheduling point
+// in between, so a checkpoint can never split them).
+func (w *World) pump(ch *chanState) error {
+	data, err := w.T.Recv(ch.fd, 1<<20)
+	if err != nil {
+		return err
+	}
+	w.commitRx(ch, data)
+	return nil
+}
+
+// Sendrecv performs the symmetric neighbor exchange common to the NAS
+// kernels.
+func (w *World) Sendrecv(peer, tag int, out []byte) ([]byte, error) {
+	w.Send(peer, tag, out)
+	return w.Recv(peer, tag)
+}
+
+// Finalize closes rank channels (the listener stays until exit).
+func (w *World) Finalize() {
+	for _, p := range w.peers {
+		w.T.Close(w.chans[p].fd)
+	}
+}
+
+// ComputeFor charges local computation time.
+func (w *World) ComputeFor(d time.Duration) { w.T.Compute(d) }
+
+// SetupMemory maps the rank's memory footprint: code+libs plus the
+// benchmark's data arrays.
+func (w *World) SetupMemory(libBytes, dataBytes int64, class model.MemClass) {
+	w.T.MapLib("/usr/lib/mpi-libs.so", libBytes)
+	w.T.MapAnon("[heap]", dataBytes, class)
+}

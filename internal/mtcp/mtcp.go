@@ -1,0 +1,185 @@
+package mtcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// WriteOptions controls how an image is written.
+type WriteOptions struct {
+	// Dir is the checkpoint directory; paths under /san go to central
+	// storage.
+	Dir string
+	// Compress pipes the image through the gzip model (the DMTCP
+	// default).
+	Compress bool
+	// Fsync waits for the page cache to drain after writing (§5.2
+	// discusses this option's cost).
+	Fsync bool
+}
+
+// WriteResult reports what a checkpoint write produced.
+type WriteResult struct {
+	Path     string
+	Bytes    int64 // bytes written to storage (compressed if enabled)
+	RawBytes int64 // uncompressed image size
+	Took     time.Duration
+	SyncTook time.Duration
+}
+
+// ImagePath returns the conventional checkpoint file name,
+// ckpt_<prog>_<host>_<virtpid>.dmtcp[.gz].  The host component keeps
+// names globally unique when images from many nodes land on shared
+// central storage (real DMTCP embeds a cluster-unique process id).
+func ImagePath(dir string, img *Image, compress bool) string {
+	name := fmt.Sprintf("%s/ckpt_%s_%s_%d.dmtcp", dir, img.ProgName, img.Hostname, img.VirtPid)
+	if compress {
+		name += ".gz"
+	}
+	return name
+}
+
+// WriteImage serializes img to storage from task t's context,
+// charging per-area bookkeeping, compression CPU, and storage
+// bandwidth according to the calibrated model.  This is checkpoint
+// step 5 ("write checkpoint to disk").
+func WriteImage(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
+	p := t.P.Node.Cluster.Params
+	start := t.Now()
+	path := ImagePath(opts.Dir, img, opts.Compress)
+
+	t.Compute(p.WriteSetup)
+	t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+
+	rng := t.P.Node.Cluster.Eng.Rand()
+	raw := img.LogicalBytes()
+	onDisk := raw
+	if opts.Compress {
+		onDisk = img.CompressedBytes(p)
+		for _, a := range img.Areas {
+			t.Compute(p.Jitter(rng, p.CompressTime(a.Bytes, a.Class())))
+		}
+	}
+	pipe := t.P.Node.WritePipeFor(path)
+	pipe.Write(t.T, onDisk)
+	t.P.Node.FS.WriteFile(path, img.Encode(), onDisk)
+
+	res := WriteResult{
+		Path:     path,
+		Bytes:    onDisk,
+		RawBytes: raw,
+		Took:     t.Now().Sub(start),
+	}
+	if opts.Fsync {
+		syncStart := t.Now()
+		pipe.Sync(t.T)
+		res.SyncTook = t.Now().Sub(syncStart)
+		res.Took = t.Now().Sub(start)
+	}
+	return res
+}
+
+// ReadImage loads and decodes an image from storage, charging read
+// bandwidth for the on-disk size and decompression CPU for the
+// restored bytes.  This is the I/O half of restart step 5, as a
+// single call (LoadImage + ChargeMemoryRestore for callers that do
+// not split the work between a restart orchestrator and its forked
+// children).
+func ReadImage(t *kernel.Task, path string) (*Image, error) {
+	img, err := LoadImage(t, path)
+	if err != nil {
+		return nil, err
+	}
+	ChargeMemoryRestore(t, img, path)
+	return img, nil
+}
+
+// LoadImage decodes an image, charging only the header/metadata read
+// (the restart program reads descriptor and connection tables from
+// every image before forking; the bulk memory read happens later, in
+// each restored process).
+func LoadImage(t *kernel.Task, path string) (*Image, error) {
+	p := t.P.Node.Cluster.Params
+	ino, err := t.P.Node.FS.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	img, err := Decode(ino.Data)
+	if err != nil {
+		return nil, err
+	}
+	t.Compute(p.RestoreSetup)
+	meta := int64(64 * 1024)
+	for _, e := range img.Ext {
+		meta += int64(len(e))
+	}
+	if meta > ino.Size() {
+		meta = ino.Size()
+	}
+	t.P.Node.ReadPipeFor(path).Read(t.T, meta)
+	return img, nil
+}
+
+// ChargeMemoryRestore charges the bulk of restart step 5: streaming
+// the image body from storage and decompressing it.
+func ChargeMemoryRestore(t *kernel.Task, img *Image, path string) {
+	p := t.P.Node.Cluster.Params
+	var onDisk int64
+	if ino, err := t.P.Node.FS.ReadFile(path); err == nil {
+		onDisk = ino.Size()
+	}
+	t.P.Node.ReadPipeFor(path).Read(t.T, onDisk)
+	if onDisk > 0 && onDisk < img.LogicalBytes() {
+		for _, a := range img.Areas {
+			t.Compute(p.DecompressTime(a.Bytes, a.Class()))
+		}
+	}
+	t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+}
+
+// ShmResolver locates or re-creates the shared-memory segment backing
+// a restored shared mapping.  The DMTCP layer provides one that
+// implements the paper's §4.5 rules (re-create missing backing files,
+// share segments between restored processes on a host).
+type ShmResolver func(t *kernel.Task, rec AreaRecord) *kernel.ShmSegment
+
+// InstallMemory rebuilds the process address space from the image
+// (restart step 5, "restore memory").  Time is charged by ReadImage;
+// this is pure structure.
+func InstallMemory(p *kernel.Process, img *Image, t *kernel.Task, shm ShmResolver) {
+	p.Mem = kernel.NewAddressSpace()
+	for _, rec := range img.Areas {
+		if rec.ShmBacking != "" && shm != nil {
+			seg := shm(t, rec)
+			if seg != nil {
+				seg.Attach(p.Mem, rec.Name)
+				continue
+			}
+		}
+		area := p.Mem.Map(&kernel.VMArea{
+			Name:  rec.Name,
+			Kind:  rec.Kind,
+			Bytes: rec.Bytes,
+			Class: rec.Class(),
+		})
+		area.Payload = append([]byte(nil), rec.Payload...)
+	}
+	p.ProgName = img.ProgName
+	p.Args = append([]string(nil), img.Args...)
+}
+
+// EstimateCheckpointCPU returns the modeled compression CPU time for
+// the image (useful to size forked-checkpoint background work).
+func EstimateCheckpointCPU(img *Image, p *model.Params, compress bool) time.Duration {
+	if !compress {
+		return 0
+	}
+	var d time.Duration
+	for _, a := range img.Areas {
+		d += p.CompressTime(a.Bytes, a.Class())
+	}
+	return d
+}

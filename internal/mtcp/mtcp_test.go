@@ -1,0 +1,224 @@
+package mtcp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func testCluster(t *testing.T) (*sim.Engine, *kernel.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	c := kernel.NewCluster(eng, model.Default(), 1)
+	t.Cleanup(eng.Shutdown)
+	return eng, c
+}
+
+func run(t *testing.T, eng *sim.Engine, c *kernel.Cluster, fn func(*kernel.Task)) {
+	t.Helper()
+	c.RegisterFunc("m", func(task *kernel.Task, _ []string) {
+		fn(task)
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildSampleImage(task *kernel.Task) *Image {
+	task.MapLib("/lib/libc.so", 2*model.MB)
+	a := task.MapAnon("[heap]", 50*model.MB, model.ClassData)
+	a.Payload = []byte("heap-state")
+	task.P.SaveState([]byte("iteration=17"))
+	img := Capture(task.P, 4000)
+	img.Ext["dmtcp.conn"] = []byte("conn-table-bytes")
+	return img
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		img := buildSampleImage(task)
+		blob := img.Encode()
+		got, err := Decode(blob)
+		if err != nil {
+			t.Errorf("decode: %v", err)
+			return
+		}
+		if got.ProgName != "m" || got.Hostname != "node00" || got.VirtPid != 4000 {
+			t.Errorf("identity mismatch: %+v", got)
+		}
+		if len(got.Areas) != len(img.Areas) {
+			t.Errorf("areas = %d, want %d", len(got.Areas), len(img.Areas))
+		}
+		var heap *AreaRecord
+		for i := range got.Areas {
+			if got.Areas[i].Name == "[heap]" {
+				heap = &got.Areas[i]
+			}
+		}
+		if heap == nil || string(heap.Payload) != "heap-state" {
+			t.Error("heap payload did not round-trip")
+		}
+		if string(got.Ext["dmtcp.conn"]) != "conn-table-bytes" {
+			t.Error("ext section did not round-trip")
+		}
+	})
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		blob := buildSampleImage(task).Encode()
+		for _, idx := range []int{0, 10, len(blob) / 2, len(blob) - 2} {
+			bad := append([]byte(nil), blob...)
+			bad[idx] ^= 0xff
+			if _, err := Decode(bad); err == nil {
+				t.Errorf("corruption at %d not detected", idx)
+			}
+		}
+		if _, err := Decode(blob[:8]); err == nil {
+			t.Error("truncated image accepted")
+		}
+	})
+}
+
+func TestCaptureRecordsSendContinuation(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		a, _ := task.SocketPair()
+		big := bytes.Repeat([]byte("q"), 3*int(model.Default().SocketBufBytes))
+		var sender *kernel.Task
+		sender = task.P.SpawnTask("worker", false, func(st *kernel.Task) {
+			st.Send(a, big)
+		})
+		task.Compute(20 * time.Millisecond)
+		sender.T.Suspend()
+		img := Capture(task.P, 1)
+		found := false
+		for _, tr := range img.Threads {
+			if tr.Role == "worker" && tr.ContFD == int32(a) && len(tr.ContData) > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no continuation in thread records: %+v", img.Threads)
+		}
+		sender.T.Resume()
+		task.P.Kern.Kill(task.P.Pid + 1) // no-op safety
+	})
+}
+
+func TestWriteImageTimingCompressedVsRaw(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		task.MapAnon("[heap]", 106*model.MB, model.ClassData)
+		img := Capture(task.P, 1)
+
+		raw := WriteImage(task, img, WriteOptions{Dir: "/ckpt", Compress: false})
+		comp := WriteImage(task, img, WriteOptions{Dir: "/ckpt2", Compress: true})
+
+		if comp.Bytes >= raw.Bytes/2 {
+			t.Errorf("compressed %d not ≪ raw %d", comp.Bytes, raw.Bytes)
+		}
+		if comp.Took <= raw.Took {
+			t.Errorf("compressed write %v should be slower than raw %v", comp.Took, raw.Took)
+		}
+		// Table 1a anchors for a single ≈106 MB image: raw is
+		// cache-absorbed (≈0.3 s alone; the paper's 0.633 s covers 4
+		// concurrent writers per node), compressed ≈3–5 s.
+		if raw.Took < 150*time.Millisecond || raw.Took > 1200*time.Millisecond {
+			t.Errorf("raw write %v out of anchor range", raw.Took)
+		}
+		if comp.Took < 2500*time.Millisecond || comp.Took > 6*time.Second {
+			t.Errorf("compressed write %v out of anchor range", comp.Took)
+		}
+	})
+}
+
+func TestReadImageRestoresAndCharges(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		task.MapAnon("[heap]", 106*model.MB, model.ClassData)
+		task.P.SaveState([]byte("step=9"))
+		img := Capture(task.P, 77)
+		res := WriteImage(task, img, WriteOptions{Dir: "/ckpt", Compress: true})
+
+		start := task.Now()
+		got, err := ReadImage(task, res.Path)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		readTook := task.Now().Sub(start)
+		// Table 1b anchor: compressed restore ≈2.1 s for ≈106 MB.
+		if readTook < time.Second || readTook > 4*time.Second {
+			t.Errorf("compressed restore %v out of anchor range", readTook)
+		}
+
+		// Install into a fresh process shell and verify state.
+		shell := task.P.Kern.SpawnOrphan("restored", nil, nil)
+		InstallMemory(shell, got, task, nil)
+		if string(shell.LoadState()) != "step=9" {
+			t.Error("state payload not restored")
+		}
+		if shell.Mem.RSS() < 106*model.MB {
+			t.Errorf("restored RSS = %d", shell.Mem.RSS())
+		}
+	})
+}
+
+func TestFsyncCostMatchesDirtyBytes(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		task.MapAnon("[heap]", 80*model.MB, model.ClassData)
+		img := Capture(task.P, 1)
+		res := WriteImage(task, img, WriteOptions{Dir: "/ckpt", Compress: false, Fsync: true})
+		// 80MB dirty drains at ≈100MB/s → ≈0.5–1.2 s (§5.2 sync cost
+		// scale: 0.79 s for a comparable image).
+		if res.SyncTook < 300*time.Millisecond || res.SyncTook > 2*time.Second {
+			t.Errorf("sync took %v", res.SyncTook)
+		}
+	})
+}
+
+// Property: encode/decode round-trips arbitrary payload bytes and
+// area sizes.
+func TestImageRoundtripProperty(t *testing.T) {
+	prop := func(payload []byte, sz uint32, entropy, zf float64) bool {
+		img := &Image{
+			Hostname: "h",
+			ProgName: "p",
+			Args:     []string{"a1"},
+			Env:      map[string]string{"K": "V"},
+			VirtPid:  42,
+			Areas: []AreaRecord{{
+				Name:     "[heap]",
+				Bytes:    int64(sz),
+				Entropy:  entropy,
+				ZeroFrac: zf,
+				Payload:  payload,
+			}},
+			Threads: []ThreadRecord{{Role: "main", ContFD: -1}},
+			Ext:     map[string][]byte{"x": payload},
+		}
+		got, err := Decode(img.Encode())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Areas[0].Payload, payload) &&
+			got.Areas[0].Bytes == int64(sz) &&
+			bytes.Equal(got.Ext["x"], payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

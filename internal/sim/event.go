@@ -1,0 +1,34 @@
+package sim
+
+// event is a single entry in the engine's pending-event heap.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among events at the same instant
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).  It
+// implements container/heap.Interface.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,514 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Schedule(1*time.Millisecond, func() { got = append(got, 10) }) // FIFO at same instant
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 10, 2, 3}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if e.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("clock = %v, want 3ms", e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.Schedule(-time.Nanosecond, func() {})
+}
+
+func TestThreadSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wakeAt []Time
+	e.Go("a", func(th *Thread) {
+		th.Sleep(5 * time.Millisecond)
+		wakeAt = append(wakeAt, th.Now())
+		th.Sleep(10 * time.Millisecond)
+		wakeAt = append(wakeAt, th.Now())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wakeAt) != 2 || wakeAt[0] != Time(5*time.Millisecond) || wakeAt[1] != Time(15*time.Millisecond) {
+		t.Fatalf("wake times = %v", wakeAt)
+	}
+}
+
+func TestTwoThreadsInterleave(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	mk := func(name string, period time.Duration, n int) {
+		e.Go(name, func(th *Thread) {
+			for i := 0; i < n; i++ {
+				th.Sleep(period)
+				order = append(order, fmt.Sprintf("%s%d", name, i))
+			}
+		})
+	}
+	mk("a", 2*time.Millisecond, 3) // wakes at 2,4,6
+	mk("b", 3*time.Millisecond, 2) // wakes at 3,6
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// At t=6 both are due; b armed its 6ms timer at t=3, before a
+	// armed its own at t=4, so b1 fires first.
+	want := "[a0 b0 a1 b1 a2]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestWaitQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var order []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Go(name, func(th *Thread) {
+			q.Wait(th)
+			order = append(order, name)
+		})
+	}
+	e.GoAfter(time.Millisecond, "waker", func(th *Thread) {
+		if n := q.Wake(1); n != 1 {
+			t.Errorf("Wake(1) = %d", n)
+		}
+		th.Sleep(time.Millisecond)
+		if n := q.WakeAll(); n != 2 {
+			t.Errorf("WakeAll = %d", n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(order) != "[w1 w2 w3]" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var reason WakeReason
+	var at Time
+	e.Go("w", func(th *Thread) {
+		reason = q.WaitTimeout(th, 7*time.Millisecond)
+		at = th.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reason != WakeTimeout || at != Time(7*time.Millisecond) {
+		t.Fatalf("reason=%v at=%v", reason, at)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue still has %d waiters", q.Len())
+	}
+}
+
+func TestWaitTimeoutBeatenBySignal(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var reason WakeReason
+	e.Go("w", func(th *Thread) {
+		reason = q.WaitTimeout(th, 10*time.Millisecond)
+		// Sleep past the original deadline to catch stale timer wakes.
+		th.Sleep(20 * time.Millisecond)
+	})
+	e.GoAfter(2*time.Millisecond, "s", func(th *Thread) { q.WakeAll() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reason != WakeSignal {
+		t.Fatalf("reason = %v, want signal", reason)
+	}
+}
+
+func TestSuspendResumeSleepRemainder(t *testing.T) {
+	e := NewEngine(1)
+	var wokeAt Time
+	w := e.Go("sleeper", func(th *Thread) {
+		th.Sleep(10 * time.Millisecond)
+		wokeAt = th.Now()
+	})
+	// Suspend from 3ms to 8ms: 7ms of sleep remain at suspension, so
+	// the thread should wake at 8+7 = 15ms.
+	e.Schedule(3*time.Millisecond, func() { w.Suspend() })
+	e.Schedule(8*time.Millisecond, func() { w.Resume() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(15*time.Millisecond) {
+		t.Fatalf("woke at %v, want 15ms", wokeAt)
+	}
+}
+
+func TestSuspendDefersQueueWake(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var wokeAt Time
+	w := e.Go("waiter", func(th *Thread) {
+		q.Wait(th)
+		wokeAt = th.Now()
+	})
+	e.Schedule(1*time.Millisecond, func() { w.Suspend() })
+	e.Schedule(2*time.Millisecond, func() { q.WakeAll() }) // deferred
+	e.Schedule(5*time.Millisecond, func() { w.Resume() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms (deferred until resume)", wokeAt)
+	}
+}
+
+func TestSuspendReadyThreadDefersWake(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var wokeAt Time
+	w := e.Go("waiter", func(th *Thread) {
+		q.Wait(th)
+		wokeAt = th.Now()
+	})
+	// Wake and immediately suspend at the same instant: the wake event
+	// is pending when the suspension lands, so it must be deferred.
+	e.Schedule(time.Millisecond, func() {
+		q.WakeAll()
+		w.Suspend()
+	})
+	e.Schedule(4*time.Millisecond, func() { w.Resume() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(4*time.Millisecond) {
+		t.Fatalf("woke at %v, want 4ms", wokeAt)
+	}
+}
+
+func TestSuspendExpiredSleepWakesOnResume(t *testing.T) {
+	e := NewEngine(1)
+	var wokeAt Time
+	var th0 *Thread
+	th0 = e.Go("s", func(th *Thread) {
+		th.Sleep(time.Millisecond)
+		wokeAt = th.Now()
+	})
+	// Suspend exactly at the expiry instant: this Schedule call runs
+	// before the thread spawns, so its event precedes the thread's
+	// timer event at t=1ms in FIFO order, and the suspension sees an
+	// already-due sleep (remainder zero → deferred timeout wake).
+	e.Schedule(time.Millisecond, func() { th0.Suspend() })
+	e.Schedule(3*time.Millisecond, func() { th0.Resume() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(3*time.Millisecond) {
+		t.Fatalf("woke at %v, want 3ms", wokeAt)
+	}
+}
+
+func TestInterruptSleep(t *testing.T) {
+	e := NewEngine(1)
+	var wokeAt Time
+	var intr bool
+	w := e.Go("s", func(th *Thread) {
+		th.Sleep(time.Hour)
+		wokeAt = th.Now()
+		intr = th.ClearInterrupt()
+	})
+	e.Schedule(time.Millisecond, func() { w.Interrupt() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != Time(time.Millisecond) || !intr {
+		t.Fatalf("wokeAt=%v intr=%v", wokeAt, intr)
+	}
+}
+
+func TestInterruptWait(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	var reason WakeReason
+	w := e.Go("w", func(th *Thread) { reason = q.Wait(th) })
+	e.Schedule(time.Millisecond, func() { w.Interrupt() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reason != WakeInterrupt {
+		t.Fatalf("reason = %v", reason)
+	}
+	if q.Len() != 0 {
+		t.Fatal("interrupted waiter left on queue")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := NewEngine(1)
+	var joinedAt Time
+	worker := e.Go("worker", func(th *Thread) { th.Sleep(5 * time.Millisecond) })
+	e.Go("joiner", func(th *Thread) {
+		worker.Join(th)
+		joinedAt = th.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joinedAt != Time(5*time.Millisecond) {
+		t.Fatalf("joined at %v", joinedAt)
+	}
+}
+
+func TestJoinAlreadyDead(t *testing.T) {
+	e := NewEngine(1)
+	worker := e.Go("worker", func(th *Thread) {})
+	ok := false
+	e.GoAfter(time.Millisecond, "joiner", func(th *Thread) {
+		worker.Join(th) // must not block
+		ok = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("join on dead thread blocked")
+	}
+}
+
+func TestKillParkedThread(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	deferRan := false
+	w := e.Go("victim", func(th *Thread) {
+		defer func() { deferRan = true }()
+		q.Wait(th)
+		t.Error("victim should never wake normally")
+	})
+	e.Schedule(time.Millisecond, func() { w.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !deferRan {
+		t.Fatal("deferred function did not run on kill")
+	}
+	if !w.Dead() {
+		t.Fatal("victim not dead")
+	}
+	if q.Len() != 0 {
+		t.Fatal("victim left on queue")
+	}
+}
+
+func TestKillBeforeStart(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	w := e.GoAfter(time.Hour, "late", func(th *Thread) { ran = true })
+	e.Schedule(time.Millisecond, func() { w.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("killed thread ran anyway")
+	}
+}
+
+func TestShutdownKillsAll(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "q")
+	for i := 0; i < 5; i++ {
+		e.Go(fmt.Sprintf("w%d", i), func(th *Thread) { q.Wait(th) })
+	}
+	e.Schedule(time.Millisecond, func() { e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveThreads() != 5 {
+		t.Fatalf("live = %d before shutdown", e.LiveThreads())
+	}
+	e.Shutdown()
+	if e.LiveThreads() != 0 {
+		t.Fatalf("live = %d after shutdown", e.LiveThreads())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine(1)
+	q := NewWaitQueue(e, "stuckq")
+	e.Go("stuck", func(th *Thread) { q.Wait(th) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Threads) != 1 {
+		t.Fatalf("threads = %v", dl.Threads)
+	}
+	e.Shutdown()
+}
+
+func TestThreadPanicPropagates(t *testing.T) {
+	e := NewEngine(1)
+	e.Go("bad", func(th *Thread) { panic("boom") })
+	err := e.Run()
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStopEndsRun(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		e.Schedule(time.Millisecond, tick)
+	}
+	e.Schedule(time.Millisecond, tick)
+	e.Schedule(10*time.Millisecond+time.Microsecond, func() { e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("ticks = %d, want 10", n)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Schedule(time.Millisecond, func() { fired++ })
+	e.Schedule(time.Hour, func() { fired++ })
+	if err := e.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("now = %v", e.Now())
+	}
+	e.Shutdown()
+}
+
+func TestMaxEvents(t *testing.T) {
+	e := NewEngine(1)
+	e.MaxEvents = 100
+	var loop func()
+	loop = func() { e.Schedule(0, loop) }
+	e.Schedule(0, loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected MaxEvents error")
+	}
+}
+
+// TestDeterminism runs a mildly chaotic workload twice and requires
+// identical traces.
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		e := NewEngine(42)
+		var trace []string
+		q := NewWaitQueue(e, "q")
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("t%d", i)
+			e.Go(name, func(th *Thread) {
+				for j := 0; j < 5; j++ {
+					d := time.Duration(e.Rand().Intn(1000)) * time.Microsecond
+					th.Sleep(d)
+					trace = append(trace, fmt.Sprintf("%s@%d", name, th.Now()))
+					if e.Rand().Intn(2) == 0 {
+						q.WakeAll()
+					} else if e.Rand().Intn(3) == 0 {
+						q.WaitTimeout(th, 100*time.Microsecond)
+					}
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("traces differ between runs")
+	}
+}
+
+// Property: for any set of sleep durations, every thread wakes exactly
+// at its requested instant, and threads with equal deadlines wake in
+// spawn order.
+func TestSleepWakeProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		e := NewEngine(7)
+		type rec struct {
+			idx int
+			at  Time
+		}
+		var woke []rec
+		for i, r := range raw {
+			i, d := i, time.Duration(r)*time.Microsecond
+			e.Go(fmt.Sprintf("t%d", i), func(th *Thread) {
+				th.Sleep(d)
+				woke = append(woke, rec{i, th.Now()})
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(woke) != len(raw) {
+			return false
+		}
+		for k, w := range woke {
+			if w.at != Time(time.Duration(raw[w.idx])*time.Microsecond) {
+				return false
+			}
+			if k > 0 {
+				p := woke[k-1]
+				if w.at < p.at || (w.at == p.at && w.idx < p.idx) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

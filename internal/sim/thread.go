@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// threadState describes where a virtual thread is in its lifecycle.
+type threadState int
+
+const (
+	stateReady    threadState = iota // wake or start event pending
+	stateRunning                     // executing user code right now
+	stateSleeping                    // timer pending
+	stateWaiting                     // parked on a WaitQueue
+	stateDead                        // fn returned or thread was killed
+)
+
+func (s threadState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateWaiting:
+		return "waiting"
+	case stateDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// WakeReason tells a thread returning from a blocking call why it was
+// woken.
+type WakeReason int
+
+const (
+	// WakeSignal means another thread woke it via a WaitQueue.
+	WakeSignal WakeReason = iota
+	// WakeTimeout means a sleep or WaitTimeout deadline expired.
+	WakeTimeout
+	// WakeInterrupt means the thread was woken by Thread.Interrupt,
+	// independent of the queue it was blocked on.
+	WakeInterrupt
+)
+
+func (r WakeReason) String() string {
+	switch r {
+	case WakeSignal:
+		return "signal"
+	case WakeTimeout:
+		return "timeout"
+	case WakeInterrupt:
+		return "interrupt"
+	default:
+		return "invalid"
+	}
+}
+
+// errThreadKilled is the panic value used to unwind a killed thread.
+var errThreadKilled = errors.New("sim: thread killed")
+
+// ErrInterrupted is returned by blocking operations cut short by
+// Thread.Interrupt.
+var ErrInterrupted = errors.New("sim: interrupted")
+
+// Thread is a virtual thread: a goroutine scheduled cooperatively by
+// the engine.  All methods that block (Sleep, Yield, Join, and
+// WaitQueue waits naming this thread) must be called from the thread's
+// own body; control methods (Suspend, Resume, Interrupt, Kill) may be
+// called from any simulation context.
+type Thread struct {
+	eng  *Engine
+	id   int64
+	name string
+
+	wake    chan struct{}
+	state   threadState
+	started bool // goroutine has been launched
+
+	// suspended is orthogonal to state: a sleeping, waiting, or ready
+	// thread can be suspended in place.
+	suspended bool
+
+	// pendingWake records a wakeup that arrived while suspended; it is
+	// delivered on Resume.
+	pendingWake   bool
+	pendingReason WakeReason
+
+	// sleepRemainder is the unexpired portion of a sleep interrupted
+	// by Suspend; the sleep is re-armed for this long on Resume.
+	sleepRemainder time.Duration
+	sleepUntil     Time
+
+	// wakeGen invalidates outstanding wake and timer events: each
+	// scheduled wake captures the generation at schedule time and is
+	// ignored if the generation has moved on by the time it fires.
+	// At most one in-flight event carries the current generation.
+	wakeGen uint64
+
+	waitingOn  *WaitQueue
+	wakeReason WakeReason
+
+	killed      bool
+	interrupted bool
+
+	exited *WaitQueue // woken when the thread dies
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Engine returns the engine this thread runs on.
+func (t *Thread) Engine() *Engine { return t.eng }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.eng.now }
+
+func (t *Thread) describe() string {
+	s := fmt.Sprintf("%s[%s", t.name, t.state)
+	if t.suspended {
+		s += ",suspended"
+	}
+	if t.state == stateWaiting && t.waitingOn != nil {
+		s += ",on=" + t.waitingOn.name
+	}
+	return s + "]"
+}
+
+// Dead reports whether the thread has terminated.
+func (t *Thread) Dead() bool { return t.state == stateDead }
+
+// Suspended reports whether the thread is currently suspended.
+func (t *Thread) Suspended() bool { return t.suspended }
+
+func (t *Thread) assertCurrent(op string) {
+	if t.eng.running != t {
+		panic(fmt.Sprintf("sim: %s called on thread %q from outside its own context", op, t.name))
+	}
+	if t.killed {
+		panic(errThreadKilled)
+	}
+}
+
+// park yields control to the current wait frame (whoever handed this
+// thread control) and blocks until woken.
+func (t *Thread) park() {
+	t.eng.waiter <- struct{}{}
+	<-t.wake
+	if t.killed {
+		panic(errThreadKilled)
+	}
+}
+
+// Sleep blocks the thread for virtual duration d.  If the thread is
+// suspended mid-sleep, the unexpired remainder is preserved and the
+// sleep continues after Resume.
+func (t *Thread) Sleep(d time.Duration) {
+	t.assertCurrent("Sleep")
+	if d < 0 {
+		panic(fmt.Sprintf("sim: Sleep with negative duration %v", d))
+	}
+	t.state = stateSleeping
+	t.sleepUntil = t.eng.now.Add(d)
+	t.armTimer(d)
+	t.park()
+	t.state = stateRunning
+}
+
+// Yield reschedules the thread behind all events pending at the
+// current instant, letting other ready threads run.
+func (t *Thread) Yield() { t.Sleep(0) }
+
+func (t *Thread) bumpGen() uint64 {
+	t.wakeGen++
+	return t.wakeGen
+}
+
+// armTimer schedules a WakeTimeout after d, guarded by the wake
+// generation so that any newer wake supersedes it.
+func (t *Thread) armTimer(d time.Duration) {
+	gen := t.bumpGen()
+	t.eng.Schedule(d, func() {
+		if t.wakeGen == gen {
+			t.deliverWake(WakeTimeout)
+		}
+	})
+}
+
+// scheduleWake queues an engine event that will hand control to the
+// thread, superseding any pending timer or earlier wake.
+func (t *Thread) scheduleWake(reason WakeReason) {
+	gen := t.bumpGen()
+	t.state = stateReady
+	t.eng.Schedule(0, func() {
+		if t.wakeGen == gen {
+			t.deliverWake(reason)
+		}
+	})
+}
+
+// deliverWake runs in engine context and either transfers control to
+// the thread or, if it is suspended, records the wake for Resume.
+func (t *Thread) deliverWake(reason WakeReason) {
+	if t.state == stateDead {
+		return
+	}
+	if t.waitingOn != nil {
+		t.waitingOn.remove(t)
+	}
+	if t.suspended {
+		t.pendingWake = true
+		t.pendingReason = reason
+		t.sleepRemainder = 0
+		return
+	}
+	t.wakeReason = reason
+	t.eng.transfer(t)
+}
+
+// Suspend freezes the thread in place: a sleeping thread's timer is
+// cancelled (remainder preserved), a waiting thread stays on its
+// queue but defers wakeups, and a ready thread defers its pending
+// wake.  Suspending a dead or already-suspended thread is a no-op.
+// The currently running thread cannot suspend itself.
+func (t *Thread) Suspend() {
+	if t.state == stateDead || t.suspended {
+		return
+	}
+	if t.eng.running == t {
+		panic(fmt.Sprintf("sim: thread %q cannot Suspend itself", t.name))
+	}
+	t.suspended = true
+	if t.state == stateSleeping {
+		if rem := t.sleepUntil.Sub(t.eng.now); rem > 0 {
+			t.sleepRemainder = rem
+		} else {
+			// Timer already due; treat as a deferred wake.
+			t.pendingWake = true
+			t.pendingReason = WakeTimeout
+		}
+		t.bumpGen() // cancel the armed timer
+	}
+}
+
+// Resume lifts a suspension.  A deferred wake is delivered, an
+// interrupted sleep is re-armed for its remainder, and a waiting
+// thread goes back to waiting normally.
+func (t *Thread) Resume() {
+	if t.state == stateDead || !t.suspended {
+		return
+	}
+	t.suspended = false
+	switch {
+	case t.pendingWake:
+		t.pendingWake = false
+		t.scheduleWake(t.pendingReason)
+	case t.sleepRemainder > 0:
+		d := t.sleepRemainder
+		t.sleepRemainder = 0
+		t.sleepUntil = t.eng.now.Add(d)
+		t.armTimer(d)
+	}
+}
+
+// Interrupt wakes the thread out of any blocking operation with
+// WakeInterrupt (the simulation analogue of delivering a signal).  If
+// the thread is suspended the interrupt is deferred until Resume.  It
+// is a no-op on a running or dead thread.
+func (t *Thread) Interrupt() {
+	switch t.state {
+	case stateDead, stateRunning:
+		return
+	}
+	t.interrupted = true
+	if t.suspended {
+		t.pendingWake = true
+		t.pendingReason = WakeInterrupt
+		t.sleepRemainder = 0
+		return
+	}
+	t.scheduleWake(WakeInterrupt)
+}
+
+// ClearInterrupt resets the interrupt flag, returning its prior value.
+func (t *Thread) ClearInterrupt() bool {
+	was := t.interrupted
+	t.interrupted = false
+	return was
+}
+
+// Interrupted reports whether an interrupt has been delivered and not
+// yet cleared.
+func (t *Thread) Interrupted() bool { return t.interrupted }
+
+// Kill terminates the thread.  If it has not started it never will;
+// otherwise its goroutine is unwound immediately (deferred functions
+// run, but must not block on simulation primitives).  The currently
+// running thread may kill itself, which unwinds it on the spot.
+func (t *Thread) Kill() {
+	if t.state == stateDead {
+		return
+	}
+	t.killed = true
+	t.suspended = false
+	t.bumpGen() // cancel in-flight wakes and timers
+	if t.waitingOn != nil {
+		t.waitingOn.remove(t)
+	}
+	if !t.started {
+		// The start event will observe killed state and do nothing.
+		t.markDead()
+		return
+	}
+	if t.eng.running == t {
+		panic(errThreadKilled)
+	}
+	t.eng.transfer(t) // park() observes killed and unwinds
+}
+
+// markDead finalizes thread termination bookkeeping.
+func (t *Thread) markDead() {
+	t.state = stateDead
+	delete(t.eng.threads, t)
+	t.exited.WakeAll()
+}
+
+// Join blocks the calling thread until t has terminated.
+func (t *Thread) Join(caller *Thread) {
+	for t.state != stateDead {
+		t.exited.Wait(caller)
+	}
+}

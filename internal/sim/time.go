@@ -1,0 +1,44 @@
+// Package sim implements a deterministic, process-oriented
+// discrete-event simulator.
+//
+// The simulator advances a virtual clock by firing events from a
+// priority queue ordered by (time, sequence number).  "Processes" in
+// the DES sense are virtual threads (Thread): ordinary Go functions
+// running on their own goroutines, but scheduled cooperatively so that
+// exactly one of them — or the engine itself — executes at any moment.
+// All simulation state may therefore be mutated without locks, and a
+// given program produces a bit-identical event trace on every run.
+//
+// Virtual threads block on wait queues (WaitQueue), sleep for virtual
+// durations, and can be suspended and resumed by other threads; a
+// suspended thread makes no progress, defers any wakeups delivered to
+// it, and preserves the unexpired remainder of an interrupted sleep.
+// These semantics mirror signal-based thread suspension in a real
+// operating system and are relied upon by the checkpointing layers
+// built on top of this package.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start
+// of the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Duration returns t as a duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("T+%s", time.Duration(t))
+}

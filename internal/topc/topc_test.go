@@ -1,0 +1,121 @@
+package topc_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/npb"
+	"repro/internal/sim"
+	"repro/internal/topc"
+)
+
+func newEnv(t *testing.T, nodes int) (*sim.Engine, *kernel.Cluster, *dmtcp.System) {
+	t.Helper()
+	eng := sim.NewEngine(4)
+	c := kernel.NewCluster(eng, model.Default(), nodes)
+	kernel.StartInfra(c)
+	sys := dmtcp.Install(c, dmtcp.Config{Compress: true})
+	mpi.RegisterPrograms(c)
+	npb.Register(c)
+	topc.Register(c)
+	if err := sys.SpawnCoordinator(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Shutdown)
+	return eng, c, sys
+}
+
+func TestParGeant4RunsToCompletion(t *testing.T) {
+	eng, c, sys := newEnv(t, 2)
+	c.RegisterFunc("driver", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond)
+		boot, err := sys.Launch(0, "mpdboot", "2")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		task.WatchExit(boot)
+		mx, err := sys.Launch(0, "mpiexec", "8", "4", "0",
+			strconv.Itoa(mpi.BasePort), "pargeant4", "60")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if code := task.WatchExit(mx); code != 0 {
+			t.Errorf("mpiexec exited %d", code)
+		}
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("driver", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := c.Node(0).FS.ReadFile("/out/pargeant4.done")
+	if err != nil {
+		t.Fatal("master never reported completion")
+	}
+	if !strings.Contains(string(ino.Data), "events=60") {
+		t.Fatalf("done = %q, want events=60", ino.Data)
+	}
+}
+
+func TestParGeant4SurvivesCheckpointRestart(t *testing.T) {
+	eng, c, sys := newEnv(t, 2)
+	c.RegisterFunc("driver", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond)
+		boot, err := sys.Launch(0, "mpdboot", "2")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		task.WatchExit(boot)
+		if _, err := sys.Launch(0, "mpiexec", "8", "4", "0",
+			strconv.Itoa(mpi.BasePort), "pargeant4", "2000"); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(500 * time.Millisecond) // mid-computation
+		round, err := sys.Checkpoint(task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// 8 ranks + 8 proxies + 2 mpds + mpiexec = 19.
+		if round.NumProcs < 19 {
+			t.Errorf("checkpointed %d procs, want ≥19", round.NumProcs)
+		}
+		sys.KillManaged()
+		if _, err := sys.RestartAll(task, round, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		deadline := task.Now().Add(120 * time.Second)
+		for task.Now() < deadline && !c.Node(0).FS.Exists("/out/pargeant4.done") {
+			task.Compute(100 * time.Millisecond)
+		}
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("driver", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ino, err := c.Node(0).FS.ReadFile("/out/pargeant4.done")
+	if err != nil {
+		t.Fatal("restored master never finished")
+	}
+	// Exactly 2000 events despite the rollback: the master's state and
+	// the task streams replay exactly-once.
+	if !strings.Contains(string(ino.Data), "events=2000") {
+		t.Fatalf("done = %q, want events=2000", ino.Data)
+	}
+}
