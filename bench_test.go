@@ -150,6 +150,24 @@ func BenchmarkBarrierScalability(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreIncremental measures the content-addressed chunk
+// store: per-generation checkpoint time for full rewrites vs
+// incremental dedup at a 10% dirty rate.
+func BenchmarkStoreIncremental(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunStore(benchOpts(b, i))
+		if r := rowNamed(tab, "10"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 1), "full-ckpt-s")
+			b.ReportMetric(cell(tab, r, 2), "incr-ckpt-s")
+			d, _ := strconv.ParseFloat(tab.Rows[r][6], 64)
+			b.ReportMetric(d, "dedup-%")
+		}
+		if r := rowNamed(tab, "0"); r >= 0 {
+			b.ReportMetric(cell(tab, r, 2), "clean-incr-ckpt-s")
+		}
+	}
+}
+
 // BenchmarkDejaVuComparison regenerates the §2 related-work
 // comparison against a DejaVu-style logging checkpointer.
 func BenchmarkDejaVuComparison(b *testing.B) {

@@ -2,13 +2,14 @@
 //
 // Usage:
 //
-//	dmtcp-bench [-run id] [-trials n] [-quick] [-list]
+//	dmtcp-bench [-run id] [-trials n] [-quick] [-list] [-json]
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
-// sync, forked, barrier, dejavu, all (default).
+// sync, forked, barrier, dejavu, store, all (default).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		asJSON = flag.Bool("json", false, "emit results as a JSON array of tables")
 	)
 	flag.Parse()
 
@@ -45,6 +47,7 @@ func main() {
 		{"forked", "forked checkpointing (§5.3)", func() *dmtcpsim.Table { return dmtcpsim.RunForked(o) }},
 		{"barrier", "coordinator scalability (§5.4)", func() *dmtcpsim.Table { return dmtcpsim.RunBarrier(o) }},
 		{"dejavu", "DejaVu overhead comparison (§2)", func() *dmtcpsim.Table { return dmtcpsim.RunDejaVu(o) }},
+		{"store", "incremental chunk store vs full rewrite", func() *dmtcpsim.Table { return dmtcpsim.RunStore(o) }},
 	}
 	if *list {
 		for _, e := range exps {
@@ -57,18 +60,32 @@ func main() {
 		want[strings.TrimSpace(id)] = true
 	}
 	ran := 0
+	var tables []*dmtcpsim.Table
 	for _, e := range exps {
 		if !want["all"] && !want[e.id] {
 			continue
 		}
 		start := time.Now()
 		tab := e.fn()
-		fmt.Println(tab.Render())
-		fmt.Printf("(%s regenerated in %v wall time)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		if *asJSON {
+			tables = append(tables, tab)
+			fmt.Fprintf(os.Stderr, "(%s regenerated in %v wall time)\n", e.id, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Println(tab.Render())
+			fmt.Printf("(%s regenerated in %v wall time)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

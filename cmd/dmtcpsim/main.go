@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmtcpsim -scenario quickstart|mpi|migrate|vnc [-nodes n]
+//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store [-nodes n]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc")
+		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store")
 		nodes    = flag.Int("nodes", 4, "cluster size")
 	)
 	flag.Parse()
@@ -34,6 +34,8 @@ func main() {
 		migrate(*nodes)
 	case "vnc":
 		vnc()
+	case "store":
+		storeScenario()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -128,6 +130,46 @@ func migrate(nodes int) {
 		for _, p := range s.Sys.ManagedProcesses() {
 			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)
 		}
+	})
+}
+
+func storeScenario() {
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: 1,
+		Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2}})
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("launching a 256 MB process; checkpoints go through the chunk store ...")
+		if _, err := s.Launch(0, dmtcpsim.DirtyAppName, "256"); err != nil {
+			panic(err)
+		}
+		t.Compute(300 * time.Millisecond)
+		for gen := 1; gen <= 4; gen++ {
+			round, err := s.Checkpoint(t)
+			if err != nil {
+				panic(err)
+			}
+			img := round.Images[0]
+			fmt.Printf("gen %d: write %v  new chunks %d/%d  wrote %.1f MB  dedup %.1f MB\n",
+				img.Generation, round.Stages.Write.Round(time.Millisecond),
+				img.NewChunks, img.Chunks,
+				float64(round.Bytes)/(1<<20), float64(round.DedupBytes)/(1<<20))
+			if round.GC != nil {
+				fmt.Printf("       gc: %d manifests, %d live chunks, %d swept (%d pruned)\n",
+					round.GC.Manifests, round.GC.Live, round.GC.Swept, round.GC.Pruned)
+			}
+			// Dirty 10% of the heap between generations.
+			for _, p := range s.Sys.ManagedProcesses() {
+				dmtcpsim.TouchHeap(p, 0.10, uint64(gen))
+			}
+			t.Compute(100 * time.Millisecond)
+		}
+		last := s.Sys.Coord.LastRound()
+		s.KillAll()
+		stats, err := s.Restart(t, last, nil)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("restarted from manifest generation %d in %v\n",
+			last.Images[0].Generation, stats.Total.Round(time.Millisecond))
 	})
 }
 

@@ -86,6 +86,15 @@ type (
 // process does not run under DMTCP).
 func Aware(p *Process) *AwareAPI { return dmtcp.Aware(p) }
 
+// DirtyAppName is the registered synthetic workload that maps a large
+// heap and idles; pair it with TouchHeap to drive controlled
+// dirty-page rates against the incremental checkpoint store.
+const DirtyAppName = experiments.DirtyAppName
+
+// TouchHeap dirties frac of a process's heap chunks (salt rotates the
+// working set deterministically between calls).
+func TouchHeap(p *Process, frac float64, salt uint64) { experiments.TouchHeap(p, frac, salt) }
+
 // Sim is a simulated cluster with a DMTCP session installed and every
 // paper workload registered.
 type Sim struct {
@@ -177,5 +186,6 @@ var (
 	RunForked   = experiments.RunForked
 	RunBarrier  = experiments.RunBarrier
 	RunDejaVu   = experiments.RunDejaVu
+	RunStore    = experiments.RunStore
 	RunAll      = experiments.All
 )

@@ -2,6 +2,7 @@ package dmtcp
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Config selects session-wide checkpointing behavior.
@@ -28,6 +30,16 @@ type Config struct {
 	Forked bool
 	// Interval enables periodic checkpoints (--interval).
 	Interval time.Duration
+
+	// Store routes checkpoint images through the content-addressed
+	// chunk store under CkptDir/store: each generation writes only
+	// chunks not already present (incremental checkpointing), and the
+	// coordinator garbage-collects unreferenced chunks after every
+	// committed round.
+	Store bool
+	// StoreKeep is the retention policy applied at coordinator GC
+	// time: generations to keep per process image (0 keeps all).
+	StoreKeep int
 }
 
 func (c *Config) fillDefaults() {
@@ -56,6 +68,15 @@ type System struct {
 	// shm registry: "host/backing" → restored segment (shared among
 	// processes restored on the same host, §4.5).
 	shm map[string]*kernel.ShmSegment
+
+	// storeNodes records every node whose chunk store received a
+	// write this session: GC must keep revisiting nodes processes
+	// have migrated away from, which round image lists alone miss.
+	storeNodes map[*kernel.Node]bool
+	// storeBusy counts in-flight background (forked) store writers
+	// per node; GC defers on stores with uncommitted writers so it
+	// can never sweep chunks a child is about to reference.
+	storeBusy map[*kernel.Node]int
 }
 
 // Install wires a DMTCP session into the cluster: registers the
@@ -64,11 +85,13 @@ type System struct {
 func Install(c *kernel.Cluster, cfg Config) *System {
 	cfg.fillDefaults()
 	sys := &System{
-		C:        c,
-		Cfg:      cfg,
-		byVirt:   make(map[string]*Manager),
-		managers: make(map[*kernel.Process]*Manager),
-		shm:      make(map[string]*kernel.ShmSegment),
+		C:          c,
+		Cfg:        cfg,
+		byVirt:     make(map[string]*Manager),
+		managers:   make(map[*kernel.Process]*Manager),
+		shm:        make(map[string]*kernel.ShmSegment),
+		storeNodes: make(map[*kernel.Node]bool),
+		storeBusy:  make(map[*kernel.Node]int),
 	}
 	coordNode := c.Node(cfg.CoordNode)
 	sys.Coord = &Coordinator{
@@ -101,6 +124,50 @@ func (s *System) SpawnCoordinator() error {
 }
 
 func (s *System) coordAddr() kernel.Addr { return s.Coord.Addr() }
+
+// StoreRoot returns the configured chunk-store root under the
+// checkpoint directory.
+func (s *System) StoreRoot() string { return s.Cfg.CkptDir + "/store" }
+
+// StoreOn returns a handle to the session's chunk store on the given
+// node (stores under /san are one shared namespace; local checkpoint
+// directories get one store per node).
+func (s *System) StoreOn(n *kernel.Node) *store.Store {
+	return store.Open(n, store.Config{
+		Root:     s.StoreRoot(),
+		Compress: s.Cfg.Compress,
+	})
+}
+
+// noteStoreWrite registers n as hosting session checkpoint data.
+func (s *System) noteStoreWrite(n *kernel.Node) { s.storeNodes[n] = true }
+
+// storeNodesSorted returns every registered store node in node-ID
+// order (deterministic GC sweeps).
+func (s *System) storeNodesSorted() []*kernel.Node {
+	out := make([]*kernel.Node, 0, len(s.storeNodes))
+	for n := range s.storeNodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *System) storeWriterInc(n *kernel.Node) { s.storeBusy[n]++ }
+
+func (s *System) storeWriterDec(n *kernel.Node) {
+	if s.storeBusy[n] > 0 {
+		s.storeBusy[n]--
+	}
+}
+
+func (s *System) storeBusyTotal() int {
+	total := 0
+	for _, v := range s.storeBusy {
+		total += v
+	}
+	return total
+}
 
 // CheckpointEnv returns the environment dmtcp_checkpoint gives target
 // programs: library injection plus coordinator location.
@@ -273,6 +340,18 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 		src := s.C.LookupHost(host)
 		if src != target {
 			for _, img := range imgs {
+				if store.IsManifestPath(img.Path) {
+					// Chunked image: replicate the manifest and every
+					// chunk it references that the target lacks.
+					if root, ok := store.RootForManifest(img.Path); ok {
+						sst := store.Open(src, store.Config{Root: root})
+						dst := store.Open(target, store.Config{Root: root})
+						if err := sst.CopyTo(dst, img.Path); err != nil {
+							return nil, fmt.Errorf("dmtcp: migrate %s: %w", img.Path, err)
+						}
+					}
+					continue
+				}
 				if ino, err := src.FS.ReadFile(img.Path); err == nil && !target.FS.Exists(img.Path) {
 					target.FS.WriteFile(img.Path, ino.Data, ino.LogicalSize)
 				}

@@ -2,11 +2,13 @@ package dmtcp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/bin"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // DefaultCoordPort is the coordinator's default TCP port.
@@ -46,6 +48,7 @@ type roundState struct {
 	stageMax     map[string]time.Duration
 	images       []ImageInfo
 	bytes, raw   int64
+	dedup        int64
 	syncMax      time.Duration
 }
 
@@ -76,6 +79,11 @@ type Coordinator struct {
 	round       *roundState
 	pendingCkpt int // queued checkpoint requests
 	cmdWaiters  []chan2
+
+	// gcPending holds store-mode rounds whose collection was deferred
+	// because forked writers were still committing; the next
+	// opportunity collects once and credits every covered round.
+	gcPending []*CkptRound
 
 	advertised map[string]kernel.Addr
 	pendingQ   map[string][]int // guid → fds awaiting resolution
@@ -161,6 +169,7 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 		case msgBarrier:
 			co.onBarrier(t, cid, body)
 		case msgStatus:
+			co.retryDeferredGC(t)
 			var e bin.Encoder
 			e.B = append(e.B, 's')
 			e.Int(len(co.clients))
@@ -231,6 +240,10 @@ func (co *Coordinator) requestCheckpoint(t *kernel.Task) {
 		co.finishRound(t, &roundState{start: t.Now(), participants: map[int64]*coordClient{}})
 		return
 	}
+	// Rounds whose GC was deferred (forked writers were still
+	// committing) are collected now, before the new round's writes
+	// begin.
+	co.retryDeferredGC(t)
 	co.round = &roundState{
 		idx:          len(co.Rounds),
 		start:        t.Now(),
@@ -248,6 +261,7 @@ func (co *Coordinator) requestCheckpoint(t *kernel.Task) {
 	e.Bool(cfg.Compress)
 	e.Bool(cfg.Fsync)
 	e.Bool(cfg.Forked)
+	e.Bool(cfg.Store)
 	for _, c := range sortedClients(co.round.participants) {
 		t.SendFrame(c.fd, e.B)
 	}
@@ -291,9 +305,14 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 			Raw:     d.I64(),
 		}
 		sync := time.Duration(d.I64())
+		img.Generation = d.I64()
+		img.Chunks = d.Int()
+		img.NewChunks = d.Int()
+		img.Dedup = d.I64()
 		r.images = append(r.images, img)
 		r.bytes += img.Bytes
 		r.raw += img.Raw
+		r.dedup += img.Dedup
 		if sync > r.syncMax {
 			r.syncMax = sync
 		}
@@ -335,6 +354,24 @@ func (co *Coordinator) finishRound(t *kernel.Task, r *roundState) {
 		Images:   r.images,
 		Compress: co.Sys.Cfg.Compress,
 		Forked:   co.Sys.Cfg.Forked,
+
+		Store:      co.Sys.Cfg.Store,
+		DedupBytes: r.dedup,
+	}
+	if round.Store && len(r.images) > 0 {
+		// Forked rounds commit their manifests in background children
+		// after the barrier releases, so their stores are still busy
+		// here and collectStores defers them (possibly only on some
+		// nodes).  A round only records stats from a full-coverage
+		// pass — partial passes sweep what they can but the round
+		// stays pending until retryDeferredGC completes the coverage,
+		// so stats are never double-counted across retries.
+		st, deferred := co.collectStores(t)
+		if deferred {
+			co.gcPending = append(co.gcPending, round)
+		} else {
+			round.GC = st
+		}
 	}
 	co.Rounds = append(co.Rounds, round)
 	co.round = nil
@@ -347,6 +384,65 @@ func (co *Coordinator) finishRound(t *kernel.Task, r *roundState) {
 		co.pendingCkpt--
 		co.requestCheckpoint(t)
 	}
+}
+
+// collectStores runs the retention policy plus a mark-and-sweep GC
+// pass over every node store the session has ever written — the
+// registry, not the current round's image list, so stores on nodes a
+// process has migrated away from keep being collected.  Stores with
+// in-flight (forked) writers are deferred: sweeping under an
+// uncommitted manifest could reclaim chunks it is about to
+// reference.  Returns the aggregate of the stores that were collected
+// (nil if none) plus whether any store had to be deferred.  Stores
+// under /san are one shared namespace and are collected exactly once.
+func (co *Coordinator) collectStores(t *kernel.Task) (*store.GCStats, bool) {
+	sys := co.Sys
+	nodes := sys.storeNodesSorted()
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	var agg store.GCStats
+	collected := false
+	deferred := false
+	if strings.HasPrefix(sys.StoreRoot(), "/san") {
+		if sys.storeBusyTotal() > 0 {
+			return nil, true
+		}
+		agg = sys.StoreOn(nodes[0]).Collect(t, sys.Cfg.StoreKeep)
+		collected = true
+	} else {
+		for _, n := range nodes {
+			if sys.storeBusy[n] > 0 {
+				deferred = true
+				continue
+			}
+			agg.Add(sys.StoreOn(n).Collect(t, sys.Cfg.StoreKeep))
+			collected = true
+		}
+	}
+	if !collected {
+		return nil, deferred
+	}
+	return &agg, deferred
+}
+
+// retryDeferredGC re-attempts collection for every round that had to
+// defer; the first pass that covers every store is credited to all of
+// them.  A round that defers at the very end of a session is
+// collected at the next checkpoint request, status poll, or restart.
+func (co *Coordinator) retryDeferredGC(t *kernel.Task) {
+	if len(co.gcPending) == 0 || !co.Sys.Cfg.Store {
+		return
+	}
+	st, deferred := co.collectStores(t)
+	if deferred || st == nil {
+		return // some store still busy; keep pending
+	}
+	for _, r := range co.gcPending {
+		cp := *st
+		r.GC = &cp
+	}
+	co.gcPending = nil
 }
 
 // onRestartEnd aggregates restart stage times; when all expected
@@ -388,6 +484,7 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 	co.RestartStats = &agg
 	co.restartAgg = nil
 	co.doneW.WakeAll()
+	co.retryDeferredGC(t)
 }
 
 // disconnect removes a dead client; if a round is in flight the

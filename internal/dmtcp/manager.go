@@ -47,6 +47,12 @@ type Manager struct {
 	// lastStats records the most recent checkpoint's stage times as
 	// measured inside this process.
 	lastStats StageTimes
+
+	// lastStoreGen is the highest store generation this manager has
+	// reserved; forked checkpointing reserves numbers here before the
+	// background writer commits, so overlapping writers of the same
+	// process never collide on a generation.
+	lastStoreGen int64
 }
 
 type awareHooks struct {
@@ -116,6 +122,7 @@ func (m *Manager) loop(t *kernel.Task) {
 			Compress: d.Bool(),
 			Fsync:    d.Bool(),
 			Forked:   d.Bool(),
+			Store:    d.Bool(),
 		}
 		m.doCheckpoint(t, cfg)
 	}
@@ -126,6 +133,7 @@ type ckptConfig struct {
 	Compress bool
 	Fsync    bool
 	Forked   bool
+	Store    bool
 }
 
 // barrier reports arrival at a named global barrier and blocks until
@@ -226,19 +234,46 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 	img.Ext["dmtcp.conns"] = encodeConns(m.connRecs(t, drained))
 	img.Ext["dmtcp.pids"] = encodePids(m.virtPid, m.pidTable)
 	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync}
+	if cfg.Store {
+		opts.Store = m.sys.StoreOn(p.Node)
+		m.sys.noteStoreWrite(p.Node)
+		// Reserve the generation in the parent: committed manifests
+		// alone cannot number it safely once forked writers overlap.
+		gen := opts.Store.NextGeneration(mtcp.ImageBase(img))
+		if gen <= m.lastStoreGen {
+			gen = m.lastStoreGen + 1
+		}
+		m.lastStoreGen = gen
+		opts.Generation = gen
+	}
 	var res mtcp.WriteResult
 	if cfg.Forked {
 		// Forked checkpointing (§5.3): the child writes and
 		// compresses in the background; the parent's perceived cost
-		// is the fork itself.
+		// is the fork itself.  With the store enabled the parent
+		// reports the reserved manifest path/generation and a
+		// whole-image size estimate (it cannot know the dedup outcome
+		// the child will discover); the writer count keeps GC off the
+		// store until the child commits its manifest.
+		node := p.Node
+		if opts.Store != nil {
+			m.sys.storeWriterInc(node)
+		}
 		t.ForkRaw("ckpt-writer", func(c *kernel.Task) {
 			mtcp.WriteImage(c, img, opts)
+			if opts.Store != nil {
+				m.sys.storeWriterDec(node)
+			}
 			c.Exit(0)
 		})
 		res = mtcp.WriteResult{
 			Path:     mtcp.ImagePath(opts.Dir, img, opts.Compress),
 			RawBytes: img.LogicalBytes(),
 			Bytes:    img.LogicalBytes(),
+		}
+		if opts.Store != nil {
+			res.Path = opts.Store.ManifestPath(mtcp.ImageBase(img), opts.Generation)
+			res.Generation = opts.Generation
 		}
 		if opts.Compress {
 			res.Bytes = img.CompressedBytes(params)
@@ -255,6 +290,10 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		e.I64(res.Bytes)
 		e.I64(res.RawBytes)
 		e.I64(int64(res.SyncTook))
+		e.I64(res.Generation)
+		e.Int(res.Chunks)
+		e.Int(res.NewChunks)
+		e.I64(res.DedupBytes)
 	})
 	if err != nil {
 		return

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bin"
 	"repro/internal/kernel"
+	"repro/internal/store"
 )
 
 // GUID is a globally unique socket identifier: (host, pid, timestamp,
@@ -209,14 +210,21 @@ type RestartStages struct {
 	Total  time.Duration
 }
 
-// ImageInfo describes one per-process checkpoint file.
+// ImageInfo describes one per-process checkpoint file (a monolithic
+// image, or a store manifest when the session runs incrementally).
 type ImageInfo struct {
 	Host    string
 	Path    string
 	Prog    string
 	VirtPid kernel.Pid
-	Bytes   int64 // on-disk (compressed if enabled)
+	Bytes   int64 // bytes written this round (new chunks + manifest in store mode)
 	Raw     int64 // uncompressed footprint
+
+	// Store-mode statistics (zero for monolithic images).
+	Generation int64 // committed store generation
+	Chunks     int   // chunks referenced by the manifest
+	NewChunks  int   // chunks actually written this round
+	Dedup      int64 // stored bytes avoided via dedup
 }
 
 // CkptRound is the record of one completed cluster-wide checkpoint.
@@ -230,4 +238,11 @@ type CkptRound struct {
 	Images   []ImageInfo
 	Compress bool
 	Forked   bool
+
+	// Store is true when the round went through the chunk store;
+	// DedupBytes aggregates the stored bytes dedup avoided writing,
+	// and GC reports the coordinator's post-round collection pass.
+	Store      bool
+	DedupBytes int64
+	GC         *store.GCStats
 }

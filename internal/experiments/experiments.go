@@ -73,6 +73,7 @@ func NewEnv(seed int64, nodes int, cfg dmtcp.Config) *Env {
 	topc.Register(c)
 	ipython.Register(c)
 	apps.Register(c)
+	c.Register(DirtyAppName, dirtyProg{})
 	if err := sys.SpawnCoordinator(); err != nil {
 		panic(err)
 	}

@@ -220,3 +220,35 @@ func TestMigrationUseCase(t *testing.T) {
 		}
 	})
 }
+
+// TestStoreQuick checks the incremental-store experiment's physics: a
+// clean process deduplicates almost everything, and incremental
+// checkpoints are measurably cheaper than full rewrites in both time
+// and bytes at low dirty rates.
+func TestStoreQuick(t *testing.T) {
+	tab := RunStore(quickOpts())
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		rate := row[0]
+		full := parseSecs(t, row[1])
+		incr := parseSecs(t, row[2])
+		fullMB := parseSecs(t, row[4])
+		incrMB := parseSecs(t, row[5])
+		dedup := parseSecs(t, row[6])
+		if full <= 0 || incr <= 0 {
+			t.Fatalf("dirty %s%%: non-positive times %v/%v", rate, full, incr)
+		}
+		if incr >= full {
+			t.Errorf("dirty %s%%: incremental %.3fs not faster than full %.3fs", rate, incr, full)
+		}
+		if incrMB >= fullMB/2 {
+			t.Errorf("dirty %s%%: incremental %.1f MB not ≪ full %.1f MB", rate, incrMB, fullMB)
+		}
+		if rate == "0" && dedup < 99 {
+			t.Errorf("clean process deduped only %.1f%%", dedup)
+		}
+	}
+	t.Log("\n" + tab.Render())
+}

@@ -182,6 +182,7 @@ func All(o Opts) []*Table {
 		RunForked(o),
 		RunBarrier(o),
 		RunDejaVu(o),
+		RunStore(o),
 	}
 }
 

@@ -62,6 +62,11 @@ type VMArea struct {
 
 	// Seg links a shared mapping to its segment; nil otherwise.
 	Seg *ShmSegment
+
+	// vers counts writes per CkptChunkBytes span; the incremental
+	// checkpoint store keys chunk identity on it.  Shared mappings
+	// track versions on the segment instead.
+	vers []uint64
 }
 
 // clone returns a private copy of the area (fork semantics: shared
@@ -71,7 +76,114 @@ func (a *VMArea) clone() *VMArea {
 	if a.Seg == nil && a.Payload != nil {
 		na.Payload = append([]byte(nil), a.Payload...)
 	}
+	if a.Seg == nil && a.vers != nil {
+		na.vers = append([]uint64(nil), a.vers...)
+	}
 	return &na
+}
+
+// --- dirty-chunk write tracking --------------------------------------
+
+// CkptChunkBytes is the granularity at which writes to memory are
+// tracked (and at which the content-addressed checkpoint store chunks
+// area payloads).  One counter per 1 MiB keeps tracking overhead
+// negligible while exposing dirty-page locality to incremental
+// checkpoints.
+const CkptChunkBytes int64 = 1 << 20
+
+// ChunkCount returns how many tracking chunks cover n bytes (min 1).
+func ChunkCount(n int64) int {
+	if n <= 0 {
+		return 1
+	}
+	return int((n + CkptChunkBytes - 1) / CkptChunkBytes)
+}
+
+// versSlice lazily sizes a version slice to cover bytes.
+func versSlice(v []uint64, bytes int64) []uint64 {
+	n := ChunkCount(bytes)
+	for len(v) < n {
+		v = append(v, 0)
+	}
+	return v
+}
+
+func touchRange(v []uint64, bytes, off, n int64) []uint64 {
+	v = versSlice(v, bytes)
+	if n <= 0 {
+		return v
+	}
+	lo := off / CkptChunkBytes
+	hi := (off + n - 1) / CkptChunkBytes
+	for i := lo; i <= hi && int(i) < len(v); i++ {
+		v[i]++
+	}
+	return v
+}
+
+func touchFraction(v []uint64, bytes int64, frac float64, salt uint64) []uint64 {
+	v = versSlice(v, bytes)
+	if frac <= 0 {
+		return v
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	dirty := int(float64(len(v))*frac + 0.5)
+	if dirty < 1 {
+		dirty = 1
+	}
+	// Rotate the dirty window with salt so successive intervals touch
+	// different (but deterministic) chunks — a moving working set.
+	start := int(salt % uint64(len(v)))
+	for i := 0; i < dirty; i++ {
+		v[(start+i)%len(v)]++
+	}
+	return v
+}
+
+// Touch records a write of n bytes at offset off, dirtying the
+// covering chunks.
+func (a *VMArea) Touch(off, n int64) {
+	if a.Seg != nil {
+		a.Seg.Touch(off, n)
+		return
+	}
+	a.vers = touchRange(a.vers, a.Bytes, off, n)
+}
+
+// TouchFraction dirties roughly frac of the area's chunks; salt
+// rotates which chunks are hit so repeated calls model a moving
+// working set deterministically.
+func (a *VMArea) TouchFraction(frac float64, salt uint64) {
+	if a.Seg != nil {
+		a.Seg.TouchFraction(frac, salt)
+		return
+	}
+	a.vers = touchFraction(a.vers, a.Bytes, frac, salt)
+}
+
+// ChunkVersions snapshots the per-chunk write versions covering the
+// area's current size.
+func (a *VMArea) ChunkVersions() []uint64 {
+	if a.Seg != nil {
+		return a.Seg.ChunkVersions()
+	}
+	a.vers = versSlice(a.vers, a.Bytes)
+	return append([]uint64(nil), a.vers...)
+}
+
+// SetVersions installs saved chunk versions (restart restores them so
+// post-restart checkpoints keep deduplicating against earlier
+// generations).  For shared mappings the versions go to the segment,
+// first restorer wins (§4.5: every attached process checkpointed the
+// same segment state).
+func (a *VMArea) SetVersions(v []uint64) {
+	if a.Seg != nil {
+		a.Seg.SetVersions(v)
+		return
+	}
+	a.vers = append([]uint64(nil), v...)
 }
 
 // AddressSpace is the ordered set of areas mapped by a process.
@@ -160,6 +272,35 @@ type ShmSegment struct {
 	Class   model.MemClass
 	Payload []byte
 	refs    int
+
+	// vers tracks per-chunk writes; shared by every attached area.
+	vers []uint64
+}
+
+// Touch records a write of n bytes at offset off.
+func (s *ShmSegment) Touch(off, n int64) {
+	s.vers = touchRange(s.vers, s.Bytes, off, n)
+}
+
+// TouchFraction dirties roughly frac of the segment's chunks.
+func (s *ShmSegment) TouchFraction(frac float64, salt uint64) {
+	s.vers = touchFraction(s.vers, s.Bytes, frac, salt)
+}
+
+// ChunkVersions snapshots the segment's per-chunk write versions.
+func (s *ShmSegment) ChunkVersions() []uint64 {
+	s.vers = versSlice(s.vers, s.Bytes)
+	return append([]uint64(nil), s.vers...)
+}
+
+// SetVersions installs saved versions into a freshly re-created
+// segment; segments that have already been written to (or restored)
+// keep their live counters.
+func (s *ShmSegment) SetVersions(v []uint64) {
+	if len(s.vers) != 0 || len(v) == 0 {
+		return
+	}
+	s.vers = append([]uint64(nil), v...)
 }
 
 // Attach maps the segment into as under the given area name.

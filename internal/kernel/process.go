@@ -234,6 +234,7 @@ func (p *Process) SaveState(b []byte) {
 	if a.Bytes < int64(len(b)) {
 		a.Bytes = int64(len(b))
 	}
+	a.Touch(0, int64(len(b)))
 }
 
 // LoadState retrieves the stored control state, or nil.

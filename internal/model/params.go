@@ -130,6 +130,21 @@ type Params struct {
 	// down the user process").
 	CompressionSlowdown float64
 
+	// ---- Content-addressed checkpoint store ----
+
+	// HashBW is chunk-fingerprint (SHA-256) throughput over input
+	// bytes.  On the paper's Xeon 5130 cores sha256sum streams at
+	// roughly 150 MB/s — much faster than gzip, which is what makes
+	// hash-then-skip cheaper than compress-then-write for clean
+	// chunks (stdchk's incremental storage argument).
+	HashBW float64
+	// ChunkLookupCost is one content-addressed index probe or insert
+	// (an in-memory hash-table hit plus amortized metadata I/O).
+	ChunkLookupCost time.Duration
+	// ManifestEntryCost is the per-chunk cost of writing a manifest
+	// record at checkpoint commit and of scanning one during GC mark.
+	ManifestEntryCost time.Duration
+
 	// JitterPct adds bounded uniform noise to the big time charges
 	// (suspend quantum, compression, storage) so repeated trials show
 	// the run-to-run variance the paper reports as error bars.  Zero
@@ -175,7 +190,20 @@ func Default() *Params {
 		GunzipZeroBW: 420 * float64(MB),
 
 		CompressionSlowdown: 0.85,
+
+		HashBW:            150 * float64(MB),
+		ChunkLookupCost:   4 * time.Microsecond,
+		ManifestEntryCost: 2 * time.Microsecond,
 	}
+}
+
+// HashTime returns the CPU time to fingerprint n bytes for the
+// content-addressed store.
+func (p *Params) HashTime(n int64) time.Duration {
+	if n <= 0 || p.HashBW <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / p.HashBW * float64(time.Second))
 }
 
 // Jitter perturbs d by ±JitterPct using the provided deterministic

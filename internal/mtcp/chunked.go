@@ -1,0 +1,246 @@
+package mtcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/store"
+)
+
+// The chunked image path: instead of rewriting a monolithic image
+// every generation, each area payload is split into fixed-size
+// chunks, fingerprinted against the kernel's dirty-write versions,
+// and only chunks the content-addressed store has not seen are
+// compressed and written.  A manifest per (process, generation)
+// references the chunks, so a second checkpoint of a mostly-idle
+// process costs hashing (fast) plus the dirty chunks (few) rather
+// than compressing and writing the whole address space again.
+
+// ImageBase returns the canonical image name, globally unique per
+// (program, host, virtual pid).  Both the monolithic path (ImagePath)
+// and the store (generation keys, post-restart dedup continuity)
+// derive their naming from this single definition.
+func ImageBase(img *Image) string {
+	return fmt.Sprintf("ckpt_%s_%s_%d", img.ProgName, img.Hostname, img.VirtPid)
+}
+
+// chunkScope returns the dedup namespace for one chunk:
+//
+//   - shared mappings dedup by backing object (every attach carries
+//     the same bytes);
+//   - text areas dedup globally by name (a library's pages are the
+//     same file in every process);
+//   - pristine private chunks (write-version 0) dedup globally too —
+//     untouched anonymous memory is zero pages;
+//   - written private chunks are scoped to the owning image: two
+//     processes at the same write-version hold *different* data in
+//     reality, so their chunks must not alias across processes.
+func chunkScope(img *Image, a *AreaRecord, ver uint64) string {
+	switch {
+	case a.ShmBacking != "":
+		return "shm:" + a.ShmBacking
+	case a.Kind == kernel.AreaText:
+		return a.Name
+	case ver == 0:
+		return a.Name
+	}
+	return ImageBase(img) + "/" + a.Name
+}
+
+// headerBytes serializes the image with every payload stripped: the
+// manifest header from which restart rebuilds identity, tables, and
+// area metadata before pulling payload chunks.
+func headerBytes(img *Image) []byte {
+	hdr := *img
+	hdr.Areas = append([]AreaRecord(nil), img.Areas...)
+	for i := range hdr.Areas {
+		hdr.Areas[i].Payload = nil
+	}
+	return hdr.Encode()
+}
+
+// chunkVersionFor maps a store chunk's logical span onto the kernel's
+// write-tracking counters: the chunk's version is the max over the
+// tracking chunks it overlaps, so any dirty page in the span changes
+// the fingerprint.
+func chunkVersionFor(vers []uint64, off, span int64) uint64 {
+	if len(vers) == 0 {
+		return 0
+	}
+	lo := off / kernel.CkptChunkBytes
+	hi := off / kernel.CkptChunkBytes
+	if span > 0 {
+		hi = (off + span - 1) / kernel.CkptChunkBytes
+	}
+	var v uint64
+	for i := lo; i <= hi && int(i) < len(vers); i++ {
+		if vers[i] > v {
+			v = vers[i]
+		}
+	}
+	return v
+}
+
+// payloadSpan returns the real payload bytes mapped onto logical
+// offsets [off, off+span).
+func payloadSpan(payload []byte, off, span int64) []byte {
+	n := int64(len(payload))
+	lo := off
+	if lo > n {
+		lo = n
+	}
+	hi := off + span
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return nil
+	}
+	return payload[lo:hi]
+}
+
+// writeChunked is checkpoint step 5 through the store.
+func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
+	s := opts.Store
+	p := t.P.Node.Cluster.Params
+	start := t.Now()
+
+	t.Compute(p.WriteSetup)
+	t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+
+	name := ImageBase(img)
+	gen := opts.Generation
+	if gen == 0 {
+		gen = s.NextGeneration(name)
+	}
+	m := &store.Manifest{
+		Name:       name,
+		Generation: gen,
+		Header:     headerBytes(img),
+	}
+
+	var newBytes, dedupBytes int64
+	chunks, newChunks := 0, 0
+	cb := s.Cfg.ChunkBytes
+	for ai := range img.Areas {
+		a := &img.Areas[ai]
+		logical := a.Bytes
+		if pl := int64(len(a.Payload)); pl > logical {
+			logical = pl
+		}
+		ac := store.AreaChunks{Area: ai}
+		for off := int64(0); off < logical; off += cb {
+			span := cb
+			if off+span > logical {
+				span = logical - off
+			}
+			data := payloadSpan(a.Payload, off, span)
+			ver := chunkVersionFor(a.ChunkVers, off, span)
+			idx := int(off / cb)
+			t.Compute(p.HashTime(span))
+			ref := store.ChunkRef{
+				Hash:         store.ChunkHash(chunkScope(img, a, ver), idx, ver, span, a.Class(), data),
+				LogicalBytes: span,
+				Entropy:      a.Entropy,
+				ZeroFrac:     a.ZeroFrac,
+			}
+			stored, isNew := s.PutChunk(t, &ref, data)
+			chunks++
+			if isNew {
+				newChunks++
+				newBytes += stored
+			} else {
+				dedupBytes += stored
+			}
+			ac.Chunks = append(ac.Chunks, ref)
+		}
+		m.Areas = append(m.Areas, ac)
+	}
+
+	path, manifestBytes := s.WriteManifest(t, m)
+	res := WriteResult{
+		Path:       path,
+		Bytes:      newBytes + manifestBytes,
+		RawBytes:   img.LogicalBytes(),
+		Took:       t.Now().Sub(start),
+		Generation: m.Generation,
+		Chunks:     chunks,
+		NewChunks:  newChunks,
+		DedupBytes: dedupBytes,
+	}
+	if opts.Fsync {
+		syncStart := t.Now()
+		t.P.Node.WritePipeFor(s.ChunkPath("")).Sync(t.T)
+		res.SyncTook = t.Now().Sub(syncStart)
+		res.Took = t.Now().Sub(start)
+	}
+	return res
+}
+
+// loadChunked reads a manifest back into an Image, charging only the
+// metadata read (manifest plus header tables); the bulk chunk
+// streaming is charged by chargeChunkedRestore.
+func loadChunked(t *kernel.Task, path string) (*Image, error) {
+	p := t.P.Node.Cluster.Params
+	root, ok := store.RootForManifest(path)
+	if !ok {
+		return nil, ErrBadImage
+	}
+	s := store.Open(t.P.Node, store.Config{Root: root})
+	ino, err := t.P.Node.FS.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := store.DecodeManifest(ino.Data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	img, err := Decode(m.Header)
+	if err != nil {
+		return nil, err
+	}
+	for _, ac := range m.Areas {
+		if ac.Area < 0 || ac.Area >= len(img.Areas) {
+			return nil, fmt.Errorf("%w: manifest area %d out of range", ErrBadImage, ac.Area)
+		}
+		var buf []byte
+		for _, ref := range ac.Chunks {
+			data, err := s.ReadChunkData(ref.Hash)
+			if err != nil {
+				return nil, fmt.Errorf("%w: missing chunk %s", ErrBadImage, ref.Hash)
+			}
+			buf = append(buf, data...)
+		}
+		img.Areas[ac.Area].Payload = buf
+	}
+	img.manifest = m
+	t.Compute(p.RestoreSetup)
+	meta := ino.Size() + 64*1024
+	for _, e := range img.Ext {
+		meta += int64(len(e))
+	}
+	t.P.Node.ReadPipeFor(path).Read(t.T, meta)
+	return img, nil
+}
+
+// chargeChunkedRestore charges the bulk of a store-backed restart:
+// streaming every referenced chunk and decompressing the compressed
+// ones.
+func chargeChunkedRestore(t *kernel.Task, img *Image, path string) {
+	p := t.P.Node.Cluster.Params
+	root, ok := store.RootForManifest(path)
+	if !ok {
+		return
+	}
+	s := store.Open(t.P.Node, store.Config{Root: root})
+	m := img.manifest // decoded by loadChunked for this same image
+	if m == nil {
+		var err error
+		if m, err = s.LoadManifest(path); err != nil {
+			return
+		}
+	}
+	s.ChargeRead(t, m.Refs())
+	t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+}

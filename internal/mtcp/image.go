@@ -18,12 +18,14 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/store"
 )
 
-// Magic and Version identify the image format.
+// Magic and Version identify the image format.  Version 2 added
+// per-area chunk write-versions for the incremental store.
 const (
 	Magic   = "MTCPIMG1"
-	Version = 1
+	Version = 2
 )
 
 // ErrBadImage reports a corrupt or incompatible image.
@@ -38,6 +40,12 @@ type AreaRecord struct {
 	ZeroFrac   float64
 	Payload    []byte
 	ShmBacking string // non-empty for shared mappings
+
+	// ChunkVers are the kernel's per-chunk write versions at capture
+	// time (kernel.CkptChunkBytes granularity); the content-addressed
+	// store keys chunk identity on them, and restart reinstalls them
+	// so later checkpoints keep deduplicating across a restart.
+	ChunkVers []uint64
 }
 
 // Class reconstructs the compressibility class.
@@ -71,6 +79,11 @@ type Image struct {
 	// connection-information table and descriptor table here.  MTCP
 	// treats them as opaque bytes (the two-layer API of §4.1).
 	Ext map[string][]byte
+
+	// manifest caches the decoded store manifest for images loaded
+	// through the chunked path, so the bulk-restore charge does not
+	// decode it a second time.  Never serialized.
+	manifest *store.Manifest
 }
 
 // Capture snapshots a process into an image.  The caller (the
@@ -102,6 +115,7 @@ func Capture(p *kernel.Process, virtPid kernel.Pid) *Image {
 		} else {
 			rec.Payload = append([]byte(nil), a.Payload...)
 		}
+		rec.ChunkVers = a.ChunkVersions()
 		img.Areas = append(img.Areas, rec)
 	}
 	for _, task := range p.UserTasks() {
@@ -221,6 +235,10 @@ func (img *Image) Encode() []byte {
 		e.f64(a.ZeroFrac)
 		e.bytes(a.Payload)
 		e.str(a.ShmBacking)
+		e.u32(uint32(len(a.ChunkVers)))
+		for _, v := range a.ChunkVers {
+			e.u64(v)
+		}
 	}
 	e.u32(uint32(len(img.Threads)))
 	for _, t := range img.Threads {
@@ -275,6 +293,9 @@ func Decode(b []byte) (*Image, error) {
 		a.ZeroFrac = d.f64()
 		a.Payload = d.bytes()
 		a.ShmBacking = d.str()
+		for j, k := 0, int(d.u32()); j < k && d.err == nil; j++ {
+			a.ChunkVers = append(a.ChunkVers, d.u64())
+		}
 		img.Areas = append(img.Areas, a)
 	}
 	for i, n := 0, int(d.u32()); i < n && d.err == nil; i++ {

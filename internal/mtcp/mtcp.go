@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/store"
 )
 
 // WriteOptions controls how an image is written.
@@ -19,6 +20,16 @@ type WriteOptions struct {
 	// Fsync waits for the page cache to drain after writing (§5.2
 	// discusses this option's cost).
 	Fsync bool
+	// Store, when non-nil, selects the chunked write path: payloads
+	// are deduplicated into the content-addressed store and the
+	// "image file" becomes a per-generation manifest.  Compress then
+	// applies per chunk (through the store's own config).
+	Store *store.Store
+	// Generation pins the store generation to commit (0 derives the
+	// next from committed manifests).  Forked checkpointing reserves
+	// it in the parent so overlapping background writers of the same
+	// process cannot collide on a generation number.
+	Generation int64
 }
 
 // WriteResult reports what a checkpoint write produced.
@@ -28,6 +39,12 @@ type WriteResult struct {
 	RawBytes int64 // uncompressed image size
 	Took     time.Duration
 	SyncTook time.Duration
+
+	// Chunked-path statistics (zero on the monolithic path).
+	Generation int64 // committed store generation
+	Chunks     int   // total chunks referenced by the manifest
+	NewChunks  int   // chunks actually written this generation
+	DedupBytes int64 // stored bytes avoided via dedup
 }
 
 // ImagePath returns the conventional checkpoint file name,
@@ -35,7 +52,7 @@ type WriteResult struct {
 // names globally unique when images from many nodes land on shared
 // central storage (real DMTCP embeds a cluster-unique process id).
 func ImagePath(dir string, img *Image, compress bool) string {
-	name := fmt.Sprintf("%s/ckpt_%s_%s_%d.dmtcp", dir, img.ProgName, img.Hostname, img.VirtPid)
+	name := fmt.Sprintf("%s/%s.dmtcp", dir, ImageBase(img))
 	if compress {
 		name += ".gz"
 	}
@@ -45,8 +62,12 @@ func ImagePath(dir string, img *Image, compress bool) string {
 // WriteImage serializes img to storage from task t's context,
 // charging per-area bookkeeping, compression CPU, and storage
 // bandwidth according to the calibrated model.  This is checkpoint
-// step 5 ("write checkpoint to disk").
+// step 5 ("write checkpoint to disk").  With opts.Store set the image
+// is written incrementally through the content-addressed store.
 func WriteImage(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
+	if opts.Store != nil {
+		return writeChunked(t, img, opts)
+	}
 	p := t.P.Node.Cluster.Params
 	start := t.Now()
 	path := ImagePath(opts.Dir, img, opts.Compress)
@@ -100,8 +121,12 @@ func ReadImage(t *kernel.Task, path string) (*Image, error) {
 // LoadImage decodes an image, charging only the header/metadata read
 // (the restart program reads descriptor and connection tables from
 // every image before forking; the bulk memory read happens later, in
-// each restored process).
+// each restored process).  Manifest paths are read back through the
+// content-addressed store transparently.
 func LoadImage(t *kernel.Task, path string) (*Image, error) {
+	if store.IsManifestPath(path) {
+		return loadChunked(t, path)
+	}
 	p := t.P.Node.Cluster.Params
 	ino, err := t.P.Node.FS.ReadFile(path)
 	if err != nil {
@@ -126,6 +151,10 @@ func LoadImage(t *kernel.Task, path string) (*Image, error) {
 // ChargeMemoryRestore charges the bulk of restart step 5: streaming
 // the image body from storage and decompressing it.
 func ChargeMemoryRestore(t *kernel.Task, img *Image, path string) {
+	if store.IsManifestPath(path) {
+		chargeChunkedRestore(t, img, path)
+		return
+	}
 	p := t.P.Node.Cluster.Params
 	var onDisk int64
 	if ino, err := t.P.Node.FS.ReadFile(path); err == nil {
@@ -155,7 +184,8 @@ func InstallMemory(p *kernel.Process, img *Image, t *kernel.Task, shm ShmResolve
 		if rec.ShmBacking != "" && shm != nil {
 			seg := shm(t, rec)
 			if seg != nil {
-				seg.Attach(p.Mem, rec.Name)
+				area := seg.Attach(p.Mem, rec.Name)
+				area.SetVersions(rec.ChunkVers)
 				continue
 			}
 		}
@@ -166,6 +196,7 @@ func InstallMemory(p *kernel.Process, img *Image, t *kernel.Task, shm ShmResolve
 			Class: rec.Class(),
 		})
 		area.Payload = append([]byte(nil), rec.Payload...)
+		area.SetVersions(rec.ChunkVers)
 	}
 	p.ProgName = img.ProgName
 	p.Args = append([]string(nil), img.Args...)

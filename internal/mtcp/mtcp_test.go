@@ -2,6 +2,9 @@ package mtcp
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 	"time"
@@ -221,4 +224,90 @@ func TestImageRoundtripProperty(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// fixCRC recomputes the CRC32 trailer after a deliberate corruption,
+// so tests can reach the checks behind the checksum.
+func fixCRC(b []byte) []byte {
+	body := b[:len(b)-4]
+	sum := crc32.ChecksumIEEE(body)
+	out := append([]byte(nil), body...)
+	return binary.BigEndian.AppendUint32(out, sum)
+}
+
+// TestDecodeErrorsAreErrBadImage pins the corruption contract: every
+// malformed-image path — truncation, bad magic, wrong version, CRC
+// mismatch — surfaces ErrBadImage so callers can errors.Is on it.
+func TestDecodeErrorsAreErrBadImage(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		blob := buildSampleImage(task).Encode()
+
+		// Truncated: shorter than any valid image, and cut mid-body.
+		for _, cut := range []int{0, 4, len(Magic) + 7, len(blob) / 3, len(blob) - 1} {
+			if _, err := Decode(blob[:cut]); !errors.Is(err, ErrBadImage) {
+				t.Errorf("truncated at %d: err = %v, want ErrBadImage", cut, err)
+			}
+		}
+
+		// Bad magic (with a valid checksum, so the magic check itself
+		// must reject it).
+		bad := append([]byte(nil), blob...)
+		bad[0] ^= 0xff
+		if _, err := Decode(fixCRC(bad)); !errors.Is(err, ErrBadImage) {
+			t.Errorf("bad magic: err = %v, want ErrBadImage", err)
+		}
+
+		// Unsupported version (valid checksum and magic).
+		bad = append([]byte(nil), blob...)
+		binary.BigEndian.PutUint32(bad[len(Magic):], Version+7)
+		if _, err := Decode(fixCRC(bad)); !errors.Is(err, ErrBadImage) {
+			t.Errorf("bad version: err = %v, want ErrBadImage", err)
+		}
+
+		// CRC mismatch: body bit-flip without fixing the trailer.
+		bad = append([]byte(nil), blob...)
+		bad[len(bad)/2] ^= 0x01
+		if _, err := Decode(bad); !errors.Is(err, ErrBadImage) {
+			t.Errorf("crc mismatch: err = %v, want ErrBadImage", err)
+		}
+
+		// The pristine image still decodes.
+		if _, err := Decode(blob); err != nil {
+			t.Errorf("pristine image rejected: %v", err)
+		}
+	})
+}
+
+// TestChunkVersionsRoundTrip pins the v2 image format: per-area chunk
+// write-versions survive encode/decode and restart reinstalls them.
+func TestChunkVersionsRoundTrip(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		heap := task.MapAnon("[big]", 5*kernel.CkptChunkBytes, model.ClassData)
+		heap.Touch(0, 1)
+		heap.Touch(2*kernel.CkptChunkBytes, kernel.CkptChunkBytes)
+		img := Capture(task.P, 9)
+		got, err := Decode(img.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec *AreaRecord
+		for i := range got.Areas {
+			if got.Areas[i].Name == "[big]" {
+				rec = &got.Areas[i]
+			}
+		}
+		if rec == nil || len(rec.ChunkVers) != 5 {
+			t.Fatalf("chunk versions lost: %+v", rec)
+		}
+		if rec.ChunkVers[0] != 1 || rec.ChunkVers[1] != 0 || rec.ChunkVers[2] != 1 {
+			t.Errorf("versions = %v", rec.ChunkVers)
+		}
+		shell := task.P.Kern.SpawnOrphan("restored", nil, nil)
+		InstallMemory(shell, got, task, nil)
+		if v := shell.Mem.Area("[big]").ChunkVersions(); v[2] != 1 || v[1] != 0 {
+			t.Errorf("restored versions = %v", v)
+		}
+	})
 }

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// GCStats reports one retention + mark-and-sweep pass.
+type GCStats struct {
+	// Pruned is the number of manifests dropped by the retention
+	// policy before the sweep.
+	Pruned int
+	// Manifests is the number of live manifests scanned during mark.
+	Manifests int
+	// Live is the number of distinct chunks referenced by a live
+	// manifest; LiveBytes their stored size.
+	Live      int
+	LiveBytes int64
+	// Swept is the number of unreferenced chunks reclaimed;
+	// SweptBytes the stored size returned to the disk.
+	Swept      int
+	SweptBytes int64
+	// Took is the modeled duration of the pass.
+	Took time.Duration
+}
+
+// Add accumulates another pass's counters (aggregating per-node
+// sweeps into one session-wide record).
+func (g *GCStats) Add(o GCStats) {
+	g.Pruned += o.Pruned
+	g.Manifests += o.Manifests
+	g.Live += o.Live
+	g.LiveBytes += o.LiveBytes
+	g.Swept += o.Swept
+	g.SweptBytes += o.SweptBytes
+	g.Took += o.Took
+}
+
+// Prune applies the retention policy: for every image name, drop all
+// but the newest keep generations.  keep <= 0 retains everything.  It
+// returns the number of manifests removed; their chunks become
+// unreferenced and are reclaimed by the next GC.
+func (s *Store) Prune(t *kernel.Task, keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	p := s.params()
+	pruned := 0
+	for _, name := range s.Names() {
+		gens := s.Generations(name)
+		for len(gens) > keep {
+			t.Compute(p.SyscallCost)
+			s.Node.FS.Unlink(s.ManifestPath(name, gens[0]))
+			gens = gens[1:]
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// GC runs mark-and-sweep: every chunk referenced by any committed
+// manifest is live; everything else under <root>/chunks is reclaimed.
+// Mark charges manifest scanning (metadata reads plus per-entry
+// bookkeeping); sweep charges one index operation per examined chunk
+// and unlinks the dead ones.
+func (s *Store) GC(t *kernel.Task) GCStats {
+	p := s.params()
+	start := t.Now()
+	var st GCStats
+
+	// Mark: scan every committed manifest.
+	live := map[string]int64{} // hash → stored bytes
+	var manifestBytes int64
+	var entries int
+	for _, path := range s.Node.FS.List(s.manifestDir()) {
+		ino, err := s.Node.FS.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		m, err := DecodeManifest(ino.Data)
+		if err != nil {
+			continue
+		}
+		st.Manifests++
+		manifestBytes += ino.Size()
+		for _, ref := range m.Refs() {
+			entries++
+			live[ref.Hash] = ref.StoredBytes
+		}
+	}
+	s.Node.ReadPipeFor(s.manifestDir()).Read(t.T, manifestBytes)
+	t.Compute(time.Duration(entries) * p.ManifestEntryCost)
+
+	// Sweep: unlink chunks no manifest references.
+	dir := s.chunkDir()
+	for _, path := range s.Node.FS.List(dir) {
+		t.Compute(p.ChunkLookupCost)
+		hash := path[len(dir):]
+		if sz, ok := live[hash]; ok {
+			st.Live++
+			st.LiveBytes += sz
+			continue
+		}
+		if ino, err := s.Node.FS.ReadFile(path); err == nil {
+			st.SweptBytes += ino.Size()
+		}
+		t.Compute(p.SyscallCost)
+		s.Node.FS.Unlink(path)
+		st.Swept++
+	}
+	st.Took = t.Now().Sub(start)
+	return st
+}
+
+// Collect runs retention pruning followed by a mark-and-sweep pass —
+// the coordinator calls this after every committed checkpoint round.
+func (s *Store) Collect(t *kernel.Task, keep int) GCStats {
+	pruned := s.Prune(t, keep)
+	st := s.GC(t)
+	st.Pruned = pruned
+	return st
+}

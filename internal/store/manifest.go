@@ -1,0 +1,180 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+)
+
+// ManifestMagic identifies manifest files.
+const ManifestMagic = "CASMAN1\n"
+
+// ErrBadManifest reports a corrupt or incompatible manifest.
+var ErrBadManifest = errors.New("store: bad manifest")
+
+// AreaChunks lists the chunks reconstructing one image section (one
+// serialized VM area's payload) in order.
+type AreaChunks struct {
+	// Area is the section index within the image's area list.
+	Area   int
+	Chunks []ChunkRef
+}
+
+// Manifest is one committed generation of one process image: an
+// opaque header (the image minus its bulk payloads) plus the chunk
+// lists that reconstruct each payload.
+type Manifest struct {
+	Name       string
+	Generation int64
+	// Header is the serialized image with payloads stripped; the
+	// checkpoint layer owns its format.
+	Header []byte
+	Areas  []AreaChunks
+}
+
+// Refs returns every chunk reference in the manifest, in order.
+func (m *Manifest) Refs() []ChunkRef {
+	var out []ChunkRef
+	for _, a := range m.Areas {
+		out = append(out, a.Chunks...)
+	}
+	return out
+}
+
+// NumChunks returns the total chunk count.
+func (m *Manifest) NumChunks() int {
+	n := 0
+	for _, a := range m.Areas {
+		n += len(a.Chunks)
+	}
+	return n
+}
+
+// StoredBytes sums the on-disk sizes of all referenced chunks.
+func (m *Manifest) StoredBytes() int64 {
+	var n int64
+	for _, a := range m.Areas {
+		for _, c := range a.Chunks {
+			n += c.StoredBytes
+		}
+	}
+	return n
+}
+
+// Encode serializes the manifest.
+func (m *Manifest) Encode() []byte {
+	var e bin.Encoder
+	e.B = append(e.B, ManifestMagic...)
+	e.Str(m.Name)
+	e.I64(m.Generation)
+	e.Bytes(m.Header)
+	e.U32(uint32(len(m.Areas)))
+	for _, a := range m.Areas {
+		e.Int(a.Area)
+		e.U32(uint32(len(a.Chunks)))
+		for _, c := range a.Chunks {
+			e.Str(c.Hash)
+			e.I64(c.LogicalBytes)
+			e.I64(c.StoredBytes)
+			e.F64(c.Entropy)
+			e.F64(c.ZeroFrac)
+		}
+	}
+	return e.B
+}
+
+// DecodeManifest parses a serialized manifest.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(ManifestMagic) || string(b[:len(ManifestMagic)]) != ManifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadManifest)
+	}
+	d := &bin.Decoder{B: b[len(ManifestMagic):]}
+	m := &Manifest{}
+	m.Name = d.Str()
+	m.Generation = d.I64()
+	m.Header = d.Bytes()
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		a := AreaChunks{Area: d.Int()}
+		for j, k := 0, int(d.U32()); j < k && d.Err == nil; j++ {
+			a.Chunks = append(a.Chunks, ChunkRef{
+				Hash:         d.Str(),
+				LogicalBytes: d.I64(),
+				StoredBytes:  d.I64(),
+				Entropy:      d.F64(),
+				ZeroFrac:     d.F64(),
+			})
+		}
+		m.Areas = append(m.Areas, a)
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, d.Err)
+	}
+	return m, nil
+}
+
+// WriteManifest commits a generation: it charges per-chunk manifest
+// bookkeeping plus storage bandwidth for the manifest itself and
+// writes it.  It returns the manifest path and its size.
+func (s *Store) WriteManifest(t *kernel.Task, m *Manifest) (string, int64) {
+	p := s.params()
+	t.Compute(time.Duration(m.NumChunks()) * p.ManifestEntryCost)
+	data := m.Encode()
+	path := s.ManifestPath(m.Name, m.Generation)
+	s.Node.WritePipeFor(path).Write(t.T, int64(len(data)))
+	s.Node.FS.WriteFile(path, data, 0)
+	return path, int64(len(data))
+}
+
+// LoadManifest reads and decodes a manifest by path, without charging
+// bulk time (callers charge the metadata read, mirroring how restart
+// reads image headers before the bulk restore).
+func (s *Store) LoadManifest(path string) (*Manifest, error) {
+	ino, err := s.Node.FS.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(ino.Data)
+}
+
+// LatestManifest returns the newest committed generation for name.
+func (s *Store) LatestManifest(name string) (*Manifest, error) {
+	gens := s.Generations(name)
+	if len(gens) == 0 {
+		return nil, kernel.ErrNoEnt
+	}
+	return s.LoadManifest(s.ManifestPath(name, gens[len(gens)-1]))
+}
+
+// CopyTo replicates a manifest and every chunk it references into the
+// destination store if absent (checkpoint migration: making a
+// generation restorable on another node).  It copies structure only;
+// the caller models transfer time if any.
+func (s *Store) CopyTo(dst *Store, manifestPath string) error {
+	ino, err := s.Node.FS.ReadFile(manifestPath)
+	if err != nil {
+		return err
+	}
+	m, err := DecodeManifest(ino.Data)
+	if err != nil {
+		return err
+	}
+	for _, ref := range m.Refs() {
+		src := s.ChunkPath(ref.Hash)
+		dp := dst.ChunkPath(ref.Hash)
+		if dst.Node.FS.Exists(dp) {
+			continue
+		}
+		cino, err := s.Node.FS.ReadFile(src)
+		if err != nil {
+			return fmt.Errorf("store: missing chunk %s: %w", ref.Hash, err)
+		}
+		dst.Node.FS.WriteFile(dp, cino.Data, cino.LogicalSize)
+	}
+	if !dst.Node.FS.Exists(manifestPath) {
+		dst.Node.FS.WriteFile(manifestPath, ino.Data, ino.LogicalSize)
+	}
+	return nil
+}
