@@ -168,6 +168,20 @@ func BenchmarkStoreIncremental(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover measures the replicated checkpoint storage
+// service: replication traffic (first vs incremental generations) and
+// node-failure recovery latency at the highest replication factor.
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunFailover(benchOpts(b, i))
+		r := len(tab.Rows) - 1
+		b.ReportMetric(cell(tab, r, 1), "gen1-repl-MB")
+		b.ReportMetric(cell(tab, r, 2), "incr-repl-MB")
+		b.ReportMetric(cell(tab, r, 3), "recovery-s")
+		b.ReportMetric(cell(tab, r, 4), "fetched-MB")
+	}
+}
+
 // BenchmarkDejaVuComparison regenerates the §2 related-work
 // comparison against a DejaVu-style logging checkpointer.
 func BenchmarkDejaVuComparison(b *testing.B) {

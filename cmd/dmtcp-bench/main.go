@@ -5,7 +5,7 @@
 //	dmtcp-bench [-run id] [-trials n] [-quick] [-list] [-json]
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
-// sync, forked, barrier, dejavu, store, all (default).
+// sync, forked, barrier, dejavu, store, failover, all (default).
 package main
 
 import (
@@ -48,6 +48,7 @@ func main() {
 		{"barrier", "coordinator scalability (§5.4)", func() *dmtcpsim.Table { return dmtcpsim.RunBarrier(o) }},
 		{"dejavu", "DejaVu overhead comparison (§2)", func() *dmtcpsim.Table { return dmtcpsim.RunDejaVu(o) }},
 		{"store", "incremental chunk store vs full rewrite", func() *dmtcpsim.Table { return dmtcpsim.RunStore(o) }},
+		{"failover", "replicated storage + node-failure recovery", func() *dmtcpsim.Table { return dmtcpsim.RunFailover(o) }},
 	}
 	if *list {
 		for _, e := range exps {

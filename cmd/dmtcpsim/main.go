@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store [-nodes n]
+//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store|failover [-nodes n]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store")
+		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store|failover")
 		nodes    = flag.Int("nodes", 4, "cluster size")
 	)
 	flag.Parse()
@@ -36,6 +36,8 @@ func main() {
 		vnc()
 	case "store":
 		storeScenario()
+	case "failover":
+		failoverScenario(*nodes)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -170,6 +172,49 @@ func storeScenario() {
 		}
 		fmt.Printf("restarted from manifest generation %d in %v\n",
 			last.Images[0].Generation, stats.Total.Round(time.Millisecond))
+	})
+}
+
+func failoverScenario(nodes int) {
+	if nodes < 3 {
+		nodes = 3
+	}
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
+		Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 3, ReplicaFactor: 2}})
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("launching a 128 MB process on node01; generations replicate to 2 peers ...")
+		if _, err := s.Launch(1, dmtcpsim.DirtyAppName, "128"); err != nil {
+			panic(err)
+		}
+		t.Compute(300 * time.Millisecond)
+		var prev int64
+		for gen := 1; gen <= 3; gen++ {
+			if _, err := s.Checkpoint(t); err != nil {
+				panic(err)
+			}
+			s.Sys.Replica.WaitIdle(t)
+			sent := s.Sys.Replica.Stats.BytesSent
+			fmt.Printf("gen %d committed and replicated: %.1f MB shipped to peers\n",
+				gen, float64(sent-prev)/(1<<20))
+			prev = sent
+			for _, p := range s.Sys.ManagedProcesses() {
+				dmtcpsim.TouchHeap(p, 0.10, uint64(gen))
+			}
+			t.Compute(100 * time.Millisecond)
+		}
+		fmt.Println("killing node01 (processes, checkpoints, and chunk store all lost) ...")
+		s.KillNode(1)
+		rec, err := s.Recover(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("recovered on %s from generation %d in %v (fetched %.2f MB from peers)\n",
+			rec.Targets["node01"], rec.Round.Images[0].Generation,
+			rec.Took.Round(time.Millisecond), float64(rec.Stats.FetchedBytes)/(1<<20))
+		t.Compute(100 * time.Millisecond)
+		for _, p := range s.Sys.ManagedProcesses() {
+			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)
+		}
 	})
 }
 

@@ -61,6 +61,8 @@ type (
 	CkptRound = dmtcp.CkptRound
 	// RestartStages breaks a restart into Table-1b stages.
 	RestartStages = dmtcp.RestartStages
+	// Recovery reports one node-failure recovery drive.
+	Recovery = dmtcp.Recovery
 	// Placement maps original hostnames to restart nodes.
 	Placement = dmtcp.Placement
 	// StageTimes breaks a checkpoint into Table-1a stages.
@@ -152,6 +154,17 @@ func (s *Sim) Restart(t *Task, round *CkptRound, place Placement) (*RestartStage
 	return s.Sys.RestartAll(t, round, place)
 }
 
+// KillNode models a machine losing power: every process on the node
+// dies and its local files (checkpoints included) are lost.  It
+// returns the number of processes killed.
+func (s *Sim) KillNode(id NodeID) int { return s.C.KillNode(id) }
+
+// Recover drives node-failure recovery: the coordinator rolls the
+// computation back to the newest fully-replicated checkpoint round and
+// restarts the lost processes on a surviving replica holder.  Requires
+// Config.Store and Config.ReplicaFactor.
+func (s *Sim) Recover(t *Task) (*Recovery, error) { return s.Sys.Recover(t) }
+
 // RestartScript renders the generated dmtcp_restart_script.sh for a
 // round (§3).
 func RestartScript(round *CkptRound) string { return dmtcp.RestartScript(round) }
@@ -187,5 +200,6 @@ var (
 	RunBarrier  = experiments.RunBarrier
 	RunDejaVu   = experiments.RunDejaVu
 	RunStore    = experiments.RunStore
+	RunFailover = experiments.RunFailover
 	RunAll      = experiments.All
 )

@@ -10,6 +10,8 @@ import (
 	"repro/internal/bin"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/mtcp"
+	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -40,6 +42,21 @@ type Config struct {
 	// StoreKeep is the retention policy applied at coordinator GC
 	// time: generations to keep per process image (0 keeps all).
 	StoreKeep int
+
+	// ReplicaFactor, when > 0 (and Store is enabled), runs the
+	// replicated checkpoint storage service: a dmtcp_replicad daemon
+	// on every node, with each committed generation asynchronously
+	// copied to this many peer nodes so checkpoints survive the loss
+	// of the machine that wrote them.  Replication is dedup-aware:
+	// only chunks a peer lacks travel.
+	ReplicaFactor int
+	// AutoRecover makes the coordinator drive failure recovery on its
+	// own: when it observes a client die because its node went down,
+	// it rolls the computation back to the newest fully-replicated
+	// checkpoint round and restarts the lost processes on a surviving
+	// replica holder.  Without it, recovery runs when the harness
+	// calls System.Recover.
+	AutoRecover bool
 }
 
 func (c *Config) fillDefaults() {
@@ -57,6 +74,10 @@ type System struct {
 	C     *kernel.Cluster
 	Cfg   Config
 	Coord *Coordinator
+
+	// Replica is the replicated checkpoint storage service (nil unless
+	// Config.Store and Config.ReplicaFactor enable it).
+	Replica *replica.Service
 
 	ofid       int64
 	restartGen int64
@@ -102,9 +123,29 @@ func Install(c *kernel.Cluster, cfg Config) *System {
 		advertised: make(map[string]kernel.Addr),
 		pendingQ:   make(map[string][]int),
 		groups:     make(map[string]*groupBarrier),
+		placement:  make(map[string]*placeInfo),
 		doneW:      sim.NewWaitQueue(c.Eng, "coord.done"),
 	}
 	c.HookFactory = func(p *kernel.Process) kernel.Hooks { return newManager(sys, p) }
+	c.NodeDownHook = func(n *kernel.Node) {
+		// The node's forked writers and chunk store died with it:
+		// clear the bookkeeping so GC neither waits on nor sweeps a
+		// dead machine.
+		delete(sys.storeBusy, n)
+		delete(sys.storeNodes, n)
+	}
+	if cfg.Store && cfg.ReplicaFactor > 0 {
+		sys.Replica = replica.Install(c, replica.Config{
+			Factor: cfg.ReplicaFactor,
+			Root:   sys.StoreRoot(),
+		})
+		sys.Replica.OnReplicated = func(name string, gen int64, holder string) {
+			sys.Coord.noteReplicated(name, gen, holder)
+		}
+		sys.Replica.OnWatermark = func(name string, gen int64, _ string) {
+			sys.Coord.noteWatermark(name, gen)
+		}
+	}
 
 	c.RegisterFunc("dmtcp_coordinator", sys.Coord.main)
 	c.RegisterFunc("dmtcp_checkpoint", sys.checkpointMain)
@@ -113,13 +154,19 @@ func Install(c *kernel.Cluster, cfg Config) *System {
 	return sys
 }
 
-// SpawnCoordinator starts the coordinator process.
+// SpawnCoordinator starts the coordinator process, plus the per-node
+// replica daemons when the replicated storage service is enabled.
 func (s *System) SpawnCoordinator() error {
 	p, err := s.Coord.Node.Kern.Spawn("dmtcp_coordinator", nil, nil)
 	if err != nil {
 		return err
 	}
 	s.Coord.proc = p
+	if s.Replica != nil {
+		if err := s.Replica.StartAll(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -167,6 +214,48 @@ func (s *System) storeBusyTotal() int {
 		total += v
 	}
 	return total
+}
+
+// replicateCommit hands a freshly committed store generation to the
+// replication service — the manager's commit→replicate handoff.  The
+// watermark file is initialized first, so the coordinator's post-round
+// GC can never prune the generation before its fan-out completes.
+func (s *System) replicateCommit(t *kernel.Task, res mtcp.WriteResult) {
+	if s.Replica == nil || res.Generation == 0 {
+		return
+	}
+	name, gen, ok := store.NameForManifest(res.Path)
+	if !ok {
+		return
+	}
+	s.StoreOn(t.P.Node).InitReplicationWatermark(t, name)
+	s.Replica.Enqueue(t.P.Node, replica.Job{Name: name, Generation: gen, ManifestPath: res.Path})
+}
+
+// fetchHostFor picks the replica daemon a restart on target should
+// pull manifestPath from: the original writer when it is alive, else
+// any live replica holder that has the generation.
+func (s *System) fetchHostFor(manifestPath string, src, target *kernel.Node) string {
+	if src != nil && !src.Down && src != target {
+		return src.Hostname
+	}
+	name, gen, ok := store.NameForManifest(manifestPath)
+	if !ok {
+		return ""
+	}
+	pi := s.Coord.placement[name]
+	if pi == nil {
+		return ""
+	}
+	for _, h := range pi.holderHosts() {
+		if target != nil && h == target.Hostname {
+			continue
+		}
+		if pi.Holders[h] >= gen && s.Coord.holderHas(h, name, gen) {
+			return h
+		}
+	}
+	return ""
 }
 
 // CheckpointEnv returns the environment dmtcp_checkpoint gives target
@@ -322,7 +411,9 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 	s.restartGen++
 	gen := s.restartGen
 	s.Coord.RestartStats = nil
+	s.Coord.restartErr = ""
 
+	var spawned []*kernel.Process
 	for _, host := range hosts {
 		imgs := byHost[host]
 		target := s.C.LookupHost(host)
@@ -336,25 +427,48 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 		}
 		// Migration: make the images visible on the target node (the
 		// paper's restart script assumes images are reachable; /san
-		// paths already are).
+		// paths already are).  With the replica service running,
+		// chunked images are not copied here: the restart program
+		// pulls the manifest and only the chunks the target lacks from
+		// a replica daemon, on the target node, over the network — the
+		// same fetch path node-failure recovery rides.
 		src := s.C.LookupHost(host)
-		if src != target {
-			for _, img := range imgs {
-				if store.IsManifestPath(img.Path) {
-					// Chunked image: replicate the manifest and every
-					// chunk it references that the target lacks.
-					if root, ok := store.RootForManifest(img.Path); ok {
-						sst := store.Open(src, store.Config{Root: root})
-						dst := store.Open(target, store.Config{Root: root})
-						if err := sst.CopyTo(dst, img.Path); err != nil {
-							return nil, fmt.Errorf("dmtcp: migrate %s: %w", img.Path, err)
+		var env map[string]string
+		for _, img := range imgs {
+			if store.IsManifestPath(img.Path) {
+				if s.Replica != nil {
+					if env == nil {
+						if from := s.fetchHostFor(img.Path, src, target); from != "" {
+							env = map[string]string{fetchFromEnv: from}
 						}
 					}
 					continue
 				}
-				if ino, err := src.FS.ReadFile(img.Path); err == nil && !target.FS.Exists(img.Path) {
-					target.FS.WriteFile(img.Path, ino.Data, ino.LogicalSize)
+				if src == target {
+					continue
 				}
+				if src == nil || src.Down {
+					return nil, fmt.Errorf("dmtcp: images of %s died with the node (no replica service)", host)
+				}
+				// Chunked image: replicate the manifest and every
+				// chunk it references that the target lacks.
+				if root, ok := store.RootForManifest(img.Path); ok {
+					sst := store.Open(src, store.Config{Root: root})
+					dst := store.Open(target, store.Config{Root: root})
+					if err := sst.CopyTo(dst, img.Path); err != nil {
+						return nil, fmt.Errorf("dmtcp: migrate %s: %w", img.Path, err)
+					}
+				}
+				continue
+			}
+			if src == target {
+				continue
+			}
+			if src == nil || src.Down {
+				return nil, fmt.Errorf("dmtcp: images of %s died with the node (no replica service)", host)
+			}
+			if ino, err := src.FS.ReadFile(img.Path); err == nil && !target.FS.Exists(img.Path) {
+				target.FS.WriteFile(img.Path, ino.Data, ino.LogicalSize)
 			}
 		}
 		args := []string{
@@ -365,12 +479,26 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 		for _, img := range imgs {
 			args = append(args, img.Path)
 		}
-		if _, err := target.Kern.Spawn("dmtcp_restart", args, nil); err != nil {
+		rp, err := target.Kern.Spawn("dmtcp_restart", args, env)
+		if err != nil {
 			return nil, err
 		}
+		spawned = append(spawned, rp)
 	}
-	for s.Coord.RestartStats == nil {
+	for s.Coord.RestartStats == nil && s.Coord.restartErr == "" {
 		s.Coord.doneW.Wait(t.T)
+	}
+	if s.Coord.restartErr != "" {
+		// One host's restart failed: tear down the sibling restart
+		// programs and whatever half-restored processes they already
+		// forked, so nothing keeps the round's ports or blocks forever
+		// at the restart barriers, and a retry starts clean.
+		for _, rp := range spawned {
+			if !rp.Dead && !rp.Zombie {
+				rp.Kern.KillTree(rp.Pid)
+			}
+		}
+		return nil, fmt.Errorf("dmtcp: restart failed: %s", s.Coord.restartErr)
 	}
 	return s.Coord.RestartStats, nil
 }

@@ -2,6 +2,7 @@ package dmtcp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,8 +26,9 @@ const (
 	msgAdvertise  = 'A' // restart → coord: advertise guid → address
 	msgQuery      = 'Q' // restart → coord: resolve guid (blocks until known)
 	msgGroup      = 'G' // restart → coord: generic group barrier join
-	msgRestartEnd = 'T' // restart → coord: restart stage times
-	msgQuit       = 'X' // command → coord: shut down
+	msgRestartEnd  = 'T' // restart → coord: restart stage times
+	msgRestartFail = 'F' // restart → coord: restart failed (message)
+	msgQuit        = 'X' // command → coord: shut down
 )
 
 // Checkpoint barrier names, in protocol order (§4.3: six global
@@ -45,6 +47,7 @@ type roundState struct {
 	start        sim.Time
 	participants map[int64]*coordClient
 	arrived      map[string]map[int64]bool
+	released     map[string]bool
 	stageMax     map[string]time.Duration
 	images       []ImageInfo
 	bytes, raw   int64
@@ -90,8 +93,21 @@ type Coordinator struct {
 
 	groups map[string]*groupBarrier
 
+	// placement is the coordinator's map of which nodes hold which
+	// process's checkpoint generations (writer plus replica holders),
+	// maintained from checkpoint commits and replication reports.
+	// Failure recovery reads it to pick a surviving holder.
+	placement map[string]*placeInfo
+
+	// recovering guards against concurrent recovery drives when
+	// several clients of a dead node disconnect in a burst.
+	recovering bool
+
 	restartExpect int
 	restartAgg    []RestartStages
+	// restartErr carries a fatal restart-program failure so RestartAll
+	// returns an error instead of waiting forever for stage times.
+	restartErr string
 
 	// doneW wakes harness tasks waiting for round/restart completion.
 	doneW *sim.WaitQueue
@@ -211,6 +227,10 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 			}
 		case msgRestartEnd:
 			co.onRestartEnd(t, body)
+		case msgRestartFail:
+			co.restartErr = string(body)
+			co.restartAgg = nil
+			co.doneW.WakeAll()
 		case msgQuit:
 			co.Sys.C.Eng.Stop()
 			return
@@ -249,6 +269,7 @@ func (co *Coordinator) requestCheckpoint(t *kernel.Task) {
 		start:        t.Now(),
 		participants: make(map[int64]*coordClient, len(co.clients)),
 		arrived:      make(map[string]map[int64]bool),
+		released:     make(map[string]bool),
 		stageMax:     make(map[string]time.Duration),
 	}
 	for id, c := range co.clients {
@@ -313,6 +334,9 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 		r.bytes += img.Bytes
 		r.raw += img.Raw
 		r.dedup += img.Dedup
+		if co.Sys.Cfg.Store {
+			co.notePlaced(img)
+		}
 		if sync > r.syncMax {
 			r.syncMax = sync
 		}
@@ -324,7 +348,16 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 	if len(r.arrived[name]) < len(r.participants) {
 		return
 	}
-	// Release.
+	co.releaseBarrier(t, r, name)
+}
+
+// releaseBarrier releases a complete barrier to every participant and
+// finishes the round when it was the last one.
+func (co *Coordinator) releaseBarrier(t *kernel.Task, r *roundState, name string) {
+	if r.released[name] {
+		return
+	}
+	r.released[name] = true
 	var e bin.Encoder
 	e.B = append(e.B, msgRelease)
 	e.Str(name)
@@ -408,10 +441,23 @@ func (co *Coordinator) collectStores(t *kernel.Task) (*store.GCStats, bool) {
 		if sys.storeBusyTotal() > 0 {
 			return nil, true
 		}
-		agg = sys.StoreOn(nodes[0]).Collect(t, sys.Cfg.StoreKeep)
+		anchor := nodes[0]
+		for _, n := range nodes {
+			if !n.Down {
+				anchor = n
+				break
+			}
+		}
+		if anchor.Down {
+			return nil, false
+		}
+		agg = sys.StoreOn(anchor).Collect(t, sys.Cfg.StoreKeep)
 		collected = true
 	} else {
 		for _, n := range nodes {
+			if n.Down {
+				continue // the store died with the node
+			}
 			if sys.storeBusy[n] > 0 {
 				deferred = true
 				continue
@@ -445,6 +491,97 @@ func (co *Coordinator) retryDeferredGC(t *kernel.Task) {
 	co.gcPending = nil
 }
 
+// placeInfo is one image's entry in the coordinator placement map.
+type placeInfo struct {
+	Name    string
+	Host    string // node that wrote the latest generation
+	Prog    string
+	VirtPid kernel.Pid
+	// LatestGen is the newest committed generation; ReplicatedGen the
+	// newest fully-replicated one (the recovery watermark).
+	LatestGen     int64
+	ReplicatedGen int64
+	// Holders maps hostname → highest generation that node holds.
+	Holders map[string]int64
+}
+
+// holderHosts returns the holder hostnames in deterministic order.
+func (pi *placeInfo) holderHosts() []string {
+	out := make([]string, 0, len(pi.Holders))
+	for h := range pi.Holders {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// notePlaced records a committed generation in the placement map (the
+// writer itself holds what it wrote).
+func (co *Coordinator) notePlaced(img ImageInfo) {
+	name, gen, ok := store.NameForManifest(img.Path)
+	if !ok {
+		return
+	}
+	pi := co.placement[name]
+	if pi == nil {
+		pi = &placeInfo{Name: name, Holders: make(map[string]int64)}
+		co.placement[name] = pi
+	}
+	pi.Host = img.Host
+	pi.Prog = img.Prog
+	pi.VirtPid = img.VirtPid
+	if gen > pi.LatestGen {
+		pi.LatestGen = gen
+	}
+	if gen > pi.Holders[img.Host] {
+		pi.Holders[img.Host] = gen
+	}
+}
+
+// noteReplicated records that holder now has generation gen of name
+// (reported by the replication service per completed peer copy).
+func (co *Coordinator) noteReplicated(name string, gen int64, holder string) {
+	pi := co.placement[name]
+	if pi == nil {
+		pi = &placeInfo{Name: name, Holders: make(map[string]int64)}
+		co.placement[name] = pi
+	}
+	if gen > pi.Holders[holder] {
+		pi.Holders[holder] = gen
+	}
+}
+
+// noteWatermark records that gen's full fan-out completed.
+func (co *Coordinator) noteWatermark(name string, gen int64) {
+	if pi := co.placement[name]; pi != nil && gen > pi.ReplicatedGen {
+		pi.ReplicatedGen = gen
+	}
+}
+
+// maybeAutoRecover starts a recovery drive when a client's death turns
+// out to be a node death and the session opted into automatic
+// recovery.
+func (co *Coordinator) maybeAutoRecover(t *kernel.Task, c *coordClient) {
+	if !co.Sys.Cfg.AutoRecover || co.recovering || co.Sys.Replica == nil {
+		return
+	}
+	host := c.desc
+	if i := strings.Index(host, "/"); i >= 0 {
+		host = host[:i]
+	}
+	n := co.Sys.C.LookupHost(host)
+	if n == nil || !n.Down {
+		return
+	}
+	co.recovering = true
+	co.proc.SpawnTask("recovery", true, func(rt *kernel.Task) {
+		defer func() { co.recovering = false }()
+		if _, err := co.Sys.Recover(rt); err != nil {
+			rt.Printf("dmtcp_coordinator: recovery: %v\n", err)
+		}
+	})
+}
+
 // onRestartEnd aggregates restart stage times; when all expected
 // restart processes have reported, RestartStats is published.
 func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
@@ -456,6 +593,10 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 		Memory: time.Duration(d.I64()),
 		Refill: time.Duration(d.I64()),
 		Total:  time.Duration(d.I64()),
+
+		Fetch:         time.Duration(d.I64()),
+		FetchedBytes:  d.I64(),
+		FetchedChunks: d.Int(),
 	}
 	co.restartExpect = expect
 	co.restartAgg = append(co.restartAgg, st)
@@ -477,6 +618,11 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 		if s.Total > agg.Total {
 			agg.Total = s.Total
 		}
+		if s.Fetch > agg.Fetch {
+			agg.Fetch = s.Fetch
+		}
+		agg.FetchedBytes += s.FetchedBytes
+		agg.FetchedChunks += s.FetchedChunks
 	}
 	n := time.Duration(len(co.restartAgg))
 	agg.Files /= n
@@ -488,14 +634,37 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 }
 
 // disconnect removes a dead client; if a round is in flight the
-// barrier counts are re-checked so the round can still complete.
+// barrier counts are re-checked so the round can still complete: with
+// the dead client out of the participant set, a barrier the remaining
+// clients have all reached must be released now — nobody else will
+// arrive to trigger it.
 func (co *Coordinator) disconnect(t *kernel.Task, cid int64) {
+	c := co.clients[cid]
 	delete(co.clients, cid)
 	if r := co.round; r != nil && r.participants[cid] != nil {
 		delete(r.participants, cid)
-		for name, m := range r.arrived {
+		for _, m := range r.arrived {
 			delete(m, cid)
-			_ = name
 		}
+		if len(r.participants) == 0 {
+			// Every participant died mid-round: close the round out so
+			// command waiters are not wedged forever.
+			co.finishRound(t, r)
+		} else {
+			// Re-evaluate the barriers in protocol order; releasing one
+			// may be what the survivors are blocked on.  finishRound
+			// (via the last barrier) clears co.round, so stop there.
+			for _, name := range ckptBarriers {
+				if co.round != r {
+					break
+				}
+				if !r.released[name] && len(r.arrived[name]) >= len(r.participants) {
+					co.releaseBarrier(t, r, name)
+				}
+			}
+		}
+	}
+	if c != nil {
+		co.maybeAutoRecover(t, c)
 	}
 }

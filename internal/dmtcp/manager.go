@@ -258,10 +258,17 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		node := p.Node
 		if opts.Store != nil {
 			m.sys.storeWriterInc(node)
+			if m.sys.Replica != nil {
+				m.sys.Replica.BeginCommit(node)
+			}
 		}
 		t.ForkRaw("ckpt-writer", func(c *kernel.Task) {
-			mtcp.WriteImage(c, img, opts)
+			wres := mtcp.WriteImage(c, img, opts)
 			if opts.Store != nil {
+				m.sys.replicateCommit(c, wres)
+				if m.sys.Replica != nil {
+					m.sys.Replica.EndCommit(node)
+				}
 				m.sys.storeWriterDec(node)
 			}
 			c.Exit(0)
@@ -280,6 +287,9 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		}
 	} else {
 		res = mtcp.WriteImage(t, img, opts)
+		if opts.Store != nil {
+			m.sys.replicateCommit(t, res)
+		}
 	}
 	writeDur := t.Now().Sub(s5)
 	err := m.barrier(t, "checkpointed", writeDur, func(e *bin.Encoder) {

@@ -1,0 +1,262 @@
+package dmtcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/store"
+)
+
+// Node-failure recovery.  The coordinator owns the placement map
+// (which nodes hold which process's checkpoint generations) and the
+// liveness view; recovery rolls the whole computation back to the
+// newest checkpoint round that is fully replicated off the dead
+// node(s), restarts the lost processes on a surviving replica holder,
+// and restarts the surviving processes in place — a globally
+// consistent cut, exactly as a coordinated-checkpointing system must.
+
+// Recovery reports one completed recovery drive.
+type Recovery struct {
+	// DeadHosts are the failed nodes recovery worked around.
+	DeadHosts []string
+	// Targets maps each dead host to the surviving replica holder its
+	// processes restarted on.
+	Targets map[string]string
+	// Round is the checkpoint round (consistent cut) restarted from.
+	Round *CkptRound
+	// Procs is the number of processes restarted; Killed the
+	// surviving processes rolled back to the cut.
+	Procs  int
+	Killed int
+	// Stats are the aggregated restart stage times, including the
+	// remote-fetch stage.
+	Stats *RestartStages
+	// Took is the full recovery latency: failure-detection timeout,
+	// rollback, fetch, and restart.
+	Took time.Duration
+}
+
+// Recover detects dead nodes and drives failure recovery, blocking
+// until the computation is running again.  It requires the replicated
+// storage service (Config.Store + Config.ReplicaFactor).
+func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
+	if s.Replica == nil {
+		return nil, fmt.Errorf("dmtcp: recovery requires Store and ReplicaFactor")
+	}
+	co := s.Coord
+	start := t.Now()
+	// The failure detector only trusts a silent peer to be dead after
+	// missed heartbeats, not on the first connection reset.
+	t.Compute(s.C.Params.FailureDetectDelay)
+	// Let a round the node died in the middle of settle first
+	// (disconnect re-checks its barriers, so it will finish).
+	for co.round != nil {
+		co.doneW.Wait(t.T)
+	}
+	dead := co.deadHosts()
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("dmtcp: no failed node to recover from")
+	}
+	round := co.recoveryRound(dead)
+	if round == nil {
+		return nil, fmt.Errorf("dmtcp: no fully-replicated round covers failed hosts %v", dead)
+	}
+	place := Placement{}
+	targets := make(map[string]string)
+	for _, h := range dead {
+		if !roundHasHost(round, h) {
+			continue
+		}
+		target := co.pickTarget(round, h)
+		if target == nil {
+			return nil, fmt.Errorf("dmtcp: no surviving replica holder for %s", h)
+		}
+		place[h] = target.ID
+		targets[h] = target.Hostname
+	}
+	// Roll the survivors back to the same cut before restarting
+	// everyone from it.
+	killed := s.KillManaged()
+	stats, err := s.RestartAll(t, round, place)
+	if err != nil {
+		return nil, err
+	}
+	return &Recovery{
+		DeadHosts: dead,
+		Targets:   targets,
+		Round:     round,
+		Procs:     len(round.Images),
+		Killed:    killed,
+		Stats:     stats,
+		Took:      t.Now().Sub(start),
+	}, nil
+}
+
+// deadHosts lists the down nodes that hold placement entries, in
+// hostname order.
+func (co *Coordinator) deadHosts() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, pi := range co.placement {
+		if pi.Host == "" || seen[pi.Host] {
+			continue
+		}
+		if n := co.Sys.C.LookupHost(pi.Host); n != nil && n.Down {
+			seen[pi.Host] = true
+			out = append(out, pi.Host)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recoveryRound returns the newest store-mode round every one of whose
+// images is restorable given the dead hosts: images written on a dead
+// host must be fully replicated with a surviving holder, images on
+// live hosts must be present locally or fetchable.  Rounds that do not
+// cover every dead host are passed over in favor of an older round
+// that does — a node dying mid-round leaves a newer round holding only
+// the survivors' images, and recovering from it would silently drop
+// the dead node's processes.  Only when no round covers a dead host
+// (its processes never checkpointed, or exited before the failure)
+// does the newest recoverable round win.
+func (co *Coordinator) recoveryRound(dead []string) *CkptRound {
+	isDead := make(map[string]bool, len(dead))
+	for _, h := range dead {
+		isDead[h] = true
+	}
+	var fallback *CkptRound
+	for i := len(co.Rounds) - 1; i >= 0; i-- {
+		r := co.Rounds[i]
+		if !r.Store || len(r.Images) == 0 {
+			continue
+		}
+		if !co.roundRecoverable(r, isDead) {
+			continue
+		}
+		covers := true
+		for _, h := range dead {
+			if !roundHasHost(r, h) {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			return r
+		}
+		if fallback == nil {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
+func (co *Coordinator) roundRecoverable(r *CkptRound, dead map[string]bool) bool {
+	for _, img := range r.Images {
+		name, gen, ok := store.NameForManifest(img.Path)
+		if !ok {
+			return false
+		}
+		pi := co.placement[name]
+		if pi == nil {
+			return false
+		}
+		if dead[img.Host] {
+			if pi.ReplicatedGen < gen || co.aliveHolder(pi, gen, "") == "" {
+				return false
+			}
+			continue
+		}
+		n := co.Sys.C.LookupHost(img.Host)
+		if n == nil || n.Down {
+			return false
+		}
+		if !n.FS.Exists(img.Path) && co.aliveHolder(pi, gen, img.Host) == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// holderHas reports whether host is alive and still holds generation
+// gen of name.  The placement map's Holders is monotonic ("highest
+// generation ever pushed"), so it alone cannot rule out the holder's
+// own retention having pruned the manifest since — the coordinator
+// re-verifies against the holder's store before trusting it.
+func (co *Coordinator) holderHas(host, name string, gen int64) bool {
+	n := co.Sys.C.LookupHost(host)
+	if n == nil || n.Down {
+		return false
+	}
+	st := store.Open(n, store.Config{Root: co.Sys.StoreRoot()})
+	return n.FS.Exists(st.ManifestPath(name, gen))
+}
+
+// aliveHolder returns a live holder (≠ exclude) that has generation
+// gen of pi, or "".
+func (co *Coordinator) aliveHolder(pi *placeInfo, gen int64, exclude string) string {
+	for _, h := range pi.holderHosts() {
+		if h == exclude {
+			continue
+		}
+		if pi.Holders[h] >= gen && co.holderHas(h, pi.Name, gen) {
+			return h
+		}
+	}
+	return ""
+}
+
+// pickTarget chooses the surviving node the dead host's processes
+// restart on: a live holder of every one of that host's images in the
+// round (ring placement gives them a common holder set).
+func (co *Coordinator) pickTarget(r *CkptRound, host string) *kernel.Node {
+	counts := map[string]int{}
+	total := 0
+	for _, img := range r.Images {
+		if img.Host != host {
+			continue
+		}
+		total++
+		name, gen, ok := store.NameForManifest(img.Path)
+		if !ok {
+			return nil
+		}
+		pi := co.placement[name]
+		if pi == nil {
+			return nil
+		}
+		for _, h := range pi.holderHosts() {
+			if h == host {
+				continue
+			}
+			if pi.Holders[h] >= gen && co.holderHas(h, pi.Name, gen) {
+				counts[h]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	var hosts []string
+	for h, c := range counts {
+		if c == total {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil
+	}
+	sort.Strings(hosts)
+	return co.Sys.C.LookupHost(hosts[0])
+}
+
+func roundHasHost(r *CkptRound, host string) bool {
+	for _, img := range r.Images {
+		if img.Host == host {
+			return true
+		}
+	}
+	return false
+}

@@ -1,6 +1,7 @@
 package dmtcp
 
 import (
+	"fmt"
 	"strconv"
 	"time"
 
@@ -8,7 +9,12 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mtcp"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
+
+// fetchFromEnv names the replica host dmtcp_restart pulls missing
+// manifests and chunks from (set by RestartAll / failure recovery).
+const fetchFromEnv = "DMTCP_FETCH_FROM"
 
 // restartMain is the dmtcp_restart program (§4.4): a single restart
 // process per host that reopens files and ptys, reconnects sockets
@@ -39,6 +45,38 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 		t.Printf("dmtcp_restart: coordinator: %v\n", err)
 		t.Exit(1)
 	}
+	// fail reports a fatal error to the coordinator (so a blocked
+	// RestartAll returns an error rather than waiting forever for
+	// stage times) and exits non-zero.
+	fail := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		t.Printf("dmtcp_restart: %s\n", msg)
+		var e bin.Encoder
+		e.B = append(e.B, msgRestartFail)
+		e.B = append(e.B, msg...)
+		t.SendFrame(cfd, e.B)
+		t.Exit(1)
+	}
+
+	// Remote fetch: when the images live on a replica peer rather than
+	// this node (node-failure recovery, store-mode migration), pull
+	// each manifest and the chunks the local store lacks from that
+	// peer's replica daemon before loading anything.
+	if from := t.P.Env[fetchFromEnv]; from != "" && s.Replica != nil {
+		fStart := t.Now()
+		for _, path := range paths {
+			if !store.IsManifestPath(path) {
+				continue
+			}
+			fs, err := s.Replica.EnsureLocal(t, path, from)
+			if err != nil {
+				fail("fetch %s: %v", path, err)
+			}
+			st.FetchedBytes += fs.Bytes
+			st.FetchedChunks += fs.Chunks
+		}
+		st.Fetch = t.Now().Sub(fStart)
+	}
 
 	// Load images (headers + metadata tables).
 	type procImage struct {
@@ -53,26 +91,25 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	for _, path := range paths {
 		img, err := mtcp.LoadImage(t, path)
 		if err != nil {
-			t.Printf("dmtcp_restart: %s: %v\n", path, err)
-			t.Exit(1)
+			fail("%s: %v", path, err)
 		}
 		pi := &procImage{path: path, img: img}
 		if b, ok := img.Ext["dmtcp.fdtable"]; ok {
 			pi.fds, err = decodeFDTable(b)
 			if err != nil {
-				t.Exit(1)
+				fail("%s: bad fd table: %v", path, err)
 			}
 		}
 		if b, ok := img.Ext["dmtcp.conns"]; ok {
 			pi.conns, err = decodeConns(b)
 			if err != nil {
-				t.Exit(1)
+				fail("%s: bad conn table: %v", path, err)
 			}
 		}
 		if b, ok := img.Ext["dmtcp.pids"]; ok {
 			pi.vpid, pi.table, err = decodePids(b)
 			if err != nil {
-				t.Exit(1)
+				fail("%s: bad pid table: %v", path, err)
 			}
 		}
 		imgs = append(imgs, pi)
@@ -333,6 +370,9 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	e.I64(int64(st.Memory))
 	e.I64(int64(st.Refill))
 	e.I64(int64(st.Total))
+	e.I64(int64(st.Fetch))
+	e.I64(st.FetchedBytes)
+	e.Int(st.FetchedChunks)
 	t.SendFrame(cfd, e.B)
 
 	// Remain as the parent of the restored processes (the paper's

@@ -201,13 +201,22 @@ type StageTimes struct {
 	Total   time.Duration
 }
 
-// RestartStages mirrors Table 1b.
+// RestartStages mirrors Table 1b, extended with the remote-fetch
+// stage a restart pays when its images must be pulled from replica
+// peers (recovery after node loss, store-mode migration).
 type RestartStages struct {
 	Files  time.Duration // reopen files and recreate ptys
 	Conns  time.Duration // recreate and reconnect sockets
 	Memory time.Duration // fork, rearrange FDs, restore memory/threads
 	Refill time.Duration
 	Total  time.Duration
+
+	// Fetch is the time spent pulling manifests and missing chunks
+	// from replica peers (max across hosts); FetchedBytes and
+	// FetchedChunks total the data that actually traveled.
+	Fetch         time.Duration
+	FetchedBytes  int64
+	FetchedChunks int
 }
 
 // ImageInfo describes one per-process checkpoint file (a monolithic

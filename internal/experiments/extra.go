@@ -183,6 +183,7 @@ func All(o Opts) []*Table {
 		RunBarrier(o),
 		RunDejaVu(o),
 		RunStore(o),
+		RunFailover(o),
 	}
 }
 

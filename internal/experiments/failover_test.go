@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/mpi"
+)
+
+func TestFailoverQuick(t *testing.T) {
+	tab := RunFailover(quickOpts())
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		gen1 := parseSecs(t, row[1])
+		incr := parseSecs(t, row[2])
+		rec := parseSecs(t, row[3])
+		if gen1 <= 0 {
+			t.Errorf("factor %s: first generation replicated %v MB", row[0], gen1)
+		}
+		// The dedup-aware fan-out must ship the dirty set, not the
+		// image: incremental generations well under half the first.
+		if incr <= 0 || incr >= gen1/2 {
+			t.Errorf("factor %s: incremental repl %v MB vs gen1 %v MB", row[0], incr, gen1)
+		}
+		if rec <= 0 || rec > 30 {
+			t.Errorf("factor %s: recovery %v s out of range", row[0], rec)
+		}
+		if row[5][0] == '0' {
+			t.Errorf("factor %s: no trial recovered (%s)", row[0], row[5])
+		}
+	}
+	t.Log("\n" + tab.Render())
+}
+
+// TestFailoverMPIRecoveryMatchesUnkilledRun is the end-to-end
+// restart-after-node-loss check: a 3-node MPI job checkpoints through
+// the replicated store, one node is killed, recovery restarts the lost
+// rank on a survivor — and the benchmark's transport checksum verifies
+// identically to a run that was never killed.
+func TestFailoverMPIRecoveryMatchesUnkilledRun(t *testing.T) {
+	runOnce := func(kill bool) string {
+		env := NewEnv(7, 3, dmtcp.Config{
+			Compress: true, Store: true, StoreKeep: 4, ReplicaFactor: 2,
+		})
+		env.C.Params.JitterPct = 0
+		var out string
+		env.Drive(func(task *kernel.Task) {
+			if _, err := env.Sys.Launch(0, "orterun", "3", "1", "0",
+				strconv.Itoa(mpi.BasePort), "nas-ep", "10"); err != nil {
+				panic(err)
+			}
+			task.Compute(400 * time.Millisecond)
+			if _, err := env.Sys.Checkpoint(task); err != nil {
+				panic(err)
+			}
+			env.Sys.Replica.WaitIdle(task)
+			if kill {
+				if n := env.C.KillNode(2); n == 0 {
+					t.Error("node kill terminated nothing")
+					return
+				}
+				rec, err := env.Sys.Recover(task)
+				if err != nil {
+					t.Errorf("recover: %v", err)
+					return
+				}
+				if tgt := rec.Targets["node02"]; tgt == "" || tgt == "node02" {
+					t.Errorf("recovery targets = %v", rec.Targets)
+				}
+			}
+			deadline := task.Now().Add(120 * time.Second)
+			for task.Now() < deadline && !env.C.Node(0).FS.Exists("/out/nas-ep.verify") {
+				task.Compute(100 * time.Millisecond)
+			}
+			if ino, err := env.C.Node(0).FS.ReadFile("/out/nas-ep.verify"); err == nil {
+				out = string(ino.Data)
+			}
+		})
+		return out
+	}
+	want := runOnce(false)
+	if want == "" {
+		t.Fatal("baseline run never verified")
+	}
+	got := runOnce(true)
+	if got == "" {
+		t.Fatal("recovered run never verified")
+	}
+	if got != want {
+		t.Errorf("recovered run output %q != never-killed run %q", got, want)
+	}
+}

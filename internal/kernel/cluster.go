@@ -14,6 +14,7 @@ package kernel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/flow"
 	"repro/internal/model"
@@ -35,6 +36,11 @@ type Cluster struct {
 	// for each process whose environment carries LDPreloadVar (the
 	// simulation's LD_PRELOAD).  The DMTCP layer installs this.
 	HookFactory func(p *Process) Hooks
+
+	// NodeDownHook, when set, is called after KillNode has torn a node
+	// down, so upper layers (the DMTCP session) can clear per-node
+	// bookkeeping that would otherwise wedge on the dead node.
+	NodeDownHook func(n *Node)
 
 	nextConnID int64
 	nextShmID  int64
@@ -118,12 +124,48 @@ func (c *Cluster) Processes() []*Process {
 	return out
 }
 
+// KillNode is the fault injection a replicated checkpoint store must
+// survive: it models a machine losing power.  Every process on the
+// node is terminated (peers observe connection resets exactly as they
+// would for a crashed host), the node's local filesystem contents are
+// lost (files under /san live on central storage and survive), and the
+// node is marked Down so that new spawns and connections fail.  It
+// returns the number of processes that were killed.
+func (c *Cluster) KillNode(id NodeID) int {
+	n := c.nodes[id]
+	if n.Down {
+		return 0
+	}
+	n.Down = true
+	killed := 0
+	for _, p := range n.Kern.Processes() {
+		p.terminate(9)
+		killed++
+	}
+	// Local storage dies with the machine; the shared /san namespace
+	// (anchored, as an implementation detail, in node 0's map) is
+	// central and survives.
+	for path := range n.FS.files {
+		if !strings.HasPrefix(path, "/san") {
+			delete(n.FS.files, path)
+		}
+	}
+	if c.NodeDownHook != nil {
+		c.NodeDownHook(n)
+	}
+	return killed
+}
+
 // Node is a single machine: a kernel, local disks, and a filesystem.
 type Node struct {
 	ID       NodeID
 	Hostname string
 	Cluster  *Cluster
 	Kern     *Kernel
+
+	// Down marks a node killed by Cluster.KillNode: its processes are
+	// gone, its local files lost, and spawns/connections to it fail.
+	Down bool
 
 	// DiskW is the local-disk write path (page-cache absorb then
 	// physical drain); DiskR the streaming read path.

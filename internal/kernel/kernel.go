@@ -78,6 +78,9 @@ func (k *Kernel) allocProcess(parent *Process, name string, args []string) *Proc
 // Spawn creates and starts a process running the registered program,
 // as if launched by init/a shell on this node.  env is copied.
 func (k *Kernel) Spawn(prog string, args []string, env map[string]string) (*Process, error) {
+	if k.node.Down {
+		return nil, fmt.Errorf("kernel: spawn %q: node %s is down", prog, k.node.Hostname)
+	}
 	pr, ok := k.node.Cluster.Program(prog)
 	if !ok {
 		return nil, fmt.Errorf("kernel: spawn %q: program not found", prog)
@@ -132,6 +135,26 @@ func (k *Kernel) Kill(pid Pid) error {
 	}
 	p.terminate(9)
 	return nil
+}
+
+// KillTree forcibly terminates a process and every live descendant,
+// children first (kill -9 on a process group).  The DMTCP layer uses
+// it to tear down a partially completed restart — the restart program
+// plus whatever half-restored processes it had already forked.
+func (k *Kernel) KillTree(pid Pid) {
+	p, ok := k.procs[pid]
+	if !ok || p.Dead {
+		return
+	}
+	kids := make([]Pid, 0, len(p.children))
+	for cpid := range p.children {
+		kids = append(kids, cpid)
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
+	for _, cpid := range kids {
+		k.KillTree(cpid)
+	}
+	p.terminate(9)
 }
 
 // Reparent makes child a kernel child of newParent.  The DMTCP

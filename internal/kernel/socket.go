@@ -342,7 +342,7 @@ func (t *Task) Connect(fd int, addr Addr) error {
 	lat, _ := p.Node.netDelayTo(dst)
 	// SYN travels to the server.
 	t.T.Sleep(sim.Time(lat).Duration())
-	if dst == nil {
+	if dst == nil || dst.Down {
 		return ErrConnRefused
 	}
 	ls, ok := dst.Kern.tcpPorts[addr.Port]

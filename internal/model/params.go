@@ -145,6 +145,18 @@ type Params struct {
 	// record at checkpoint commit and of scanning one during GC mark.
 	ManifestEntryCost time.Duration
 
+	// ---- Replicated checkpoint storage / failure recovery ----
+
+	// ReplicaRPCCost is the fixed server-side cost of handling one
+	// replica-protocol request (frame decode, dispatch, reply setup) on
+	// top of the modeled network transfer and per-chunk index probes.
+	ReplicaRPCCost time.Duration
+	// FailureDetectDelay is the failure-detector timeout charged
+	// between a node dying and recovery beginning: the coordinator
+	// only trusts a silent peer to be dead after missed heartbeats,
+	// not on the first connection reset.
+	FailureDetectDelay time.Duration
+
 	// JitterPct adds bounded uniform noise to the big time charges
 	// (suspend quantum, compression, storage) so repeated trials show
 	// the run-to-run variance the paper reports as error bars.  Zero
@@ -194,6 +206,9 @@ func Default() *Params {
 		HashBW:            150 * float64(MB),
 		ChunkLookupCost:   4 * time.Microsecond,
 		ManifestEntryCost: 2 * time.Microsecond,
+
+		ReplicaRPCCost:     25 * time.Microsecond,
+		FailureDetectDelay: 250 * time.Millisecond,
 	}
 }
 

@@ -1,0 +1,617 @@
+// Package replica is the replicated checkpoint storage service: a
+// per-node storage daemon (dmtcp_replicad, a registered kernel program
+// like sshd) that serves chunk/manifest get-put over the simulated
+// network, plus an asynchronous replicator that copies every committed
+// checkpoint generation to a fixed number of peer nodes.
+//
+// The design follows stdchk (Al Kiswany et al.): checkpoint data is
+// too valuable to live only on the node that wrote it — the node whose
+// failure the checkpoint exists to survive — so cluster peers are
+// aggregated into a dedicated, replicated storage layer.  Replication
+// is dedup-aware end to end: the pusher first asks the peer which
+// chunk fingerprints it lacks, and only those chunks travel, so a
+// 10%-dirty generation ships ~10% of its image regardless of the
+// replication factor's fan-out.
+//
+// Protocol (length-prefixed frames over one TCP connection):
+//
+//	want     C→S  manifest's chunk hashes     → indices the peer lacks
+//	manifest C→S  one serialized manifest (push; sent before its chunks
+//	              so they are referenced — and GC-safe — on arrival)
+//	chunk    C→S  one chunk object (push)
+//	done     C→S  end of push                 → peer verifies the whole
+//	              generation and reports any chunk it still lacks
+//	getman   C→S  manifest path (fetch)       → manifest bytes
+//	getchunk C→S  chunk hash (fetch)          → chunk bytes
+//
+// Bulk time is charged the way the rest of the simulation charges it:
+// real payload bytes ride the frames, while modeled (stored) bytes are
+// charged explicitly — the sender charges the network transfer, the
+// serving side charges its disk read, the receiving side its disk
+// write.
+package replica
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Port is where every node's replica daemon listens.
+const Port = 7791
+
+// Protocol message types (first byte of each frame).
+const (
+	opWant     = 'w' // push: which of these chunk hashes do you lack?
+	opChunk    = 'c' // push: one chunk object
+	opManifest = 'm' // push: one manifest
+	opDone     = 'd' // push: end of generation → ack
+	opGetMan   = 'g' // fetch: manifest by path
+	opGetChunk = 'h' // fetch: chunk by hash
+	opAck      = 'k'
+	opErr      = 'e'
+)
+
+// Config selects replication behavior.
+type Config struct {
+	// Factor is the number of peer nodes every committed generation is
+	// copied to.
+	Factor int
+	// Root is the store root, the same path on every node.
+	Root string
+}
+
+// Job is one committed generation awaiting replication.
+type Job struct {
+	Name         string
+	Generation   int64
+	ManifestPath string
+}
+
+// Stats aggregates replication traffic for the whole service.
+type Stats struct {
+	// Generations counts jobs whose full fan-out completed.
+	Generations int
+	// Pushes counts (job, peer) copies that completed.
+	Pushes int
+	// ChunksSent and BytesSent count the deduped chunk traffic that
+	// actually traveled (stored bytes).
+	ChunksSent int
+	BytesSent  int64
+	// ManifestBytes counts manifest bytes shipped.
+	ManifestBytes int64
+	// FetchChunks and FetchBytes count recovery/migration fetch
+	// traffic served to restarting nodes.
+	FetchChunks int
+	FetchBytes  int64
+}
+
+// FetchStats reports one EnsureLocal call.
+type FetchStats struct {
+	ManifestFetched bool
+	Chunks          int
+	Bytes           int64
+}
+
+type nodeQueue struct {
+	jobs []Job
+	busy bool
+	w    *sim.WaitQueue
+}
+
+// Service is the cluster-wide handle to the replica subsystem.
+// Like the rest of the harness-side state, its fields are shared under
+// the engine's cooperative scheduling.
+type Service struct {
+	C   *kernel.Cluster
+	Cfg Config
+
+	// Stats accumulates replication traffic.
+	Stats Stats
+
+	// OnReplicated, when set, is called after one (generation, peer)
+	// copy completes — the DMTCP coordinator uses it to maintain its
+	// placement map.
+	OnReplicated func(name string, gen int64, holder string)
+	// OnWatermark, when set, is called after a generation's full
+	// fan-out completes and the source store's watermark advances.
+	OnWatermark func(name string, gen int64, src string)
+
+	queues map[*kernel.Node]*nodeQueue
+	// inflight counts committed-but-not-yet-enqueued generations per
+	// node (forked checkpoint writers enqueue from the background
+	// child); WaitIdle must not return before they land in a queue.
+	inflight map[*kernel.Node]int
+	idleW    *sim.WaitQueue
+}
+
+// Install registers the dmtcp_replicad program and returns the
+// service handle.  Call StartAll (or spawn dmtcp_replicad per node)
+// before replicating.
+func Install(c *kernel.Cluster, cfg Config) *Service {
+	sv := &Service{
+		C:        c,
+		Cfg:      cfg,
+		queues:   make(map[*kernel.Node]*nodeQueue),
+		inflight: make(map[*kernel.Node]int),
+		idleW:    sim.NewWaitQueue(c.Eng, "replica.idle"),
+	}
+	c.RegisterFunc("dmtcp_replicad", sv.daemonMain)
+	return sv
+}
+
+// StartAll spawns the replica daemon on every live node.
+func (sv *Service) StartAll() error {
+	for _, n := range sv.C.Nodes() {
+		if n.Down {
+			continue
+		}
+		if _, err := n.Kern.Spawn("dmtcp_replicad", nil, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sv *Service) queue(n *kernel.Node) *nodeQueue {
+	q := sv.queues[n]
+	if q == nil {
+		q = &nodeQueue{w: sim.NewWaitQueue(sv.C.Eng, n.Hostname+".replq")}
+		sv.queues[n] = q
+	}
+	return q
+}
+
+// Enqueue schedules asynchronous replication of a committed
+// generation from node n.
+func (sv *Service) Enqueue(n *kernel.Node, job Job) {
+	q := sv.queue(n)
+	q.jobs = append(q.jobs, job)
+	q.w.WakeAll()
+}
+
+// BeginCommit announces a checkpoint write on node n that will
+// Enqueue when it commits (a forked background writer); EndCommit
+// retires it.  The pair keeps WaitIdle honest across the window where
+// the generation exists in neither a queue nor a worker.
+func (sv *Service) BeginCommit(n *kernel.Node) { sv.inflight[n]++ }
+
+// EndCommit retires a BeginCommit announcement.
+func (sv *Service) EndCommit(n *kernel.Node) {
+	if sv.inflight[n] > 0 {
+		sv.inflight[n]--
+	}
+	sv.idleW.WakeAll()
+}
+
+// Pending returns the number of generations committed, queued, or in
+// flight on live nodes (work on dead nodes is lost with the node).
+func (sv *Service) Pending() int {
+	n := 0
+	for node, q := range sv.queues {
+		if node.Down {
+			continue
+		}
+		n += len(q.jobs)
+		if q.busy {
+			n++
+		}
+	}
+	for node, c := range sv.inflight {
+		if node.Down {
+			continue
+		}
+		n += c
+	}
+	return n
+}
+
+// WaitIdle blocks the calling task until every live node's replication
+// queue has drained.
+func (sv *Service) WaitIdle(t *kernel.Task) {
+	for sv.Pending() > 0 {
+		sv.idleW.WaitTimeout(t.T, 50*time.Millisecond)
+	}
+}
+
+// Targets returns the ring-placement peers for generations written on
+// src: the next Factor live nodes by ID.
+func (sv *Service) Targets(src *kernel.Node) []*kernel.Node {
+	nodes := sv.C.Nodes()
+	var out []*kernel.Node
+	for i := 1; i < len(nodes) && len(out) < sv.Cfg.Factor; i++ {
+		n := nodes[(int(src.ID)+i)%len(nodes)]
+		if n == src || n.Down {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// daemonMain is the dmtcp_replicad program: a replication worker plus
+// a get-put server.
+func (sv *Service) daemonMain(t *kernel.Task, _ []string) {
+	t.P.SpawnTask("repl-worker", true, sv.worker)
+	lfd, err := t.ListenTCP(Port)
+	if err != nil {
+		t.Printf("dmtcp_replicad: %v\n", err)
+		return
+	}
+	for {
+		fd, err := t.Accept(lfd)
+		if err != nil {
+			return
+		}
+		c := fd
+		t.P.SpawnTask("repl-conn", false, func(h *kernel.Task) { sv.serve(h, c) })
+	}
+}
+
+// worker drains this node's replication queue.
+func (sv *Service) worker(t *kernel.Task) {
+	q := sv.queue(t.P.Node)
+	for {
+		for len(q.jobs) == 0 {
+			if q.busy {
+				q.busy = false
+				sv.idleW.WakeAll()
+			}
+			q.w.Wait(t.T)
+		}
+		job := q.jobs[0]
+		q.jobs = q.jobs[1:]
+		q.busy = true
+		sv.replicate(t, job)
+	}
+}
+
+// replicate pushes one committed generation to every placement target
+// and advances the source store's replication watermark once the full
+// fan-out has succeeded.
+func (sv *Service) replicate(t *kernel.Task, job Job) {
+	src := t.P.Node
+	st := store.Open(src, store.Config{Root: sv.Cfg.Root})
+	m, err := st.LoadManifest(job.ManifestPath)
+	if err != nil {
+		return // generation pruned (or lost) before its turn came
+	}
+	targets := sv.Targets(src)
+	done := 0
+	for _, peer := range targets {
+		if sv.pushTo(t, st, peer, job, m) {
+			done++
+			if sv.OnReplicated != nil {
+				sv.OnReplicated(job.Name, job.Generation, peer.Hostname)
+			}
+		}
+	}
+	if done == len(targets) && done > 0 {
+		st.SetReplicationWatermark(t, job.Name, job.Generation)
+		sv.Stats.Generations++
+		if sv.OnWatermark != nil {
+			sv.OnWatermark(job.Name, job.Generation, src.Hostname)
+		}
+	}
+}
+
+// pushTo copies one generation to one peer, shipping only the chunks
+// the peer lacks.
+func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, job Job, m *store.Manifest) bool {
+	p := t.P.Node.Cluster.Params
+	fd := t.Socket()
+	defer t.Close(fd)
+	if err := t.Connect(fd, kernel.Addr{Host: peer.Hostname, Port: Port}); err != nil {
+		return false
+	}
+
+	// 1. Dedup handshake: which chunks does the peer lack?
+	refs := m.Refs()
+	var e bin.Encoder
+	e.B = append(e.B, opWant)
+	e.U32(uint32(len(refs)))
+	for _, r := range refs {
+		e.Str(r.Hash)
+	}
+	if err := t.SendFrame(fd, e.B); err != nil {
+		return false
+	}
+	resp, err := t.RecvFrame(fd)
+	if err != nil || len(resp) == 0 || resp[0] != opAck {
+		return false
+	}
+	d := &bin.Decoder{B: resp[1:]}
+	nMissing := int(d.U32())
+	missing := make([]store.ChunkRef, 0, nMissing)
+	for i := 0; i < nMissing && d.Err == nil; i++ {
+		idx := int(d.U32())
+		if idx < 0 || idx >= len(refs) {
+			return false
+		}
+		missing = append(missing, refs[idx])
+	}
+
+	// 2. Ship the manifest first: once it lands, the chunks that
+	// follow are referenced the moment they arrive, so the peer's own
+	// mark-and-sweep can never treat them as garbage mid-push.
+	ino, err := t.P.Node.FS.ReadFile(job.ManifestPath)
+	if err != nil {
+		return false
+	}
+	t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, int64(len(ino.Data))))
+	var me bin.Encoder
+	me.B = append(me.B, opManifest)
+	me.Str(job.ManifestPath)
+	me.Bytes(ino.Data)
+	if err := t.SendFrame(fd, me.B); err != nil {
+		return false
+	}
+	sv.Stats.ManifestBytes += int64(len(ino.Data))
+
+	// 3. Ship the missing chunks, then have the peer verify the whole
+	// generation against the manifest it now holds.  The verification
+	// closes the remaining race: a chunk the want-reply counted as
+	// present could have been swept by the peer's GC (its referencing
+	// manifest pruned) before our manifest arrived to pin it — any
+	// such hole is reported back and re-pushed.
+	for attempt := 0; ; attempt++ {
+		if !sv.shipChunks(t, st, fd, missing) {
+			return false
+		}
+		var de bin.Encoder
+		de.B = append(de.B, opDone)
+		de.Str(job.ManifestPath)
+		if err := t.SendFrame(fd, de.B); err != nil {
+			return false
+		}
+		ack, err := t.RecvFrame(fd)
+		if err != nil || len(ack) == 0 || ack[0] != opAck {
+			return false
+		}
+		d := &bin.Decoder{B: ack[1:]}
+		nHoles := int(d.U32())
+		if nHoles == 0 {
+			break
+		}
+		if attempt >= 2 {
+			return false
+		}
+		missing = missing[:0]
+		for i := 0; i < nHoles && d.Err == nil; i++ {
+			idx := int(d.U32())
+			if idx < 0 || idx >= len(refs) {
+				return false
+			}
+			missing = append(missing, refs[idx])
+		}
+	}
+	sv.Stats.Pushes++
+	return true
+}
+
+// shipChunks streams the given chunks to an open peer connection:
+// local disk read plus one network transfer of the stored (compressed)
+// bytes each.
+func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []store.ChunkRef) bool {
+	p := t.P.Node.Cluster.Params
+	st.ChargeRead(t, refs)
+	for _, ref := range refs {
+		data, err := st.ReadChunkData(ref.Hash)
+		if err != nil {
+			return false
+		}
+		t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ref.StoredBytes))
+		var ce bin.Encoder
+		ce.B = append(ce.B, opChunk)
+		ce.Str(ref.Hash)
+		ce.I64(ref.LogicalBytes)
+		ce.I64(ref.StoredBytes)
+		ce.F64(ref.Entropy)
+		ce.F64(ref.ZeroFrac)
+		ce.Bytes(data)
+		if err := t.SendFrame(fd, ce.B); err != nil {
+			return false
+		}
+		sv.Stats.ChunksSent++
+		sv.Stats.BytesSent += ref.StoredBytes
+	}
+	return true
+}
+
+// serve handles one peer connection against this node's store.
+func (sv *Service) serve(t *kernel.Task, fd int) {
+	defer t.Close(fd)
+	st := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
+	p := t.P.Node.Cluster.Params
+	for {
+		frame, err := t.RecvFrame(fd)
+		if err != nil {
+			return
+		}
+		if len(frame) == 0 {
+			continue
+		}
+		t.Compute(p.ReplicaRPCCost)
+		body := frame[1:]
+		switch frame[0] {
+		case opWant:
+			d := &bin.Decoder{B: body}
+			n := int(d.U32())
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			var idx []uint32
+			for i := 0; i < n && d.Err == nil; i++ {
+				hash := d.Str()
+				t.Compute(p.ChunkLookupCost)
+				if !st.HasChunk(hash) {
+					idx = append(idx, uint32(i))
+				}
+			}
+			e.U32(uint32(len(idx)))
+			for _, i := range idx {
+				e.U32(i)
+			}
+			t.SendFrame(fd, e.B)
+		case opChunk:
+			d := &bin.Decoder{B: body}
+			ref := store.ChunkRef{Hash: d.Str()}
+			ref.LogicalBytes = d.I64()
+			ref.StoredBytes = d.I64()
+			ref.Entropy = d.F64()
+			ref.ZeroFrac = d.F64()
+			data := d.Bytes()
+			if d.Err == nil {
+				st.PutReplicaChunk(t, ref, data)
+			}
+		case opManifest:
+			d := &bin.Decoder{B: body}
+			path := d.Str()
+			data := d.Bytes()
+			if d.Err == nil {
+				st.PutRawManifest(t, path, data)
+			}
+		case opDone:
+			// Verify the pushed generation: report the index of every
+			// manifest chunk this store does not actually hold, so the
+			// pusher can fill holes its want-reply missed.
+			d := &bin.Decoder{B: body}
+			path := d.Str()
+			m, err := st.LoadManifest(path)
+			if err != nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			var holes []uint32
+			for i, ref := range m.Refs() {
+				t.Compute(p.ChunkLookupCost)
+				if !st.HasChunk(ref.Hash) {
+					holes = append(holes, uint32(i))
+				}
+			}
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.U32(uint32(len(holes)))
+			for _, i := range holes {
+				e.U32(i)
+			}
+			t.SendFrame(fd, e.B)
+		case opGetMan:
+			d := &bin.Decoder{B: body}
+			path := d.Str()
+			ino, err := t.P.Node.FS.ReadFile(path)
+			if err != nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			t.P.Node.ReadPipeFor(path).Read(t.T, ino.Size())
+			t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.Bytes(ino.Data)
+			t.SendFrame(fd, e.B)
+		case opGetChunk:
+			d := &bin.Decoder{B: body}
+			hash := d.Str()
+			ino, err := t.P.Node.FS.ReadFile(st.ChunkPath(hash))
+			if err != nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			t.P.Node.ReadPipeFor(st.ChunkPath(hash)).Read(t.T, ino.Size())
+			t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.Bytes(ino.Data)
+			t.SendFrame(fd, e.B)
+			sv.Stats.FetchChunks++
+			sv.Stats.FetchBytes += ino.Size()
+		}
+	}
+}
+
+// EnsureLocal makes one manifest generation restorable on the calling
+// task's node, fetching the manifest and any chunks the local store
+// lacks from the replica daemon on fromHost.  This is the restart-time
+// remote-fetch path: recovery and migration both ride it, and because
+// it asks only for missing chunks, a node that already holds replicas
+// fetches ~nothing.
+func (sv *Service) EnsureLocal(t *kernel.Task, manifestPath, fromHost string) (FetchStats, error) {
+	var fs FetchStats
+	local := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
+
+	var fd = -1
+	dial := func() error {
+		if fd >= 0 {
+			return nil
+		}
+		fd = t.Socket()
+		if of, err := t.P.FD(fd); err == nil {
+			of.Protected = true // infrastructure socket: not checkpointed
+		}
+		return t.Connect(fd, kernel.Addr{Host: fromHost, Port: Port})
+	}
+	defer func() {
+		if fd >= 0 {
+			t.Close(fd)
+		}
+	}()
+
+	if !t.P.Node.FS.Exists(manifestPath) {
+		if err := dial(); err != nil {
+			return fs, fmt.Errorf("replica: fetch %s from %s: %w", manifestPath, fromHost, err)
+		}
+		var e bin.Encoder
+		e.B = append(e.B, opGetMan)
+		e.Str(manifestPath)
+		if err := t.SendFrame(fd, e.B); err != nil {
+			return fs, err
+		}
+		resp, err := t.RecvFrame(fd)
+		if err != nil {
+			return fs, err
+		}
+		if len(resp) == 0 || resp[0] != opAck {
+			return fs, fmt.Errorf("replica: %s has no manifest %s", fromHost, manifestPath)
+		}
+		d := &bin.Decoder{B: resp[1:]}
+		local.PutRawManifest(t, manifestPath, d.Bytes())
+		fs.ManifestFetched = true
+	}
+
+	m, err := local.LoadManifest(manifestPath)
+	if err != nil {
+		return fs, err
+	}
+	missing := local.MissingChunks(m.Refs())
+	if len(missing) == 0 {
+		return fs, nil
+	}
+	if err := dial(); err != nil {
+		return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
+	}
+	for _, ref := range missing {
+		var e bin.Encoder
+		e.B = append(e.B, opGetChunk)
+		e.Str(ref.Hash)
+		if err := t.SendFrame(fd, e.B); err != nil {
+			return fs, err
+		}
+		resp, err := t.RecvFrame(fd)
+		if err != nil {
+			return fs, err
+		}
+		if len(resp) == 0 || resp[0] != opAck {
+			return fs, fmt.Errorf("replica: %s lacks chunk %s", fromHost, ref.Hash)
+		}
+		d := &bin.Decoder{B: resp[1:]}
+		local.PutReplicaChunk(t, ref, d.Bytes())
+		fs.Chunks++
+		fs.Bytes += ref.StoredBytes
+	}
+	return fs, nil
+}

@@ -1,0 +1,185 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/mtcp"
+	"repro/internal/replica"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+const root = "/ckpt/store"
+
+func testCluster(t *testing.T, nodes int) (*sim.Engine, *kernel.Cluster) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	c := kernel.NewCluster(eng, model.Default(), nodes)
+	t.Cleanup(eng.Shutdown)
+	return eng, c
+}
+
+func run(t *testing.T, eng *sim.Engine, c *kernel.Cluster, fn func(*kernel.Task)) {
+	t.Helper()
+	c.RegisterFunc("m", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond) // let the daemons listen
+		fn(task)
+		eng.Stop()
+	})
+	if _, err := c.Node(0).Kern.Spawn("m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// commit writes one generation of a synthetic image into node 0's
+// store and returns its manifest path.
+func commit(task *kernel.Task, touch float64, salt uint64) string {
+	p := task.P
+	if p.Mem.Area("[heap]") == nil {
+		task.MapLib("/lib/libc.so", 4*model.MB)
+		h := p.Mem.MapAnon("[heap]", 32*model.MB, model.ClassData)
+		h.Payload = []byte("payload-v1")
+		h.Touch(0, int64(len(h.Payload)))
+	}
+	if touch > 0 {
+		p.Mem.Area("[heap]").TouchFraction(touch, salt)
+	}
+	img := mtcp.Capture(p, 900)
+	s := store.Open(p.Node, store.Config{Root: root, Compress: true})
+	res := mtcp.WriteImage(task, img, mtcp.WriteOptions{Dir: "/ckpt", Compress: true, Store: s})
+	s.InitReplicationWatermark(task, mtcp.ImageBase(img))
+	return res.Path
+}
+
+func TestRingTargetsSkipSelfAndDownNodes(t *testing.T) {
+	_, c := testCluster(t, 4)
+	sv := replica.Install(c, replica.Config{Factor: 2, Root: root})
+	names := func(ns []*kernel.Node) []string {
+		var out []string
+		for _, n := range ns {
+			out = append(out, n.Hostname)
+		}
+		return out
+	}
+	got := names(sv.Targets(c.Node(1)))
+	if len(got) != 2 || got[0] != "node02" || got[1] != "node03" {
+		t.Errorf("targets of node01 = %v", got)
+	}
+	c.Node(2).Down = true
+	got = names(sv.Targets(c.Node(1)))
+	if len(got) != 2 || got[0] != "node03" || got[1] != "node00" {
+		t.Errorf("targets of node01 with node02 down = %v", got)
+	}
+}
+
+func TestFanOutReplicatesAndDedups(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 2, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, c, func(task *kernel.Task) {
+		p1 := commit(task, 0, 0)
+		name, gen, _ := store.NameForManifest(p1)
+		sv.Enqueue(c.Node(0), replica.Job{Name: name, Generation: gen, ManifestPath: p1})
+		sv.WaitIdle(task)
+
+		if sv.Stats.Generations != 1 || sv.Stats.Pushes != 2 {
+			t.Fatalf("stats after gen 1 = %+v", sv.Stats)
+		}
+		gen1Bytes := sv.Stats.BytesSent
+		src := store.Open(c.Node(0), store.Config{Root: root})
+		m, err := src.LoadManifest(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, peer := range []*kernel.Node{c.Node(1), c.Node(2)} {
+			ps := store.Open(peer, store.Config{Root: root})
+			if _, err := ps.LoadManifest(p1); err != nil {
+				t.Errorf("%s missing manifest: %v", peer.Hostname, err)
+			}
+			if missing := ps.MissingChunks(m.Refs()); len(missing) != 0 {
+				t.Errorf("%s missing %d chunks after fan-out", peer.Hostname, len(missing))
+			}
+		}
+		if wm, ok := src.ReplicationWatermark(name); !ok || wm != gen {
+			t.Errorf("watermark = %v,%v want %d", wm, ok, gen)
+		}
+
+		// A 10%-dirty second generation ships a fraction of the first.
+		p2 := commit(task, 0.10, 7)
+		_, gen2, _ := store.NameForManifest(p2)
+		sv.Enqueue(c.Node(0), replica.Job{Name: name, Generation: gen2, ManifestPath: p2})
+		sv.WaitIdle(task)
+		incr := sv.Stats.BytesSent - gen1Bytes
+		if incr <= 0 || incr >= gen1Bytes/4 {
+			t.Errorf("incremental fan-out shipped %d of %d", incr, gen1Bytes)
+		}
+	})
+}
+
+func TestEnsureLocalFetchesOnlyMissing(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 1, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, c, func(task *kernel.Task) {
+		p1 := commit(task, 0, 0)
+		name, gen, _ := store.NameForManifest(p1)
+		sv.Enqueue(c.Node(0), replica.Job{Name: name, Generation: gen, ManifestPath: p1})
+		sv.WaitIdle(task)
+
+		// node02 holds nothing (factor 1 → only node01): a fetch from
+		// node00 must pull the manifest and every chunk, charging time.
+		t0 := task.Now()
+		var fs replica.FetchStats
+		var err error
+		done := false
+		c.RegisterFunc("fetcher", func(ft *kernel.Task, _ []string) {
+			fs, err = sv.EnsureLocal(ft, p1, "node00")
+			done = true
+		})
+		if _, err := c.Node(2).Kern.Spawn("fetcher", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			task.Compute(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("fetch: %v", err)
+		}
+		if !fs.ManifestFetched || fs.Chunks == 0 || fs.Bytes == 0 {
+			t.Errorf("cold fetch = %+v", fs)
+		}
+		if task.Now().Sub(t0) <= 0 {
+			t.Error("fetch charged no time")
+		}
+		ps := store.Open(c.Node(2), store.Config{Root: root})
+		m, err := ps.LoadManifest(p1)
+		if err != nil {
+			t.Fatalf("fetched manifest unreadable: %v", err)
+		}
+		if missing := ps.MissingChunks(m.Refs()); len(missing) != 0 {
+			t.Fatalf("%d chunks still missing after fetch", len(missing))
+		}
+
+		// A second fetch is a no-op: everything is local now.
+		done = false
+		if _, err := c.Node(2).Kern.Spawn("fetcher", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			task.Compute(10 * time.Millisecond)
+		}
+		if err != nil || fs.ManifestFetched || fs.Chunks != 0 {
+			t.Errorf("warm fetch = %+v, %v — dedup not applied", fs, err)
+		}
+	})
+}

@@ -38,7 +38,11 @@ func (g *GCStats) Add(o GCStats) {
 }
 
 // Prune applies the retention policy: for every image name, drop all
-// but the newest keep generations.  keep <= 0 retains everything.  It
+// but the newest keep generations.  keep <= 0 retains everything.
+// When replication is active for a name, generations above the
+// replication watermark are pinned: dropping them could leave their
+// not-yet-replicated chunks unreferenced, and the sweep would reclaim
+// data the replicator (and any post-failure restart) still needs.  It
 // returns the number of manifests removed; their chunks become
 // unreferenced and are reclaimed by the next GC.
 func (s *Store) Prune(t *kernel.Task, keep int) int {
@@ -49,7 +53,11 @@ func (s *Store) Prune(t *kernel.Task, keep int) int {
 	pruned := 0
 	for _, name := range s.Names() {
 		gens := s.Generations(name)
+		wm, pinned := s.ReplicationWatermark(name)
 		for len(gens) > keep {
+			if pinned && gens[0] > wm {
+				break // unreplicated generation: pinned until the watermark passes it
+			}
 			t.Compute(p.SyscallCost)
 			s.Node.FS.Unlink(s.ManifestPath(name, gens[0]))
 			gens = gens[1:]

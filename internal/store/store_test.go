@@ -253,6 +253,71 @@ func TestGenerationsAndRetention(t *testing.T) {
 	})
 }
 
+// TestGCNeverCollectsUnreplicatedChunks pins the replication-watermark
+// invariant: a generation that is committed locally but not yet fully
+// replicated to its peers is pinned — retention must not drop its
+// manifest, and mark-and-sweep must therefore never reclaim its
+// chunks, even under the tightest keep policy.
+func TestGCNeverCollectsUnreplicatedChunks(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		s := openStore(task, false)
+		opts := mtcp.WriteOptions{Dir: "/ckpt", Store: s}
+
+		// Replication active from the first commit (watermark 0), as
+		// the checkpoint layer guarantees via InitReplicationWatermark.
+		name := "ckpt_m_node00_700"
+		s.InitReplicationWatermark(task, name)
+
+		var paths []string
+		for i := 0; i < 3; i++ {
+			img := capture(task)
+			task.P.Mem.Area("[heap]").TouchFraction(0.5, uint64(i+1))
+			res := mtcp.WriteImage(task, img, opts)
+			paths = append(paths, res.Path)
+		}
+
+		// Nothing replicated yet: keep=1 must prune nothing — every
+		// generation is above the watermark.
+		st := s.Collect(task, 1)
+		if st.Pruned != 0 || st.Swept != 0 {
+			t.Fatalf("collect reclaimed unreplicated data: %+v", st)
+		}
+		for gi, p := range paths {
+			m, err := s.LoadManifest(p)
+			if err != nil {
+				t.Fatalf("generation %d pruned while unreplicated: %v", gi+1, err)
+			}
+			for _, ref := range m.Refs() {
+				if !s.HasChunk(ref.Hash) {
+					t.Fatalf("generation %d chunk %s swept while unreplicated", gi+1, ref.Hash)
+				}
+			}
+		}
+
+		// Generation 1 replicates and becomes prunable; keep=1 would
+		// like to drop generation 2 as well, but it is still above the
+		// watermark and stays pinned.
+		s.SetReplicationWatermark(task, name, 1)
+		st = s.Collect(task, 1)
+		if st.Pruned != 1 {
+			t.Errorf("watermark 1, keep 1: pruned %d manifests, want 1 (gens 2-3 pinned)", st.Pruned)
+		}
+		if gens := s.Generations(name); len(gens) != 2 || gens[0] != 2 || gens[1] != 3 {
+			t.Errorf("generations after partial replication = %v, want [2 3]", gens)
+		}
+		// Full replication unpins: retention now applies cleanly.
+		s.SetReplicationWatermark(task, name, 3)
+		s.Collect(task, 1)
+		if gens := s.Generations(name); len(gens) != 1 || gens[0] != 3 {
+			t.Errorf("generations after full replication = %v, want [3]", gens)
+		}
+		if _, err := mtcp.LoadImage(task, paths[2]); err != nil {
+			t.Errorf("surviving generation unrestorable: %v", err)
+		}
+	})
+}
+
 // TestWrittenPrivateChunksDoNotAliasAcrossProcesses pins the dedup
 // scoping rule: untouched (zero) memory and library text dedup
 // globally, but once two processes write their private areas, their
