@@ -182,6 +182,20 @@ func BenchmarkFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkCoordFailover measures coordinator HA: journal replication
+// traffic, standby takeover latency, and the cost of the first
+// checkpoint driven by the promoted standby.
+func BenchmarkCoordFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunCoordFailover(benchOpts(b, i))
+		r := len(tab.Rows) - 1
+		b.ReportMetric(cell(tab, r, 1), "journal-KB")
+		b.ReportMetric(cell(tab, r, 2), "takeover-s")
+		b.ReportMetric(cell(tab, r, 3), "pre-ckpt-s")
+		b.ReportMetric(cell(tab, r, 4), "post-ckpt-s")
+	}
+}
+
 // BenchmarkDejaVuComparison regenerates the §2 related-work
 // comparison against a DejaVu-style logging checkpointer.
 func BenchmarkDejaVuComparison(b *testing.B) {

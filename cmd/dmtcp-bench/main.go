@@ -5,7 +5,8 @@
 //	dmtcp-bench [-run id] [-trials n] [-quick] [-list] [-json]
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
-// sync, forked, barrier, dejavu, store, failover, all (default).
+// sync, forked, barrier, dejavu, store, failover, coordha, all
+// (default).
 package main
 
 import (
@@ -49,6 +50,7 @@ func main() {
 		{"dejavu", "DejaVu overhead comparison (§2)", func() *dmtcpsim.Table { return dmtcpsim.RunDejaVu(o) }},
 		{"store", "incremental chunk store vs full rewrite", func() *dmtcpsim.Table { return dmtcpsim.RunStore(o) }},
 		{"failover", "replicated storage + node-failure recovery", func() *dmtcpsim.Table { return dmtcpsim.RunFailover(o) }},
+		{"coordha", "coordinator HA: journaled state machine + standby takeover", func() *dmtcpsim.Table { return dmtcpsim.RunCoordFailover(o) }},
 	}
 	if *list {
 		for _, e := range exps {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store|failover [-nodes n]
+//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store|failover|coord-failover [-nodes n]
 package main
 
 import (
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store|failover")
+		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store|failover|coord-failover")
 		nodes    = flag.Int("nodes", 4, "cluster size")
 	)
 	flag.Parse()
@@ -38,6 +38,8 @@ func main() {
 		storeScenario()
 	case "failover":
 		failoverScenario(*nodes)
+	case "coord-failover":
+		coordFailoverScenario(*nodes)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
 		os.Exit(2)
@@ -211,6 +213,66 @@ func failoverScenario(nodes int) {
 		fmt.Printf("recovered on %s from generation %d in %v (fetched %.2f MB from peers)\n",
 			rec.Targets["node01"], rec.Round.Images[0].Generation,
 			rec.Took.Round(time.Millisecond), float64(rec.Stats.FetchedBytes)/(1<<20))
+		t.Compute(100 * time.Millisecond)
+		for _, p := range s.Sys.ManagedProcesses() {
+			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)
+		}
+	})
+}
+
+func coordFailoverScenario(nodes int) {
+	if nodes < 4 {
+		nodes = 4
+	}
+	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
+		Checkpoint: dmtcpsim.Config{CoordNode: 1, Compress: true, Store: true,
+			StoreKeep: 3, ReplicaFactor: 2, CoordStandbys: 1}})
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("coordinator on node01 journals its state machine to a standby on node02 ...")
+		if _, err := s.Launch(3, dmtcpsim.DirtyAppName, "128"); err != nil {
+			panic(err)
+		}
+		t.Compute(300 * time.Millisecond)
+		for gen := 1; gen <= 2; gen++ {
+			round, err := s.Checkpoint(t)
+			if err != nil {
+				panic(err)
+			}
+			s.Sys.Replica.WaitIdle(t)
+			fmt.Printf("gen %d checkpointed in %v under %s (journal: %d entries, %.1f KB shipped)\n",
+				gen, round.Stages.Total.Round(time.Millisecond), s.Sys.Coord.Node.Hostname,
+				s.Sys.Replica.Stats.JournalEntries,
+				float64(s.Sys.Replica.Stats.JournalBytes)/1024)
+			for _, p := range s.Sys.ManagedProcesses() {
+				dmtcpsim.TouchHeap(p, 0.10, uint64(gen))
+			}
+			t.Compute(100 * time.Millisecond)
+		}
+		fmt.Println("killing node01 — the coordinator dies with its node ...")
+		killAt := t.Now()
+		s.KillNode(1)
+		for s.Sys.Coord.Node.Down {
+			t.Compute(10 * time.Millisecond)
+		}
+		fmt.Printf("standby on %s took over in %v (replayed %d rounds from the journal)\n",
+			s.Sys.Coord.Node.Hostname, t.Now().Sub(killAt).Round(time.Millisecond),
+			len(s.Sys.Coord.Rounds()))
+		round, err := s.Checkpoint(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("post-takeover checkpoint: %d process(es) in %v — the manager resynced mid-computation\n",
+			round.NumProcs, round.Stages.Total.Round(time.Millisecond))
+		fmt.Println("killing node03 too — data-plane recovery now runs under the promoted standby ...")
+		s.Sys.Replica.WaitIdle(t)
+		s.KillNode(3)
+		rec, err := s.Recover(t)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("recovered on %s from generation %d in %v\n",
+			rec.Targets["node03"], rec.Round.Images[0].Generation,
+			rec.Took.Round(time.Millisecond))
 		t.Compute(100 * time.Millisecond)
 		for _, p := range s.Sys.ManagedProcesses() {
 			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)

@@ -189,17 +189,18 @@ func (s *Sim) Run(fn func(*Task)) {
 // Experiments: regenerate the paper's tables and figures.  Each
 // returns a Table whose Render method prints the series.
 var (
-	RunFig3     = experiments.RunFig3
-	RunFig4     = experiments.RunFig4
-	RunFig5     = experiments.RunFig5
-	RunFig6     = experiments.RunFig6
-	RunTable1   = experiments.RunTable1
-	RunRunCMS   = experiments.RunRunCMS
-	RunSyncCost = experiments.RunSyncCost
-	RunForked   = experiments.RunForked
-	RunBarrier  = experiments.RunBarrier
-	RunDejaVu   = experiments.RunDejaVu
-	RunStore    = experiments.RunStore
-	RunFailover = experiments.RunFailover
-	RunAll      = experiments.All
+	RunFig3          = experiments.RunFig3
+	RunFig4          = experiments.RunFig4
+	RunFig5          = experiments.RunFig5
+	RunFig6          = experiments.RunFig6
+	RunTable1        = experiments.RunTable1
+	RunRunCMS        = experiments.RunRunCMS
+	RunSyncCost      = experiments.RunSyncCost
+	RunForked        = experiments.RunForked
+	RunBarrier       = experiments.RunBarrier
+	RunDejaVu        = experiments.RunDejaVu
+	RunStore         = experiments.RunStore
+	RunFailover      = experiments.RunFailover
+	RunCoordFailover = experiments.RunCoordFailover
+	RunAll           = experiments.All
 )

@@ -35,7 +35,7 @@ func main() {
 		// Work for a while; interval checkpoints fire on their own.
 		// (matlab alone takes ≈3 s per checkpoint, so give them room.)
 		t.Compute(15 * time.Second)
-		rounds := len(s.Sys.Coord.Rounds)
+		rounds := len(s.Sys.Coord.Rounds())
 		fmt.Printf("interval checkpointing took %d automatic checkpoints\n", rounds)
 
 		round := s.Sys.Coord.LastRound()

@@ -229,7 +229,7 @@ func runRegimeWith(seed int64, regime string, over *Overheads, underDMTCP, withC
 	eng.Shutdown()
 	n := ckpts
 	if underDMTCP {
-		n = len(sys.Coord.Rounds)
+		n = len(sys.Coord.Rounds())
 	}
 	return []Result{{Regime: regime, Runtime: runtime, Checkpoints: n}}
 }

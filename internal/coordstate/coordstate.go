@@ -1,0 +1,269 @@
+// Package coordstate is the DMTCP coordinator's logical state,
+// extracted into an explicit event-sourced state machine.
+//
+// The paper keeps its coordinator stateless precisely so that losing
+// it is cheap (§4.1); this reproduction has since made the coordinator
+// deeply stateful — client table, checkpoint rounds, placement map,
+// replication watermarks, recovery status — so node 0 dying would lose
+// the one component that knows how to recover everyone else.  This
+// package makes that state survivable: every mutation is an Event,
+// Apply(event) advances the State deterministically, and the resulting
+// serialized journal is replicated to standby coordinators, which
+// replay it and take over on coordinator-node death.
+//
+// The split follows the classic replicated-state-machine discipline:
+//
+//   - State holds only logical facts (no file descriptors, no
+//     connections, no tasks).  Volatile connection state — which fd a
+//     client id currently speaks on, which command sockets await a
+//     round — stays in the coordinator program and is rebuilt by the
+//     manager resync handshake after a takeover.
+//   - Apply is a pure function of (State, Event).  It returns Effects:
+//     instructions the *active* coordinator turns into protocol frames
+//     (release a barrier, broadcast a checkpoint request).  Standbys
+//     replay the same events and discard the effects.
+//   - The journal is the serialized event sequence.  A leader and any
+//     standby that has replayed the same prefix hold byte-identical
+//     state, which is what makes takeover safe.
+//
+// Because Apply is pure, coordinator logic is unit-testable for the
+// first time: tests drive event sequences directly, no sockets.
+package coordstate
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Barriers are the checkpoint barrier names in protocol order (§4.3:
+// six global barriers; the first is the implicit
+// wait-for-checkpoint-request).
+var Barriers = []string{"suspended", "elected", "drained", "checkpointed", "refilled"}
+
+// BarrierCheckpointed is the barrier that carries the image report.
+const BarrierCheckpointed = "checkpointed"
+
+// StageTimes breaks a checkpoint or restart into the stages of
+// Table 1.
+type StageTimes struct {
+	Suspend time.Duration
+	Elect   time.Duration
+	Drain   time.Duration
+	Write   time.Duration
+	Refill  time.Duration
+	Total   time.Duration
+}
+
+// RestartStages mirrors Table 1b, extended with the remote-fetch
+// stage a restart pays when its images must be pulled from replica
+// peers (recovery after node loss, store-mode migration).
+type RestartStages struct {
+	Files  time.Duration // reopen files and recreate ptys
+	Conns  time.Duration // recreate and reconnect sockets
+	Memory time.Duration // fork, rearrange FDs, restore memory/threads
+	Refill time.Duration
+	Total  time.Duration
+
+	// Fetch is the time spent pulling manifests and missing chunks
+	// from replica peers (max across hosts); FetchedBytes and
+	// FetchedChunks total the data that actually traveled.
+	Fetch         time.Duration
+	FetchedBytes  int64
+	FetchedChunks int
+}
+
+// ImageInfo describes one per-process checkpoint file (a monolithic
+// image, or a store manifest when the session runs incrementally).
+type ImageInfo struct {
+	Host    string
+	Path    string
+	Prog    string
+	VirtPid kernel.Pid
+	Bytes   int64 // bytes written this round (new chunks + manifest in store mode)
+	Raw     int64 // uncompressed footprint
+
+	// Store-mode statistics (zero for monolithic images).
+	Generation int64 // committed store generation
+	Chunks     int   // chunks referenced by the manifest
+	NewChunks  int   // chunks actually written this round
+	Dedup      int64 // stored bytes avoided via dedup
+}
+
+// CkptRound is the record of one completed cluster-wide checkpoint.
+type CkptRound struct {
+	Index    int
+	NumProcs int
+	Stages   StageTimes
+	Bytes    int64 // aggregate on-disk
+	RawBytes int64 // aggregate uncompressed
+	SyncCost time.Duration
+	Images   []ImageInfo
+	Compress bool
+	Forked   bool
+
+	// Store is true when the round went through the chunk store;
+	// DedupBytes aggregates the stored bytes dedup avoided writing,
+	// and GC reports the coordinator's post-round collection pass.
+	Store      bool
+	DedupBytes int64
+	GC         *store.GCStats
+}
+
+// Client is one registered checkpoint manager.  The id is assigned by
+// the state machine (so leader and standby agree on it); Desc is the
+// manager's stable identity ("host/prog[vpid]"), which the resync
+// handshake uses to re-bind a reconnecting manager to its entry after
+// a takeover.
+type Client struct {
+	ID   int64
+	Desc string
+}
+
+// RoundCfg is the per-round checkpoint configuration broadcast with
+// the checkpoint request; it rides the journal so replay does not
+// depend on out-of-band session config.
+type RoundCfg struct {
+	Compress bool
+	Fsync    bool
+	Forked   bool
+	Store    bool
+}
+
+// RoundState is a checkpoint round in flight.
+type RoundState struct {
+	Index int
+	// Tag identifies the round across leadership changes
+	// (epoch-qualified, see RoundTag): a takeover aborts the in-flight
+	// round and bumps the epoch, so arrivals re-sent by managers still
+	// finishing the aborted round can never be mistaken for arrivals
+	// of a round the new leader started — even when both rounds share
+	// an Index because the aborted one never entered the history.
+	Tag          int64
+	Start        sim.Time
+	Cfg          RoundCfg
+	Participants map[int64]bool
+	Arrived      map[string]map[int64]bool
+	Released     map[string]bool
+	StageMax     map[string]time.Duration
+	Images       []ImageInfo
+	Bytes, Raw   int64
+	Dedup        int64
+	SyncMax      time.Duration
+}
+
+// ParticipantIDs returns the round's participants in id order.
+func (r *RoundState) ParticipantIDs() []int64 {
+	out := make([]int64, 0, len(r.Participants))
+	for id := range r.Participants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PlaceInfo is one image's entry in the coordinator placement map.
+type PlaceInfo struct {
+	Name    string
+	Host    string // node that wrote the latest generation
+	Prog    string
+	VirtPid kernel.Pid
+	// LatestGen is the newest committed generation; ReplicatedGen the
+	// newest fully-replicated one (the recovery watermark).
+	LatestGen     int64
+	ReplicatedGen int64
+	// Holders maps hostname → highest generation that node holds.
+	Holders map[string]int64
+}
+
+// HolderHosts returns the holder hostnames in deterministic order.
+func (pi *PlaceInfo) HolderHosts() []string {
+	out := make([]string, 0, len(pi.Holders))
+	for h := range pi.Holders {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// State is the coordinator's complete logical state: everything a
+// standby needs to take over mid-computation.
+type State struct {
+	// Epoch is the leadership epoch, bumped by every takeover; Leader
+	// is the hostname of the coordinator that owns the epoch.
+	Epoch  int64
+	Leader string
+
+	// NextCID is the last client id handed out.
+	NextCID int64
+	// Clients is the registered checkpoint manager table.
+	Clients map[int64]Client
+
+	// Rounds holds completed checkpoint rounds, oldest first.
+	Rounds []*CkptRound
+	// Round is the checkpoint round in flight, nil between rounds.
+	Round *RoundState
+	// PendingCkpt counts queued checkpoint requests.
+	PendingCkpt int
+	// LastCfg is the most recent round configuration (queued rounds
+	// start with it).
+	LastCfg RoundCfg
+
+	// Advertised is the restart discovery service: guid → address.
+	Advertised map[string]kernel.Addr
+
+	// Placement maps image name → which nodes hold which generations
+	// (writer plus replica holders, with the replication watermark).
+	Placement map[string]*PlaceInfo
+
+	// Restart aggregation (recovery status): stage times reported by
+	// restart programs, aggregated per Table 1b when all have arrived.
+	RestartExpect int
+	RestartAgg    []RestartStages
+	RestartErr    string
+	RestartStats  *RestartStages
+}
+
+// RoundTag builds the epoch-qualified round identity.
+func RoundTag(epoch int64, index int) int64 { return epoch<<32 | int64(index) }
+
+// NewState returns an empty coordinator state.
+func NewState() *State {
+	return &State{
+		Clients:    make(map[int64]Client),
+		Advertised: make(map[string]kernel.Addr),
+		Placement:  make(map[string]*PlaceInfo),
+	}
+}
+
+// ClientIDs returns the registered client ids in order.
+func (st *State) ClientIDs() []int64 {
+	out := make([]int64, 0, len(st.Clients))
+	for id := range st.Clients {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClientByDesc resolves a manager identity to its client id (0 if
+// unknown) — the resync lookup.
+func (st *State) ClientByDesc(desc string) int64 {
+	for _, id := range st.ClientIDs() {
+		if st.Clients[id].Desc == desc {
+			return id
+		}
+	}
+	return 0
+}
+
+// LastRound returns the most recent completed checkpoint round.
+func (st *State) LastRound() *CkptRound {
+	if len(st.Rounds) == 0 {
+		return nil
+	}
+	return st.Rounds[len(st.Rounds)-1]
+}

@@ -1,0 +1,415 @@
+package coordstate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func addr(h string, p int) kernel.Addr { return kernel.Addr{Host: h, Port: p} }
+
+// Event constructors for readable tables.
+
+func evReg(desc string) Event { return Event{Kind: EvRegister, Desc: desc} }
+func evCkpt(at time.Duration) Event {
+	return Event{Kind: EvCkptRequest, Now: sim.Time(at), Cfg: RoundCfg{Compress: true}}
+}
+func evBar(cid int64, name string, at time.Duration) Event {
+	return Event{Kind: EvBarrier, CID: cid, Barrier: name, Now: sim.Time(at), Stage: time.Millisecond}
+}
+
+// allBarriers arrives cid at every checkpoint barrier in order.
+func allBarriers(cid int64, at time.Duration) []Event {
+	var out []Event
+	for _, name := range Barriers {
+		out = append(out, evBar(cid, name, at))
+	}
+	return out
+}
+
+func applyAll(m *Machine, evs []Event) []Effect {
+	var fx []Effect
+	for _, ev := range evs {
+		fx = append(fx, m.Apply(ev)...)
+	}
+	return fx
+}
+
+// TestApplyTable drives event sequences through the state machine and
+// checks the resulting state — the coordinator logic that used to be
+// welded to socket handlers, now unit-testable.
+func TestApplyTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		events []Event
+		check  func(t *testing.T, st *State, fx []Effect)
+	}{
+		{
+			name:   "register assigns sequential ids",
+			events: []Event{evReg("a/x[1]"), evReg("b/y[2]")},
+			check: func(t *testing.T, st *State, _ []Effect) {
+				if st.NextCID != 2 || len(st.Clients) != 2 {
+					t.Fatalf("clients = %+v", st.Clients)
+				}
+				if st.ClientByDesc("b/y[2]") != 2 {
+					t.Fatal("desc lookup broken")
+				}
+			},
+		},
+		{
+			name:   "checkpoint with no clients completes an empty round",
+			events: []Event{evCkpt(0)},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if len(st.Rounds) != 1 || st.Rounds[0].NumProcs != 0 {
+					t.Fatalf("rounds = %+v", st.Rounds)
+				}
+				if len(fx) != 1 || fx[0].Kind != FxRoundDone {
+					t.Fatalf("effects = %+v", fx)
+				}
+			},
+		},
+		{
+			name:   "round starts over the registered clients",
+			events: []Event{evReg("a/x[1]"), evReg("b/y[2]"), evCkpt(time.Second)},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.Round == nil || len(st.Round.Participants) != 2 {
+					t.Fatalf("round = %+v", st.Round)
+				}
+				last := fx[len(fx)-1]
+				if last.Kind != FxStartRound || len(last.CIDs) != 2 {
+					t.Fatalf("effects = %+v", fx)
+				}
+			},
+		},
+		{
+			name: "barrier releases only when everyone arrived",
+			events: append([]Event{evReg("a/x[1]"), evReg("b/y[2]"), evCkpt(0)},
+				evBar(1, "suspended", time.Millisecond)),
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.Round.Released["suspended"] {
+					t.Fatal("released with one of two arrivals")
+				}
+				for _, f := range fx {
+					if f.Kind == FxRelease {
+						t.Fatalf("premature release: %+v", f)
+					}
+				}
+			},
+		},
+		{
+			name: "full round completes and records images",
+			events: func() []Event {
+				evs := []Event{evReg("a/x[1]"), evCkpt(0)}
+				for _, name := range Barriers {
+					ev := evBar(1, name, 2*time.Second)
+					if name == BarrierCheckpointed {
+						ev.Image = &ImageInfo{Host: "node00", Path: "/ckpt/img", Bytes: 100, Raw: 400}
+					}
+					evs = append(evs, ev)
+				}
+				return evs
+			}(),
+			check: func(t *testing.T, st *State, _ []Effect) {
+				if st.Round != nil || len(st.Rounds) != 1 {
+					t.Fatalf("round not closed: %+v", st.Round)
+				}
+				r := st.Rounds[0]
+				if r.NumProcs != 1 || r.Bytes != 100 || r.RawBytes != 400 || len(r.Images) != 1 {
+					t.Fatalf("round = %+v", r)
+				}
+				if r.Stages.Total != 2*time.Second {
+					t.Fatalf("total = %v", r.Stages.Total)
+				}
+			},
+		},
+		{
+			name: "queued request starts the next round at completion",
+			events: func() []Event {
+				evs := []Event{evReg("a/x[1]"), evCkpt(0), evCkpt(0)}
+				return append(evs, allBarriers(1, time.Second)...)
+			}(),
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if len(st.Rounds) != 1 || st.Round == nil {
+					t.Fatalf("queued round did not start: rounds=%d round=%v", len(st.Rounds), st.Round)
+				}
+				if st.PendingCkpt != 0 {
+					t.Fatalf("pending = %d", st.PendingCkpt)
+				}
+			},
+		},
+		{
+			name: "disconnect mid-round releases the survivors",
+			events: []Event{
+				evReg("a/x[1]"), evReg("b/y[2]"), evCkpt(0),
+				evBar(1, "suspended", time.Millisecond),
+				{Kind: EvDisconnect, CID: 2},
+			},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if !st.Round.Released["suspended"] {
+					t.Fatal("survivor barrier not released after disconnect")
+				}
+			},
+		},
+		{
+			name: "all participants dying closes the round",
+			events: []Event{
+				evReg("a/x[1]"), evCkpt(0),
+				{Kind: EvDisconnect, CID: 1, Now: sim.Time(time.Second)},
+			},
+			check: func(t *testing.T, st *State, _ []Effect) {
+				if st.Round != nil || len(st.Rounds) != 1 {
+					t.Fatal("round not closed after last participant died")
+				}
+			},
+		},
+		{
+			name: "stale arrival is released immediately",
+			events: []Event{
+				evReg("a/x[1]"),
+				evBar(1, "drained", 0), // no round in flight
+			},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if len(fx) != 1 || fx[0].Kind != FxReleaseOne || fx[0].Name != "drained" || fx[0].CID != 1 {
+					t.Fatalf("effects = %+v", fx)
+				}
+			},
+		},
+		{
+			name: "duplicate arrival never double-counts the image",
+			events: func() []Event {
+				evs := []Event{evReg("a/x[1]"), evReg("b/y[2]"), evCkpt(0)}
+				img := evBar(1, BarrierCheckpointed, 0)
+				img.Image = &ImageInfo{Host: "node00", Path: "/ckpt/img", Bytes: 100}
+				evs = append(evs, img, img) // re-sent across a reconnect
+				return evs
+			}(),
+			check: func(t *testing.T, st *State, _ []Effect) {
+				if len(st.Round.Images) != 1 || st.Round.Bytes != 100 {
+					t.Fatalf("duplicate arrival double-counted: %+v", st.Round)
+				}
+			},
+		},
+		{
+			name: "takeover aborts the in-flight round and bumps the epoch",
+			events: []Event{
+				evReg("a/x[1]"), evCkpt(0), evCkpt(0),
+				{Kind: EvTakeover, Leader: "node02", Epoch: 1},
+			},
+			check: func(t *testing.T, st *State, _ []Effect) {
+				if st.Round != nil || st.PendingCkpt != 0 {
+					t.Fatal("takeover left round state behind")
+				}
+				if st.Epoch != 1 || st.Leader != "node02" {
+					t.Fatalf("epoch/leader = %d/%s", st.Epoch, st.Leader)
+				}
+				if len(st.Clients) != 1 {
+					t.Fatal("takeover must keep the client table")
+				}
+			},
+		},
+		{
+			name: "placement tracks replication and watermarks",
+			events: []Event{
+				{Kind: EvReplicated, Name: "img", Gen: 2, Holder: "node01"},
+				{Kind: EvReplicated, Name: "img", Gen: 1, Holder: "node01"}, // stale: ignored
+				{Kind: EvWatermark, Name: "img", Gen: 2},
+			},
+			check: func(t *testing.T, st *State, _ []Effect) {
+				pi := st.Placement["img"]
+				if pi == nil || pi.Holders["node01"] != 2 || pi.ReplicatedGen != 2 {
+					t.Fatalf("placement = %+v", pi)
+				}
+			},
+		},
+		{
+			name: "restart aggregation averages per-host stages",
+			events: []Event{
+				{Kind: EvRestartBegin},
+				{Kind: EvRestartEnd, Expect: 2, Restart: RestartStages{Files: 2 * time.Second, Memory: time.Second}},
+				{Kind: EvRestartEnd, Expect: 2, Restart: RestartStages{Files: 4 * time.Second, Memory: 3 * time.Second}},
+			},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.RestartStats == nil {
+					t.Fatal("aggregate not published")
+				}
+				if st.RestartStats.Files != 3*time.Second || st.RestartStats.Memory != 3*time.Second {
+					t.Fatalf("aggregate = %+v", st.RestartStats)
+				}
+			},
+		},
+		{
+			name: "round GC credits every covered round",
+			events: func() []Event {
+				evs := []Event{evCkpt(0), evCkpt(0)} // two empty rounds
+				evs = append(evs, Event{Kind: EvRoundGC, Idxs: []int{0, 1},
+					GC: store.GCStats{Swept: 7, SweptBytes: 700}})
+				return evs
+			}(),
+			check: func(t *testing.T, st *State, _ []Effect) {
+				for i := 0; i < 2; i++ {
+					if st.Rounds[i].GC == nil || st.Rounds[i].GC.Swept != 7 {
+						t.Fatalf("round %d GC = %+v", i, st.Rounds[i].GC)
+					}
+				}
+				st.Rounds[0].GC.Swept = 99 // copies, not shared
+				if st.Rounds[1].GC.Swept != 7 {
+					t.Fatal("GC stats aliased between rounds")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMachine()
+			fx := applyAll(m, tc.events)
+			tc.check(t, m.State(), fx)
+		})
+	}
+}
+
+// TestReplayIdenticalState is the HA invariant: a standby that
+// replays the leader's journal holds byte-identical state — for every
+// prefix, not just the end.
+func TestReplayIdenticalState(t *testing.T) {
+	events := []Event{
+		evReg("node00/counter[4]"), evReg("node01/ppserver[7]"),
+		evCkpt(time.Second),
+	}
+	for _, name := range Barriers {
+		for cid := int64(1); cid <= 2; cid++ {
+			ev := evBar(cid, name, 2*time.Second)
+			if name == BarrierCheckpointed {
+				ev.Image = &ImageInfo{Host: "node00", Path: "/ckpt/store/manifests/img.gen2.manifest",
+					Bytes: 123, Raw: 456, Generation: 2, Chunks: 9, NewChunks: 3, Dedup: 333}
+				ev.Sync = time.Millisecond
+			}
+			events = append(events, ev)
+		}
+	}
+	events = append(events,
+		Event{Kind: EvReplicated, Name: "img", Gen: 2, Holder: "node02"},
+		Event{Kind: EvWatermark, Name: "img", Gen: 2},
+		Event{Kind: EvAdvertise, GUID: "g1", Addr: addr("node01", 9)},
+		Event{Kind: EvRestartBegin},
+		Event{Kind: EvRestartEnd, Expect: 1, Restart: RestartStages{Total: time.Second, FetchedBytes: 5}},
+		Event{Kind: EvRestartFail, Msg: "boom"},
+		Event{Kind: EvTakeover, Leader: "node02", Epoch: 1},
+		Event{Kind: EvDisconnect, CID: 1},
+	)
+
+	leader := NewMachine()
+	standby := NewMachine()
+	for i, ev := range events {
+		leader.Apply(ev)
+		for _, e := range leader.EntriesSince(standby.Seq()) {
+			if _, err := standby.ApplyEntry(e); err != nil {
+				t.Fatalf("event %d: standby apply: %v", i, err)
+			}
+		}
+		if !reflect.DeepEqual(leader.State(), standby.State()) {
+			t.Fatalf("after event %d (%d): leader %+v\nstandby %+v",
+				i, ev.Kind, leader.State(), standby.State())
+		}
+	}
+	if standby.Seq() != int64(len(events)) || standby.Epoch() != 1 {
+		t.Fatalf("standby seq=%d epoch=%d", standby.Seq(), standby.Epoch())
+	}
+
+	// A cold replay of the serialized journal file agrees too.
+	entries, err := DecodeJournal(leader.JournalBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Replay(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.State(), leader.State()) {
+		t.Fatal("cold journal replay diverges")
+	}
+}
+
+// TestEncodeDecodeRoundtrip pins the wire format of every event kind.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	img := &ImageInfo{Host: "h", Path: "p", Prog: "prog", VirtPid: 42,
+		Bytes: 1, Raw: 2, Generation: 3, Chunks: 4, NewChunks: 5, Dedup: 6}
+	events := []Event{
+		{Kind: EvRegister, Now: 7, Desc: "a/b[1]"},
+		{Kind: EvDisconnect, CID: 12},
+		{Kind: EvCkptRequest, Cfg: RoundCfg{Compress: true, Fsync: true, Forked: true, Store: true}},
+		{Kind: EvBarrier, CID: 3, Barrier: BarrierCheckpointed, Stage: time.Second, Sync: time.Millisecond, Image: img},
+		{Kind: EvBarrier, CID: 3, Barrier: "drained", Stage: time.Second},
+		{Kind: EvRoundGC, Idxs: []int{1, 2}, GC: store.GCStats{Pruned: 1, Manifests: 2, Live: 3, LiveBytes: 4, Swept: 5, SweptBytes: 6, Took: 7}},
+		{Kind: EvAdvertise, GUID: "g", Addr: addr("h", 80)},
+		{Kind: EvReplicated, Name: "n", Gen: 9, Holder: "h2"},
+		{Kind: EvWatermark, Name: "n", Gen: 9},
+		{Kind: EvRestartBegin},
+		{Kind: EvRestartEnd, Expect: 3, Restart: RestartStages{Files: 1, Conns: 2, Memory: 3, Refill: 4, Total: 5, Fetch: 6, FetchedBytes: 7, FetchedChunks: 8}},
+		{Kind: EvRestartFail, Msg: "m"},
+		{Kind: EvTakeover, Leader: "l", Epoch: 2},
+	}
+	for _, ev := range events {
+		got, err := DecodeEvent(ev.Encode())
+		if err != nil {
+			t.Fatalf("kind %d: %v", ev.Kind, err)
+		}
+		if !reflect.DeepEqual(got, ev) {
+			t.Fatalf("kind %d roundtrip:\n got %+v\nwant %+v", ev.Kind, got, ev)
+		}
+	}
+	if _, err := DecodeEvent([]byte{0xEE, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown kind decoded cleanly")
+	}
+}
+
+// TestTruncateFencing: a standby that ran ahead of a new leader's
+// epoch rewinds to the fencing point and replays to identical state.
+func TestTruncateFencing(t *testing.T) {
+	leader := NewMachine()
+	applyAll(leader, []Event{evReg("a/x[1]"), evReg("b/y[2]")})
+
+	// The standby replicated everything, then saw two more entries the
+	// NEW leader never got.
+	ahead, err := Replay(leader.EntriesSince(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyAll(ahead, []Event{evReg("c/z[3]"), evCkpt(0)})
+
+	// New leader (replayed only the shared prefix) takes over.
+	promoted, err := Replay(leader.EntriesSince(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted.Apply(Event{Kind: EvTakeover, Leader: "node02", Epoch: 1})
+	if promoted.EpochStartSeq() != 3 {
+		t.Fatalf("epoch start = %d", promoted.EpochStartSeq())
+	}
+
+	// Fencing: the ahead standby rewinds below the epoch start, then
+	// catches up from the promoted leader.
+	if err := ahead.TruncateTo(promoted.EpochStartSeq() - 1); err != nil {
+		t.Fatal(err)
+	}
+	if ahead.Seq() != 2 || ahead.State().Round != nil || len(ahead.State().Clients) != 2 {
+		t.Fatalf("truncate left seq=%d state=%+v", ahead.Seq(), ahead.State())
+	}
+	for _, e := range promoted.EntriesSince(ahead.Seq()) {
+		if _, err := ahead.ApplyEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(ahead.State(), promoted.State()) {
+		t.Fatal("fenced standby diverges from promoted leader")
+	}
+
+	// Out-of-order entries are rejected, matching the handshake's
+	// re-ship-from-acked-seq discipline.
+	if _, err := ahead.ApplyEntry(Entry{Seq: ahead.Seq() + 5, Data: evReg("x").Encode()}); err == nil {
+		t.Fatal("gap accepted")
+	}
+}

@@ -1,0 +1,542 @@
+package coordstate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// EventKind discriminates journal events.
+type EventKind uint8
+
+// Journal event kinds.
+const (
+	EvRegister     EventKind = iota + 1 // manager joined (Desc)
+	EvDisconnect                        // client connection died (CID)
+	EvCkptRequest                       // checkpoint requested (Cfg)
+	EvBarrier                           // manager arrived at a barrier
+	EvRoundGC                           // post-round GC pass credited to rounds
+	EvAdvertise                         // restart advertised guid → addr
+	EvReplicated                        // one (generation, holder) copy completed
+	EvWatermark                         // a generation's full fan-out completed
+	EvRestartBegin                      // RestartAll reset restart aggregation
+	EvRestartEnd                        // one host's restart stage times
+	EvRestartFail                       // a restart program failed fatally
+	EvTakeover                          // a standby claimed leadership
+)
+
+// Event is one journal record.  Only the fields relevant to Kind are
+// meaningful; Now carries the leader's clock so replay is
+// time-independent.
+type Event struct {
+	Kind EventKind
+	Now  sim.Time
+
+	CID      int64         // Disconnect, Barrier
+	Desc     string        // Register
+	Barrier  string        // Barrier: name
+	RoundTag int64         // Barrier: the round the arrival belongs to
+	Stage    time.Duration // Barrier: stage duration
+	Sync     time.Duration // Barrier: fsync cost (checkpointed only)
+	Image    *ImageInfo    // Barrier: image report (checkpointed only)
+
+	Cfg RoundCfg // CkptRequest
+
+	GUID string      // Advertise
+	Addr kernel.Addr // Advertise
+
+	Name   string // Replicated, Watermark
+	Gen    int64  // Replicated, Watermark
+	Holder string // Replicated
+
+	Idxs []int         // RoundGC: round indices credited
+	GC   store.GCStats // RoundGC
+
+	Expect  int           // RestartEnd
+	Restart RestartStages // RestartEnd
+	Msg     string        // RestartFail
+
+	Leader string // Takeover
+	Epoch  int64  // Takeover
+}
+
+// EffectKind discriminates side-effect instructions returned by Apply.
+type EffectKind uint8
+
+// Effects the active coordinator turns into protocol frames; standbys
+// discard them.
+const (
+	FxStartRound    EffectKind = iota + 1 // broadcast the checkpoint request to CIDs
+	FxRelease                             // release barrier Name to CIDs
+	FxReleaseOne                          // release barrier Name to the lone CID (stale/aborted round)
+	FxRoundDone                           // Round completed: satisfy command waiters
+	FxGuidKnown                           // guid Name resolved: answer pending queries
+	FxRestartDone                         // restart aggregation complete
+	FxRestartFailed                       // restart failed: unblock waiters with the error
+)
+
+// Effect is one side-effect instruction.
+type Effect struct {
+	Kind  EffectKind
+	Name  string
+	CID   int64
+	CIDs  []int64
+	Round *CkptRound
+}
+
+// apply advances st by ev and returns the effect list.  It is the
+// single place coordinator logic lives; it must stay deterministic —
+// no clocks, no randomness, no I/O — so leader and standby replays
+// agree byte for byte.
+func apply(st *State, ev Event) []Effect {
+	switch ev.Kind {
+	case EvRegister:
+		st.NextCID++
+		st.Clients[st.NextCID] = Client{ID: st.NextCID, Desc: ev.Desc}
+		return nil
+
+	case EvDisconnect:
+		delete(st.Clients, ev.CID)
+		r := st.Round
+		if r == nil || !r.Participants[ev.CID] {
+			return nil
+		}
+		delete(r.Participants, ev.CID)
+		for _, m := range r.Arrived {
+			delete(m, ev.CID)
+		}
+		if len(r.Participants) == 0 {
+			// Every participant died mid-round: close the round out so
+			// command waiters are not wedged forever.
+			return finishRound(st, ev.Now)
+		}
+		// Re-evaluate the barriers in protocol order; releasing one
+		// may be what the survivors are blocked on.  finishRound (via
+		// the last barrier) clears st.Round, so stop there.
+		var fx []Effect
+		for _, name := range Barriers {
+			if st.Round != r {
+				break
+			}
+			if !r.Released[name] && len(r.Arrived[name]) >= len(r.Participants) {
+				fx = append(fx, releaseBarrier(st, r, name, ev.Now)...)
+			}
+		}
+		return fx
+
+	case EvCkptRequest:
+		st.LastCfg = ev.Cfg
+		if st.Round != nil {
+			st.PendingCkpt++
+			return nil
+		}
+		return startRound(st, ev.Now)
+
+	case EvBarrier:
+		r := st.Round
+		if r == nil || !r.Participants[ev.CID] || ev.RoundTag != r.Tag {
+			// Stale arrival: a manager finishing a round that was
+			// aborted at takeover (its tag carries the old epoch), or
+			// whose client was dropped.  Release it immediately so
+			// nobody wedges on a round the coordinator no longer
+			// tracks — and so the straggler's arrival can never be
+			// counted into a round it is not actually running.
+			return []Effect{{Kind: FxReleaseOne, Name: ev.Barrier, CID: ev.CID}}
+		}
+		if r.Arrived[ev.Barrier] != nil && r.Arrived[ev.Barrier][ev.CID] {
+			// Duplicate arrival (re-sent across a reconnect): never
+			// re-accumulate stats or images; re-release if the barrier
+			// already fired, otherwise the normal release will cover it.
+			if r.Released[ev.Barrier] {
+				return []Effect{{Kind: FxReleaseOne, Name: ev.Barrier, CID: ev.CID}}
+			}
+			return nil
+		}
+		if ev.Stage > r.StageMax[ev.Barrier] {
+			r.StageMax[ev.Barrier] = ev.Stage
+		}
+		if ev.Barrier == BarrierCheckpointed && ev.Image != nil {
+			img := *ev.Image
+			r.Images = append(r.Images, img)
+			r.Bytes += img.Bytes
+			r.Raw += img.Raw
+			r.Dedup += img.Dedup
+			if r.Cfg.Store {
+				placeImage(st, img)
+			}
+			if ev.Sync > r.SyncMax {
+				r.SyncMax = ev.Sync
+			}
+		}
+		if r.Arrived[ev.Barrier] == nil {
+			r.Arrived[ev.Barrier] = make(map[int64]bool)
+		}
+		r.Arrived[ev.Barrier][ev.CID] = true
+		if len(r.Arrived[ev.Barrier]) < len(r.Participants) {
+			return nil
+		}
+		return releaseBarrier(st, r, ev.Barrier, ev.Now)
+
+	case EvRoundGC:
+		for _, idx := range ev.Idxs {
+			if idx >= 0 && idx < len(st.Rounds) {
+				cp := ev.GC
+				st.Rounds[idx].GC = &cp
+			}
+		}
+		return nil
+
+	case EvAdvertise:
+		st.Advertised[ev.GUID] = ev.Addr
+		return []Effect{{Kind: FxGuidKnown, Name: ev.GUID}}
+
+	case EvReplicated:
+		pi := ensurePlace(st, ev.Name)
+		if ev.Gen > pi.Holders[ev.Holder] {
+			pi.Holders[ev.Holder] = ev.Gen
+		}
+		return nil
+
+	case EvWatermark:
+		if pi := st.Placement[ev.Name]; pi != nil && ev.Gen > pi.ReplicatedGen {
+			pi.ReplicatedGen = ev.Gen
+		}
+		return nil
+
+	case EvRestartBegin:
+		st.RestartStats = nil
+		st.RestartErr = ""
+		st.RestartAgg = nil
+		return nil
+
+	case EvRestartEnd:
+		st.RestartExpect = ev.Expect
+		st.RestartAgg = append(st.RestartAgg, ev.Restart)
+		if len(st.RestartAgg) < ev.Expect {
+			return nil
+		}
+		// Per the paper, the per-host stages (files, conns) are
+		// averaged across hosts; the globally synchronized stages use
+		// the max.
+		var agg RestartStages
+		for _, s := range st.RestartAgg {
+			agg.Files += s.Files
+			agg.Conns += s.Conns
+			if s.Memory > agg.Memory {
+				agg.Memory = s.Memory
+			}
+			if s.Refill > agg.Refill {
+				agg.Refill = s.Refill
+			}
+			if s.Total > agg.Total {
+				agg.Total = s.Total
+			}
+			if s.Fetch > agg.Fetch {
+				agg.Fetch = s.Fetch
+			}
+			agg.FetchedBytes += s.FetchedBytes
+			agg.FetchedChunks += s.FetchedChunks
+		}
+		n := time.Duration(len(st.RestartAgg))
+		agg.Files /= n
+		agg.Conns /= n
+		st.RestartStats = &agg
+		st.RestartAgg = nil
+		return []Effect{{Kind: FxRestartDone}}
+
+	case EvRestartFail:
+		st.RestartErr = ev.Msg
+		st.RestartAgg = nil
+		return []Effect{{Kind: FxRestartFailed}}
+
+	case EvTakeover:
+		st.Epoch = ev.Epoch
+		st.Leader = ev.Leader
+		// A round in flight when the leader died is sacrificed: the
+		// new leader cannot know which barrier frames reached which
+		// managers, so it drops the round and releases stragglers as
+		// they resync (their re-sent arrivals hit the FxReleaseOne
+		// path above).  Periodic checkpointing covers the gap.
+		st.Round = nil
+		st.PendingCkpt = 0
+		return nil
+	}
+	return nil
+}
+
+// startRound opens a checkpoint round over the current client table
+// (or completes an empty round immediately when nothing is managed).
+func startRound(st *State, now sim.Time) []Effect {
+	if len(st.Clients) == 0 {
+		round := &CkptRound{
+			Index:    len(st.Rounds),
+			Compress: st.LastCfg.Compress,
+			Forked:   st.LastCfg.Forked,
+			Store:    st.LastCfg.Store,
+		}
+		st.Rounds = append(st.Rounds, round)
+		return []Effect{{Kind: FxRoundDone, Round: round}}
+	}
+	r := &RoundState{
+		Index:        len(st.Rounds),
+		Tag:          RoundTag(st.Epoch, len(st.Rounds)),
+		Start:        now,
+		Cfg:          st.LastCfg,
+		Participants: make(map[int64]bool, len(st.Clients)),
+		Arrived:      make(map[string]map[int64]bool),
+		Released:     make(map[string]bool),
+		StageMax:     make(map[string]time.Duration),
+	}
+	for id := range st.Clients {
+		r.Participants[id] = true
+	}
+	st.Round = r
+	return []Effect{{Kind: FxStartRound, CIDs: r.ParticipantIDs()}}
+}
+
+// releaseBarrier marks a complete barrier released and finishes the
+// round when it was the last one.
+func releaseBarrier(st *State, r *RoundState, name string, now sim.Time) []Effect {
+	if r.Released[name] {
+		return nil
+	}
+	r.Released[name] = true
+	fx := []Effect{{Kind: FxRelease, Name: name, CIDs: r.ParticipantIDs()}}
+	if name == Barriers[len(Barriers)-1] {
+		fx = append(fx, finishRound(st, now)...)
+	}
+	return fx
+}
+
+// finishRound closes the in-flight round into the Rounds history and
+// starts a queued round, if any.
+func finishRound(st *State, now sim.Time) []Effect {
+	r := st.Round
+	round := &CkptRound{
+		Index:    r.Index,
+		NumProcs: len(r.Participants),
+		Stages: StageTimes{
+			Suspend: r.StageMax["suspended"],
+			Elect:   r.StageMax["elected"],
+			Drain:   r.StageMax["drained"],
+			Write:   r.StageMax["checkpointed"],
+			Refill:  r.StageMax["refilled"],
+			Total:   now.Sub(r.Start),
+		},
+		Bytes:      r.Bytes,
+		RawBytes:   r.Raw,
+		SyncCost:   r.SyncMax,
+		Images:     r.Images,
+		Compress:   r.Cfg.Compress,
+		Forked:     r.Cfg.Forked,
+		Store:      r.Cfg.Store,
+		DedupBytes: r.Dedup,
+	}
+	st.Rounds = append(st.Rounds, round)
+	st.Round = nil
+	fx := []Effect{{Kind: FxRoundDone, Round: round}}
+	if st.PendingCkpt > 0 {
+		st.PendingCkpt--
+		fx = append(fx, startRound(st, now)...)
+	}
+	return fx
+}
+
+func ensurePlace(st *State, name string) *PlaceInfo {
+	pi := st.Placement[name]
+	if pi == nil {
+		pi = &PlaceInfo{Name: name, Holders: make(map[string]int64)}
+		st.Placement[name] = pi
+	}
+	return pi
+}
+
+// placeImage records a committed generation in the placement map (the
+// writer itself holds what it wrote).
+func placeImage(st *State, img ImageInfo) {
+	name, gen, ok := store.NameForManifest(img.Path)
+	if !ok {
+		return
+	}
+	pi := ensurePlace(st, name)
+	pi.Host = img.Host
+	pi.Prog = img.Prog
+	pi.VirtPid = img.VirtPid
+	if gen > pi.LatestGen {
+		pi.LatestGen = gen
+	}
+	if gen > pi.Holders[img.Host] {
+		pi.Holders[img.Host] = gen
+	}
+}
+
+// --- event serialization ---------------------------------------------
+
+// Encode serializes an event for the journal.
+func (ev Event) Encode() []byte {
+	var e bin.Encoder
+	e.B = append(e.B, byte(ev.Kind))
+	e.I64(int64(ev.Now))
+	switch ev.Kind {
+	case EvRegister:
+		e.Str(ev.Desc)
+	case EvDisconnect:
+		e.I64(ev.CID)
+	case EvCkptRequest:
+		e.Bool(ev.Cfg.Compress)
+		e.Bool(ev.Cfg.Fsync)
+		e.Bool(ev.Cfg.Forked)
+		e.Bool(ev.Cfg.Store)
+	case EvBarrier:
+		e.I64(ev.CID)
+		e.Str(ev.Barrier)
+		e.I64(ev.RoundTag)
+		e.I64(int64(ev.Stage))
+		e.I64(int64(ev.Sync))
+		e.Bool(ev.Image != nil)
+		if ev.Image != nil {
+			img := ev.Image
+			e.Str(img.Host)
+			e.Str(img.Path)
+			e.Str(img.Prog)
+			e.I64(int64(img.VirtPid))
+			e.I64(img.Bytes)
+			e.I64(img.Raw)
+			e.I64(img.Generation)
+			e.Int(img.Chunks)
+			e.Int(img.NewChunks)
+			e.I64(img.Dedup)
+		}
+	case EvRoundGC:
+		e.U32(uint32(len(ev.Idxs)))
+		for _, idx := range ev.Idxs {
+			e.Int(idx)
+		}
+		e.Int(ev.GC.Pruned)
+		e.Int(ev.GC.Manifests)
+		e.Int(ev.GC.Live)
+		e.I64(ev.GC.LiveBytes)
+		e.Int(ev.GC.Swept)
+		e.I64(ev.GC.SweptBytes)
+		e.I64(int64(ev.GC.Took))
+	case EvAdvertise:
+		e.Str(ev.GUID)
+		e.Str(ev.Addr.Host)
+		e.Int(ev.Addr.Port)
+	case EvReplicated:
+		e.Str(ev.Name)
+		e.I64(ev.Gen)
+		e.Str(ev.Holder)
+	case EvWatermark:
+		e.Str(ev.Name)
+		e.I64(ev.Gen)
+	case EvRestartBegin:
+	case EvRestartEnd:
+		e.Int(ev.Expect)
+		r := ev.Restart
+		e.I64(int64(r.Files))
+		e.I64(int64(r.Conns))
+		e.I64(int64(r.Memory))
+		e.I64(int64(r.Refill))
+		e.I64(int64(r.Total))
+		e.I64(int64(r.Fetch))
+		e.I64(r.FetchedBytes)
+		e.Int(r.FetchedChunks)
+	case EvRestartFail:
+		e.Str(ev.Msg)
+	case EvTakeover:
+		e.Str(ev.Leader)
+		e.I64(ev.Epoch)
+	}
+	return e.B
+}
+
+// DecodeEvent deserializes a journal event.
+func DecodeEvent(b []byte) (Event, error) {
+	if len(b) == 0 {
+		return Event{}, fmt.Errorf("coordstate: empty event")
+	}
+	d := &bin.Decoder{B: b[1:]}
+	ev := Event{Kind: EventKind(b[0])}
+	ev.Now = sim.Time(d.I64())
+	switch ev.Kind {
+	case EvRegister:
+		ev.Desc = d.Str()
+	case EvDisconnect:
+		ev.CID = d.I64()
+	case EvCkptRequest:
+		ev.Cfg.Compress = d.Bool()
+		ev.Cfg.Fsync = d.Bool()
+		ev.Cfg.Forked = d.Bool()
+		ev.Cfg.Store = d.Bool()
+	case EvBarrier:
+		ev.CID = d.I64()
+		ev.Barrier = d.Str()
+		ev.RoundTag = d.I64()
+		ev.Stage = time.Duration(d.I64())
+		ev.Sync = time.Duration(d.I64())
+		if d.Bool() {
+			img := &ImageInfo{}
+			img.Host = d.Str()
+			img.Path = d.Str()
+			img.Prog = d.Str()
+			img.VirtPid = kernel.Pid(d.I64())
+			img.Bytes = d.I64()
+			img.Raw = d.I64()
+			img.Generation = d.I64()
+			img.Chunks = d.Int()
+			img.NewChunks = d.Int()
+			img.Dedup = d.I64()
+			ev.Image = img
+		}
+	case EvRoundGC:
+		n := int(d.U32())
+		for i := 0; i < n && d.Err == nil; i++ {
+			ev.Idxs = append(ev.Idxs, d.Int())
+		}
+		ev.GC.Pruned = d.Int()
+		ev.GC.Manifests = d.Int()
+		ev.GC.Live = d.Int()
+		ev.GC.LiveBytes = d.I64()
+		ev.GC.Swept = d.Int()
+		ev.GC.SweptBytes = d.I64()
+		ev.GC.Took = time.Duration(d.I64())
+	case EvAdvertise:
+		ev.GUID = d.Str()
+		ev.Addr.Host = d.Str()
+		ev.Addr.Port = d.Int()
+	case EvReplicated:
+		ev.Name = d.Str()
+		ev.Gen = d.I64()
+		ev.Holder = d.Str()
+	case EvWatermark:
+		ev.Name = d.Str()
+		ev.Gen = d.I64()
+	case EvRestartBegin:
+	case EvRestartEnd:
+		ev.Expect = d.Int()
+		ev.Restart.Files = time.Duration(d.I64())
+		ev.Restart.Conns = time.Duration(d.I64())
+		ev.Restart.Memory = time.Duration(d.I64())
+		ev.Restart.Refill = time.Duration(d.I64())
+		ev.Restart.Total = time.Duration(d.I64())
+		ev.Restart.Fetch = time.Duration(d.I64())
+		ev.Restart.FetchedBytes = d.I64()
+		ev.Restart.FetchedChunks = d.Int()
+	case EvRestartFail:
+		ev.Msg = d.Str()
+	case EvTakeover:
+		ev.Leader = d.Str()
+		ev.Epoch = d.I64()
+	default:
+		return Event{}, fmt.Errorf("coordstate: unknown event kind %d", b[0])
+	}
+	if d.Err != nil {
+		return Event{}, fmt.Errorf("coordstate: decode %d: %w", ev.Kind, d.Err)
+	}
+	return ev, nil
+}

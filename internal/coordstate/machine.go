@@ -1,0 +1,175 @@
+package coordstate
+
+import (
+	"fmt"
+
+	"repro/internal/bin"
+)
+
+// Entry is one serialized journal record.  Seq numbers are contiguous
+// from 1, so Entry i lives at entries[i-1] and a standby's "last
+// applied seq" fully identifies the prefix it holds — the journal
+// analogue of the replica service's want/missing handshake.
+type Entry struct {
+	Seq  int64
+	Data []byte
+}
+
+// Machine is a coordinator state machine: the state plus the journal
+// that produced it.  The active coordinator appends via Apply; a
+// standby appends via ApplyEntry with records shipped from the leader.
+type Machine struct {
+	st      *State
+	entries []Entry
+	// epochStarts records every EvTakeover entry as {epoch, seq}, in
+	// order.  A peer still on epoch E agrees with this journal exactly
+	// up to the entry before the first takeover of an epoch > E — the
+	// fencing point FenceFor computes for the replication handshake.
+	epochStarts []epochStart
+}
+
+type epochStart struct{ epoch, seq int64 }
+
+// NewMachine returns an empty machine.
+func NewMachine() *Machine { return &Machine{st: NewState()} }
+
+// State exposes the current state (read-only by convention: all
+// mutation goes through Apply).
+func (m *Machine) State() *State { return m.st }
+
+// Seq returns the last applied journal sequence number.
+func (m *Machine) Seq() int64 { return int64(len(m.entries)) }
+
+// Epoch returns the current leadership epoch.
+func (m *Machine) Epoch() int64 { return m.st.Epoch }
+
+// EpochStartSeq returns the seq of the entry that began the current
+// epoch (0 when no takeover has happened).
+func (m *Machine) EpochStartSeq() int64 {
+	if len(m.epochStarts) == 0 {
+		return 0
+	}
+	return m.epochStarts[len(m.epochStarts)-1].seq
+}
+
+// FenceFor returns the newest seq a peer still on peerEpoch provably
+// shares with this journal: the entry before the first takeover of an
+// epoch the peer has not seen.  Everything the peer holds beyond it
+// may be entries a dead leader never replicated — the peer must
+// rewind there before accepting this journal's suffix.  A peer on the
+// current epoch shares everything (up to its own seq).
+func (m *Machine) FenceFor(peerEpoch int64) int64 {
+	for _, es := range m.epochStarts {
+		if es.epoch > peerEpoch {
+			return es.seq - 1
+		}
+	}
+	return m.Seq()
+}
+
+// Apply records ev in the journal and advances the state, returning
+// the effects the active coordinator must act on.
+func (m *Machine) Apply(ev Event) []Effect {
+	seq := m.Seq() + 1
+	m.entries = append(m.entries, Entry{Seq: seq, Data: ev.Encode()})
+	if ev.Kind == EvTakeover {
+		m.epochStarts = append(m.epochStarts, epochStart{epoch: ev.Epoch, seq: seq})
+	}
+	return apply(m.st, ev)
+}
+
+// ApplyEntry replays one shipped journal record on a standby.  The
+// record must be the next in sequence; anything else is rejected so
+// the pusher re-ships from the standby's actual position.
+func (m *Machine) ApplyEntry(e Entry) ([]Effect, error) {
+	if e.Seq != m.Seq()+1 {
+		return nil, fmt.Errorf("coordstate: entry seq %d, have %d", e.Seq, m.Seq())
+	}
+	ev, err := DecodeEvent(e.Data)
+	if err != nil {
+		return nil, err
+	}
+	m.entries = append(m.entries, Entry{Seq: e.Seq, Data: append([]byte(nil), e.Data...)})
+	if ev.Kind == EvTakeover {
+		m.epochStarts = append(m.epochStarts, epochStart{epoch: ev.Epoch, seq: e.Seq})
+	}
+	return apply(m.st, ev), nil
+}
+
+// EntriesSince returns the journal records with Seq > seq.
+func (m *Machine) EntriesSince(seq int64) []Entry {
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= m.Seq() {
+		return nil
+	}
+	return m.entries[seq:]
+}
+
+// TruncateTo discards every entry with Seq > seq and rebuilds the
+// state by replaying the remainder — the fencing rewind a standby
+// performs when a new leader's epoch supersedes entries the old
+// leader never got to replicate.
+func (m *Machine) TruncateTo(seq int64) error {
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= m.Seq() {
+		return nil
+	}
+	kept := m.entries[:seq]
+	fresh, err := Replay(kept)
+	if err != nil {
+		return err
+	}
+	m.st = fresh.st
+	m.entries = fresh.entries
+	m.epochStarts = fresh.epochStarts
+	return nil
+}
+
+// Replay builds a machine from a journal prefix.
+func Replay(entries []Entry) (*Machine, error) {
+	m := NewMachine()
+	for _, e := range entries {
+		if _, err := m.ApplyEntry(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// EncodeEntries serializes journal records as a self-delimiting
+// stream, so an on-disk journal can grow by appending the suffix
+// instead of being rewritten whole.
+func EncodeEntries(entries []Entry) []byte {
+	var e bin.Encoder
+	for _, ent := range entries {
+		e.I64(ent.Seq)
+		e.Bytes(ent.Data)
+	}
+	return e.B
+}
+
+// JournalBytes serializes the whole journal (the on-disk artifact the
+// leader maintains at round boundaries).
+func (m *Machine) JournalBytes() []byte { return EncodeEntries(m.entries) }
+
+// DecodeJournal parses an EncodeEntries stream back into entries.
+func DecodeJournal(b []byte) ([]Entry, error) {
+	d := &bin.Decoder{B: b}
+	var out []Entry
+	for len(d.B) > 0 && d.Err == nil {
+		seq := d.I64()
+		data := d.Bytes()
+		if d.Err != nil {
+			break
+		}
+		out = append(out, Entry{Seq: seq, Data: append([]byte(nil), data...)})
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("coordstate: journal decode: %w", d.Err)
+	}
+	return out, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bin"
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/mtcp"
@@ -57,6 +58,16 @@ type Config struct {
 	// replica holder.  Without it, recovery runs when the harness
 	// calls System.Recover.
 	AutoRecover bool
+
+	// CoordStandbys, when > 0, runs coordinator HA: that many standby
+	// coordinator processes on ring peers of CoordNode, each replaying
+	// the leader's journaled state machine (shipped through the
+	// replica daemons).  When the coordinator's node dies, the
+	// surviving standby with the lowest node id takes over; live
+	// managers reconnect and resync with it mid-computation, and
+	// System.Recover tolerates the coordinator node being among the
+	// dead.
+	CoordStandbys int
 }
 
 func (c *Config) fillDefaults() {
@@ -71,12 +82,26 @@ func (c *Config) fillDefaults() {
 // System is one DMTCP session over a simulated cluster: the installed
 // wrappers, the coordinator, and the registry of managed processes.
 type System struct {
-	C     *kernel.Cluster
-	Cfg   Config
+	C   *kernel.Cluster
+	Cfg Config
+
+	// Coord is the ACTIVE coordinator instance; after a takeover it
+	// points at the promoted standby.
 	Coord *Coordinator
+	// coords is every coordinator instance: the initial leader first,
+	// then the Config.CoordStandbys standbys in ring order.
+	coords []*Coordinator
+	// doneW wakes harness tasks waiting for round/restart/takeover
+	// completion, across coordinator instances.
+	doneW *sim.WaitQueue
+	// pendingEv buffers journal events raised while the leader is dead
+	// and a takeover is pending (replication completions, mostly);
+	// promote drains them into the new leader's journal.
+	pendingEv []coordstate.Event
 
 	// Replica is the replicated checkpoint storage service (nil unless
-	// Config.Store and Config.ReplicaFactor enable it).
+	// Config.Store and Config.ReplicaFactor — or Config.CoordStandbys,
+	// whose journal replication rides the same daemons — enable it).
 	Replica *replica.Service
 
 	ofid       int64
@@ -115,53 +140,103 @@ func Install(c *kernel.Cluster, cfg Config) *System {
 		storeBusy:  make(map[*kernel.Node]int),
 	}
 	coordNode := c.Node(cfg.CoordNode)
-	sys.Coord = &Coordinator{
-		Sys:        sys,
-		Node:       coordNode,
-		Port:       cfg.CoordPort,
-		clients:    make(map[int64]*coordClient),
-		advertised: make(map[string]kernel.Addr),
-		pendingQ:   make(map[string][]int),
-		groups:     make(map[string]*groupBarrier),
-		placement:  make(map[string]*placeInfo),
-		doneW:      sim.NewWaitQueue(c.Eng, "coord.done"),
+	sys.doneW = sim.NewWaitQueue(c.Eng, "coord.done")
+	sys.coords = []*Coordinator{newCoordinator(sys, coordNode, cfg.CoordPort, false)}
+	for _, n := range standbyNodes(c, coordNode, cfg.CoordStandbys) {
+		sys.coords = append(sys.coords, newCoordinator(sys, n, cfg.CoordPort, true))
 	}
+	sys.Coord = sys.coords[0]
 	c.HookFactory = func(p *kernel.Process) kernel.Hooks { return newManager(sys, p) }
-	c.NodeDownHook = func(n *kernel.Node) {
+	c.AddNodeDownHook(func(n *kernel.Node) {
 		// The node's forked writers and chunk store died with it:
 		// clear the bookkeeping so GC neither waits on nor sweeps a
 		// dead machine.
 		delete(sys.storeBusy, n)
 		delete(sys.storeNodes, n)
+	})
+	if len(sys.coords) > 1 {
+		c.AddNodeDownHook(sys.onCoordNodeDown)
 	}
-	if cfg.Store && cfg.ReplicaFactor > 0 {
+	if (cfg.Store && cfg.ReplicaFactor > 0) || cfg.CoordStandbys > 0 {
 		sys.Replica = replica.Install(c, replica.Config{
 			Factor: cfg.ReplicaFactor,
 			Root:   sys.StoreRoot(),
 		})
 		sys.Replica.OnReplicated = func(name string, gen int64, holder string) {
-			sys.Coord.noteReplicated(name, gen, holder)
+			sys.applyCoordEvent(coordstate.Event{Kind: coordstate.EvReplicated,
+				Name: name, Gen: gen, Holder: holder})
 		}
 		sys.Replica.OnWatermark = func(name string, gen int64, _ string) {
-			sys.Coord.noteWatermark(name, gen)
+			sys.applyCoordEvent(coordstate.Event{Kind: coordstate.EvWatermark,
+				Name: name, Gen: gen})
 		}
 	}
 
-	c.RegisterFunc("dmtcp_coordinator", sys.Coord.main)
+	c.RegisterFunc("dmtcp_coordinator", sys.coordinatorMain)
 	c.RegisterFunc("dmtcp_checkpoint", sys.checkpointMain)
 	c.RegisterFunc("dmtcp_command", sys.commandMain)
 	c.RegisterFunc("dmtcp_restart", sys.restartMain)
 	return sys
 }
 
-// SpawnCoordinator starts the coordinator process, plus the per-node
-// replica daemons when the replicated storage service is enabled.
-func (s *System) SpawnCoordinator() error {
-	p, err := s.Coord.Node.Kern.Spawn("dmtcp_coordinator", nil, nil)
-	if err != nil {
-		return err
+// standbyNodes picks the standby coordinator placements: the next
+// `want` live ring peers after the coordinator's node.
+func standbyNodes(c *kernel.Cluster, coordNode *kernel.Node, want int) []*kernel.Node {
+	nodes := c.Nodes()
+	var out []*kernel.Node
+	for i := 1; i < len(nodes) && len(out) < want; i++ {
+		n := nodes[(int(coordNode.ID)+i)%len(nodes)]
+		if n == coordNode {
+			continue
+		}
+		out = append(out, n)
 	}
-	s.Coord.proc = p
+	return out
+}
+
+// coordinatorMain dispatches the dmtcp_coordinator program to the
+// instance bound to the node it was spawned on (leader or standby).
+func (s *System) coordinatorMain(t *kernel.Task, args []string) {
+	for _, co := range s.coords {
+		if co.Node == t.P.Node {
+			co.main(t, args)
+			return
+		}
+	}
+	t.Printf("dmtcp_coordinator: no coordinator instance bound to %s\n", t.P.Node.Hostname)
+	t.Exit(1)
+}
+
+// applyCoordEvent journals a side-effect-free event (placement and
+// watermark updates raised by the replica service) against the active
+// coordinator.  While the leader is dead and a takeover pending, the
+// event is buffered and drained into the new leader's journal at
+// promotion, so the standby's placement map misses nothing.
+func (s *System) applyCoordEvent(ev coordstate.Event) {
+	if s.Coord.Node.Down && s.nextCoordinator() != nil {
+		s.pendingEv = append(s.pendingEv, ev)
+		return
+	}
+	s.Coord.Mach.Apply(ev)
+	s.Coord.shipW.WakeAll()
+}
+
+// SpawnCoordinator starts the coordinator process (and the standby
+// coordinators), plus the per-node replica daemons when the
+// replicated storage service or coordinator HA is enabled.
+func (s *System) SpawnCoordinator() error {
+	for _, co := range s.coords {
+		p, err := co.Node.Kern.Spawn("dmtcp_coordinator", nil, nil)
+		if err != nil {
+			return err
+		}
+		co.proc = p
+		if co.Standby && s.Replica != nil {
+			// The standby's replica daemon feeds pushed journal
+			// records straight into its state machine.
+			s.Replica.SetJournalSink(co.Node, co.Mach)
+		}
+	}
 	if s.Replica != nil {
 		if err := s.Replica.StartAll(); err != nil {
 			return err
@@ -170,7 +245,13 @@ func (s *System) SpawnCoordinator() error {
 	return nil
 }
 
+// coordAddr returns the ACTIVE coordinator's address; after a
+// takeover it points at the promoted standby, which is how manager
+// reconnect loops find the new leader.
 func (s *System) coordAddr() kernel.Addr { return s.Coord.Addr() }
+
+// haEnabled reports whether standby coordinators exist for takeover.
+func (s *System) haEnabled() bool { return len(s.coords) > 1 }
 
 // StoreRoot returns the configured chunk-store root under the
 // checkpoint directory.
@@ -243,15 +324,15 @@ func (s *System) fetchHostFor(manifestPath string, src, target *kernel.Node) str
 	if !ok {
 		return ""
 	}
-	pi := s.Coord.placement[name]
+	pi := s.Coord.st().Placement[name]
 	if pi == nil {
 		return ""
 	}
-	for _, h := range pi.holderHosts() {
+	for _, h := range s.Coord.candidateHolders(pi, gen) {
 		if target != nil && h == target.Hostname {
 			continue
 		}
-		if pi.Holders[h] >= gen && s.Coord.holderHas(h, name, gen) {
+		if s.Coord.holderComplete(h, name, gen) {
 			return h
 		}
 	}
@@ -327,27 +408,63 @@ func (s *System) commandMain(t *kernel.Task, args []string) {
 }
 
 // Checkpoint requests a cluster-wide checkpoint from driver task t
-// and blocks until the round completes, returning its stats.
+// and blocks until the round completes, returning its stats.  With
+// coordinator standbys configured, a request interrupted by the
+// coordinator's death is retried against the promoted standby.
 func (s *System) Checkpoint(t *kernel.Task) (*CkptRound, error) {
-	want := len(s.Coord.Rounds) + 1
+	want := len(s.Coord.Rounds()) + 1
+	for attempt := 0; ; attempt++ {
+		err := s.checkpointOnce(t)
+		if err == nil {
+			if rounds := s.Coord.Rounds(); len(rounds) >= want {
+				return rounds[want-1], nil
+			}
+			return nil, fmt.Errorf("dmtcp: round did not complete")
+		}
+		if len(s.coords) <= 1 || attempt >= 3 {
+			return nil, err
+		}
+		// The coordinator died under the request: wait for the standby
+		// takeover, then either the replayed history already covers the
+		// round or the request is re-issued against the new leader.
+		deadline := t.Now().Add(s.C.Params.CoordRetryWindow)
+		for s.Coord.Node.Down && t.Now() < deadline {
+			s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
+		}
+		if rounds := s.Coord.Rounds(); len(rounds) >= want {
+			return rounds[want-1], nil
+		}
+		if s.Coord.Node.Down {
+			return nil, fmt.Errorf("dmtcp: coordinator lost with no live standby: %w", err)
+		}
+		// The standby's replayed history may run behind the dead
+		// leader's (events lost in the final ship window): re-anchor
+		// the target on what the new leader actually knows, so the
+		// round the retried request drives satisfies it.
+		if rounds := s.Coord.Rounds(); len(rounds)+1 < want {
+			want = len(rounds) + 1
+		}
+	}
+}
+
+// checkpointOnce issues one checkpoint request against the current
+// coordinator and waits for its completion frame.
+func (s *System) checkpointOnce(t *kernel.Task) error {
 	fd := t.Socket()
 	if of, err := t.P.FD(fd); err == nil {
 		of.Protected = true
 	}
 	if err := t.Connect(fd, s.coordAddr()); err != nil {
-		return nil, fmt.Errorf("dmtcp: checkpoint request: %w", err)
+		return fmt.Errorf("dmtcp: checkpoint request: %w", err)
 	}
 	defer t.Close(fd)
 	if err := t.SendFrame(fd, []byte{msgCheckpoint}); err != nil {
-		return nil, err
+		return err
 	}
 	if _, err := t.RecvFrame(fd); err != nil {
-		return nil, fmt.Errorf("dmtcp: waiting for checkpoint: %w", err)
+		return fmt.Errorf("dmtcp: waiting for checkpoint: %w", err)
 	}
-	if len(s.Coord.Rounds) < want {
-		return nil, fmt.Errorf("dmtcp: round did not complete")
-	}
-	return s.Coord.Rounds[want-1], nil
+	return nil
 }
 
 // NumManaged returns the number of live checkpointable processes.
@@ -400,6 +517,20 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 	if round == nil || len(round.Images) == 0 {
 		return nil, fmt.Errorf("dmtcp: empty round")
 	}
+	// Restart programs need a live coordinator (discovery, group
+	// barriers, stage reports).  With standbys configured, wait out a
+	// pending takeover; without one, fail fast instead of spawning
+	// restarts that can only wedge.
+	if s.Coord.Node.Down && s.haEnabled() {
+		p := s.C.Params
+		deadline := t.Now().Add(p.FailureDetectDelay + p.ElectionTimeout + p.CoordRetryWindow)
+		for s.Coord.Node.Down && t.Now() < deadline {
+			s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
+		}
+	}
+	if s.Coord.Node.Down {
+		return nil, fmt.Errorf("dmtcp: restart requires a live coordinator (node %s is down)", s.Coord.Node.Hostname)
+	}
 	byHost := make(map[string][]ImageInfo)
 	var hosts []string
 	for _, img := range round.Images {
@@ -410,8 +541,7 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 	}
 	s.restartGen++
 	gen := s.restartGen
-	s.Coord.RestartStats = nil
-	s.Coord.restartErr = ""
+	s.applyCoordEvent(coordstate.Event{Kind: coordstate.EvRestartBegin})
 
 	var spawned []*kernel.Process
 	for _, host := range hosts {
@@ -485,10 +615,10 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 		}
 		spawned = append(spawned, rp)
 	}
-	for s.Coord.RestartStats == nil && s.Coord.restartErr == "" {
-		s.Coord.doneW.Wait(t.T)
+	for s.Coord.st().RestartStats == nil && s.Coord.st().RestartErr == "" {
+		s.doneW.Wait(t.T)
 	}
-	if s.Coord.restartErr != "" {
+	if s.Coord.st().RestartErr != "" {
 		// One host's restart failed: tear down the sibling restart
 		// programs and whatever half-restored processes they already
 		// forked, so nothing keeps the round's ports or blocks forever
@@ -498,9 +628,9 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 				rp.Kern.KillTree(rp.Pid)
 			}
 		}
-		return nil, fmt.Errorf("dmtcp: restart failed: %s", s.Coord.restartErr)
+		return nil, fmt.Errorf("dmtcp: restart failed: %s", s.Coord.st().RestartErr)
 	}
-	return s.Coord.RestartStats, nil
+	return s.Coord.st().RestartStats, nil
 }
 
 // RestartScript renders the dmtcp_restart_script.sh contents for a

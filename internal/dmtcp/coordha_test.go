@@ -1,0 +1,286 @@
+package dmtcp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// Coordinator HA coverage: journaled state machine, standby takeover,
+// manager resync, and recovery with the coordinator among the dead.
+
+// haConfig puts the coordinator on node 1 (the test driver runs on
+// node 0 and must survive the coordinator-node kill) with one standby
+// on node 2.
+func haConfig() Config {
+	return Config{
+		CoordNode:     1,
+		Compress:      true,
+		Store:         true,
+		StoreKeep:     3,
+		ReplicaFactor: 2,
+		CoordStandbys: 1,
+	}
+}
+
+// waitTakeover blocks until a standby has been promoted (the active
+// coordinator's node is alive again).
+func waitTakeover(t *testing.T, task *kernel.Task, e *env) {
+	t.Helper()
+	deadline := task.Now().Add(10 * time.Second)
+	for e.sys.Coord.Node.Down && task.Now() < deadline {
+		task.Compute(20 * time.Millisecond)
+	}
+	if e.sys.Coord.Node.Down {
+		t.Fatal("no standby took over")
+	}
+}
+
+// runHACounter runs the counter workload under the HA config,
+// optionally killing the coordinator node mid-computation, and
+// returns the final output file contents (the checksum the acceptance
+// criterion compares).
+func runHACounter(t *testing.T, kill bool) string {
+	t.Helper()
+	e := newEnv(t, 4, haConfig())
+	const out = "/san/out/coordha"
+	e.drive(t, func(task *kernel.Task) {
+		if _, err := e.sys.Launch(3, "counter", "400", out); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(50 * time.Millisecond)
+		r1, err := e.sys.Checkpoint(task)
+		if err != nil {
+			t.Errorf("pre-kill checkpoint: %v", err)
+			return
+		}
+		e.sys.Replica.WaitIdle(task)
+		if kill {
+			preRounds := len(e.sys.Coord.Rounds())
+			if killed := e.c.KillNode(1); killed == 0 {
+				t.Error("coordinator node kill terminated nothing")
+				return
+			}
+			waitTakeover(t, task, e)
+			if e.sys.Coord.Node.ID != 2 {
+				t.Errorf("takeover by node %d, want the standby on node 2", e.sys.Coord.Node.ID)
+			}
+			// The standby replayed the journal: the pre-kill round and
+			// its placement map survived the coordinator's death.
+			if got := len(e.sys.Coord.Rounds()); got != preRounds {
+				t.Errorf("standby replayed %d rounds, leader had %d", got, preRounds)
+			}
+			if e.sys.Coord.LastRound().Bytes != r1.Bytes {
+				t.Error("replayed round diverges from the leader's record")
+			}
+		}
+		// A post-(take-over) checkpoint must work: the live manager
+		// reconnects and resyncs with the promoted standby.
+		task.Compute(50 * time.Millisecond)
+		r2, err := e.sys.Checkpoint(task)
+		if err != nil {
+			t.Errorf("post-takeover checkpoint: %v", err)
+			return
+		}
+		if r2.NumProcs != 1 {
+			t.Errorf("post-takeover round procs = %d, want 1", r2.NumProcs)
+		}
+		// Let the computation finish untouched: coordinator failover is
+		// control-plane only, so the data plane's output must be
+		// byte-identical to a run that never lost its coordinator.
+		deadline := task.Now().Add(60 * time.Second)
+		for task.Now() < deadline {
+			if ino, err := e.c.Node(0).FS.ReadFile(out); err == nil &&
+				strings.Contains(string(ino.Data), "done") {
+				break
+			}
+			task.Compute(100 * time.Millisecond)
+		}
+	})
+	ino, err := e.c.Node(0).FS.ReadFile(out)
+	if err != nil {
+		t.Fatal("no output file")
+	}
+	return string(ino.Data)
+}
+
+// TestCoordinatorFailoverMidComputation is the headline HA scenario:
+// the coordinator node dies mid-computation, the standby replays the
+// journal and takes over, the live manager resyncs, and the completed
+// run's checksum matches a run that never lost its coordinator.
+func TestCoordinatorFailoverMidComputation(t *testing.T) {
+	killed := runHACounter(t, true)
+	control := runHACounter(t, false)
+	if !strings.Contains(killed, "done") {
+		t.Fatalf("killed run did not finish:\n%s", killed)
+	}
+	if killed != control {
+		t.Fatalf("post-takeover checksum differs from unkilled run:\nkilled:\n%s\ncontrol:\n%s", killed, control)
+	}
+}
+
+// TestKillCoordinatorMidRound kills the coordinator node between the
+// suspended and drained barriers of a round.  The takeover aborts the
+// orphaned round, releases the mid-algorithm managers as they resync
+// (so no user thread stays suspended), and the re-issued request
+// completes a clean round on the standby.
+func TestKillCoordinatorMidRound(t *testing.T) {
+	e := newEnv(t, 4, haConfig())
+	e.drive(t, func(task *kernel.Task) {
+		e.sys.Launch(0, "counter", "5000", "/out/midround-a")
+		e.sys.Launch(3, "counter", "5000", "/out/midround-b")
+		task.Compute(50 * time.Millisecond)
+		var round *CkptRound
+		var cerr error
+		done := false
+		task.P.SpawnTask("req", false, func(rt *kernel.Task) {
+			round, cerr = e.sys.Checkpoint(rt)
+			done = true
+		})
+		co := e.sys.Coord
+		deadline := task.Now().Add(10 * time.Second)
+		for task.Now() < deadline {
+			if r := co.st().Round; r != nil && r.Released["suspended"] {
+				break
+			}
+			task.Compute(time.Millisecond)
+		}
+		if r := co.st().Round; r == nil || !r.Released["suspended"] {
+			t.Fatal("round never reached the drain stage")
+		}
+		e.c.KillNode(1) // the coordinator dies mid-round
+		waitTakeover(t, task, e)
+		for !done && task.Now() < deadline {
+			task.Compute(10 * time.Millisecond)
+		}
+		if !done {
+			t.Fatal("checkpoint request wedged across the takeover")
+		}
+		if cerr != nil {
+			t.Fatalf("checkpoint across takeover: %v", cerr)
+		}
+		if round == nil || round.NumProcs != 2 {
+			t.Fatalf("post-takeover round = %+v, want 2 participants", round)
+		}
+		// Both managers resumed: the computation keeps making progress.
+		n0 := len(readLines(t, e.c.Node(0), "/out/midround-a"))
+		task.Compute(500 * time.Millisecond)
+		if n := len(readLines(t, e.c.Node(0), "/out/midround-a")); n <= n0 {
+			t.Errorf("manager on node00 stayed suspended after the aborted round (%d → %d lines)", n0, n)
+		}
+		// The standby-recorded round is fully usable: kill everything
+		// and restart both processes from it.
+		e.sys.Replica.WaitIdle(task)
+		e.sys.KillManaged()
+		if _, err := e.sys.RestartAll(task, round, nil); err != nil {
+			t.Fatalf("restart from post-takeover round: %v", err)
+		}
+		task.Compute(100 * time.Millisecond)
+		if n := e.sys.NumManaged(); n != 2 {
+			t.Errorf("managed after restart = %d, want 2", n)
+		}
+	})
+}
+
+// TestRecoverWithCoordinatorAmongDead: the coordinator node also
+// hosts a managed process; killing it loses both.  Recover must wait
+// out the standby takeover, then restart the lost process on a
+// surviving replica holder from the journal-replayed placement map.
+func TestRecoverWithCoordinatorAmongDead(t *testing.T) {
+	e := newEnv(t, 4, haConfig())
+	e.drive(t, func(task *kernel.Task) {
+		e.sys.Launch(1, "counter", "60", "/san/out/coorddead")
+		task.Compute(50 * time.Millisecond)
+		if _, err := e.sys.Checkpoint(task); err != nil {
+			t.Fatal(err)
+		}
+		e.sys.Replica.WaitIdle(task)
+		e.c.KillNode(1) // kills the app AND the coordinator
+		rec, err := e.sys.Recover(task)
+		if err != nil {
+			t.Fatalf("recover with dead coordinator: %v", err)
+		}
+		if len(rec.DeadHosts) != 1 || rec.DeadHosts[0] != "node01" {
+			t.Errorf("dead hosts = %v", rec.DeadHosts)
+		}
+		if target := rec.Targets["node01"]; target == "" || target == "node01" {
+			t.Fatalf("recovery target = %q", rec.Targets)
+		}
+		if e.sys.Coord.Node.ID != 2 {
+			t.Errorf("recovery ran under node %d, want the promoted standby on node 2", e.sys.Coord.Node.ID)
+		}
+		task.Compute(100 * time.Millisecond)
+		if n := e.sys.NumManaged(); n != 1 {
+			t.Fatalf("managed after recovery = %d", n)
+		}
+		deadline := task.Now().Add(60 * time.Second)
+		for task.Now() < deadline {
+			if ino, err := e.c.Node(0).FS.ReadFile("/san/out/coorddead"); err == nil &&
+				strings.Contains(string(ino.Data), "done") {
+				break
+			}
+			task.Compute(100 * time.Millisecond)
+		}
+		ino, err := e.c.Node(0).FS.ReadFile("/san/out/coorddead")
+		if err != nil || !strings.Contains(string(ino.Data), "done") {
+			t.Fatal("computation did not finish after coordinator-node recovery")
+		}
+	})
+}
+
+// TestCheckpointErrorsWhenCoordinatorAndStandbyDie: with the whole
+// coordinator set gone, the retry path must give up with an error
+// instead of wedging the session.
+func TestCheckpointErrorsWhenCoordinatorAndStandbyDie(t *testing.T) {
+	e := newEnv(t, 4, haConfig())
+	e.drive(t, func(task *kernel.Task) {
+		e.sys.Launch(3, "counter", "50000", "/out/nocoord")
+		task.Compute(50 * time.Millisecond)
+		e.c.KillNode(1)
+		e.c.KillNode(2)
+		if _, err := e.sys.Checkpoint(task); err == nil {
+			t.Error("checkpoint succeeded with every coordinator dead")
+		}
+	})
+}
+
+// TestTakeoverSurvivesElectedStandbyDying: a double failure — the
+// coordinator dies, and the front-runner standby dies during its own
+// election wait.  The staggered election must still promote the
+// remaining standby instead of losing the takeover forever.
+func TestTakeoverSurvivesElectedStandbyDying(t *testing.T) {
+	cfg := haConfig()
+	cfg.CoordStandbys = 2 // standbys on node2 and node3
+	e := newEnv(t, 5, cfg)
+	e.drive(t, func(task *kernel.Task) {
+		e.sys.Launch(4, "counter", "400", "/san/out/double")
+		task.Compute(50 * time.Millisecond)
+		if _, err := e.sys.Checkpoint(task); err != nil {
+			t.Fatal(err)
+		}
+		e.sys.Replica.WaitIdle(task)
+		e.c.KillNode(1) // the coordinator
+		// Kill the front-runner (lowest-id standby) inside its
+		// detection+election window, before it can promote itself.
+		task.Compute(100 * time.Millisecond)
+		if !e.sys.Coord.Node.Down {
+			t.Fatal("takeover fired before the election window — test assumption broken")
+		}
+		e.c.KillNode(2)
+		waitTakeover(t, task, e)
+		if e.sys.Coord.Node.ID != 3 {
+			t.Fatalf("takeover by node %d, want the surviving standby on node 3", e.sys.Coord.Node.ID)
+		}
+		task.Compute(50 * time.Millisecond)
+		r, err := e.sys.Checkpoint(task)
+		if err != nil {
+			t.Fatalf("checkpoint under second-choice standby: %v", err)
+		}
+		if r.NumProcs != 1 {
+			t.Errorf("round procs = %d, want 1", r.NumProcs)
+		}
+	})
+}

@@ -1,12 +1,12 @@
 package dmtcp
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/bin"
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -17,157 +17,220 @@ const DefaultCoordPort = 7779
 
 // Protocol message types (first byte of each frame).
 const (
-	msgRegister   = 'R' // manager → coord: join as checkpointable client
-	msgCheckpoint = 'C' // command → coord: request a checkpoint round
-	msgBarrier    = 'B' // manager → coord: reached named barrier
-	msgRelease    = 'L' // coord → manager: barrier released
-	msgDoCkpt     = 'K' // coord → manager: begin checkpoint (with config)
-	msgStatus     = 'S' // command → coord: status query
-	msgAdvertise  = 'A' // restart → coord: advertise guid → address
-	msgQuery      = 'Q' // restart → coord: resolve guid (blocks until known)
-	msgGroup      = 'G' // restart → coord: generic group barrier join
+	msgRegister    = 'R' // manager → coord: join as checkpointable client
+	msgResync      = 'Y' // manager → coord: re-bind identity after reconnect
+	msgCheckpoint  = 'C' // command → coord: request a checkpoint round
+	msgBarrier     = 'B' // manager → coord: reached named barrier
+	msgRelease     = 'L' // coord → manager: barrier released
+	msgDoCkpt      = 'K' // coord → manager: begin checkpoint (with config)
+	msgStatus      = 'S' // command → coord: status query
+	msgAdvertise   = 'A' // restart → coord: advertise guid → address
+	msgQuery       = 'Q' // restart → coord: resolve guid (blocks until known)
+	msgGroup       = 'G' // restart → coord: generic group barrier join
 	msgRestartEnd  = 'T' // restart → coord: restart stage times
 	msgRestartFail = 'F' // restart → coord: restart failed (message)
 	msgQuit        = 'X' // command → coord: shut down
 )
 
-// Checkpoint barrier names, in protocol order (§4.3: six global
-// barriers; the first is the implicit wait-for-checkpoint-request).
-var ckptBarriers = []string{"suspended", "elected", "drained", "checkpointed", "refilled"}
-
-// coordClient is one registered checkpoint manager connection.
-type coordClient struct {
-	id   int64
-	fd   int
-	desc string
-}
-
-type roundState struct {
-	idx          int
-	start        sim.Time
-	participants map[int64]*coordClient
-	arrived      map[string]map[int64]bool
-	released     map[string]bool
-	stageMax     map[string]time.Duration
-	images       []ImageInfo
-	bytes, raw   int64
-	dedup        int64
-	syncMax      time.Duration
-}
+// ckptBarriers aliases the state machine's barrier order (§4.3).
+var ckptBarriers = coordstate.Barriers
 
 type groupBarrier struct {
 	want    int
 	arrived []int // fds to release
 }
 
-// Coordinator is the harness-side handle to a running checkpoint
-// coordinator process.  Fields are updated by the coordinator program
-// as the simulation runs; the engine's cooperative scheduling makes
-// the sharing safe.
+// Coordinator is one checkpoint coordinator instance: the initial
+// leader on Config.CoordNode, or a standby on a ring peer that
+// replays the leader's journal and takes over when the leader's node
+// dies.
+//
+// All logical state lives in Mach, a coordstate.Machine driven by
+// journaled events; the fields below are volatile connection state
+// that dies with the process and is rebuilt by the manager resync
+// handshake after a takeover.  Harness-side sharing is safe under the
+// engine's cooperative scheduling.
 type Coordinator struct {
 	Sys  *System
 	Node *kernel.Node
 	Port int
 
-	// Rounds holds completed checkpoint rounds, oldest first.
-	Rounds []*CkptRound
+	// Mach is the journaled coordinator state machine.
+	Mach *coordstate.Machine
 
-	// RestartStats holds the most recent completed restart.
-	RestartStats *RestartStages
+	// Standby is true until this instance is promoted to leader.
+	Standby bool
 
-	proc    *kernel.Process
-	clients map[int64]*coordClient
-	nextCID int64
+	proc *kernel.Process
 
-	round       *roundState
-	pendingCkpt int // queued checkpoint requests
-	cmdWaiters  []chan2
-
-	// gcPending holds store-mode rounds whose collection was deferred
-	// because forked writers were still committing; the next
-	// opportunity collects once and credits every covered round.
-	gcPending []*CkptRound
-
-	advertised map[string]kernel.Addr
-	pendingQ   map[string][]int // guid → fds awaiting resolution
-
+	// conns maps client id → this instance's fd for it.
+	conns map[int64]int
+	// cmdWaiters are command connections awaiting round completion.
+	cmdWaiters []int
+	// pendingQ holds fds awaiting guid resolution.
+	pendingQ map[string][]int
+	// groups are in-flight restart group barriers.
 	groups map[string]*groupBarrier
 
-	// placement is the coordinator's map of which nodes hold which
-	// process's checkpoint generations (writer plus replica holders),
-	// maintained from checkpoint commits and replication reports.
-	// Failure recovery reads it to pick a surviving holder.
-	placement map[string]*placeInfo
+	// gcPending holds indices of store-mode rounds whose collection
+	// was deferred because forked writers were still committing; the
+	// next opportunity collects once and credits every covered round.
+	gcPending []int
 
 	// recovering guards against concurrent recovery drives when
 	// several clients of a dead node disconnect in a burst.
 	recovering bool
 
-	restartExpect int
-	restartAgg    []RestartStages
-	// restartErr carries a fatal restart-program failure so RestartAll
-	// returns an error instead of waiting forever for stage times.
-	restartErr string
+	// shipW wakes the journal shipper after every applied event (and
+	// at promotion); shipped tracks the last seq each standby acked.
+	shipW   *sim.WaitQueue
+	shipped map[string]int64
 
-	// doneW wakes harness tasks waiting for round/restart completion.
-	doneW *sim.WaitQueue
+	// journalBuf caches the serialized journal snapshot written to
+	// disk; journaledSeq is the last entry in it, so each write only
+	// serializes the suffix instead of re-encoding the whole history.
+	journalBuf   []byte
+	journaledSeq int64
 }
 
-// chan2 tracks a command connection waiting for round completion.
-type chan2 struct{ fd int }
+func newCoordinator(sys *System, node *kernel.Node, port int, standby bool) *Coordinator {
+	return &Coordinator{
+		Sys:      sys,
+		Node:     node,
+		Port:     port,
+		Mach:     coordstate.NewMachine(),
+		Standby:  standby,
+		conns:    make(map[int64]int),
+		pendingQ: make(map[string][]int),
+		groups:   make(map[string]*groupBarrier),
+		shipW:    sim.NewWaitQueue(sys.C.Eng, node.Hostname+".coordship"),
+		shipped:  make(map[string]int64),
+	}
+}
+
+// st is the coordinator's logical state.
+func (co *Coordinator) st() *coordstate.State { return co.Mach.State() }
 
 // Addr returns the coordinator's address.
 func (co *Coordinator) Addr() kernel.Addr {
 	return kernel.Addr{Host: co.Node.Hostname, Port: co.Port}
 }
 
+// Rounds returns the completed checkpoint rounds, oldest first.
+func (co *Coordinator) Rounds() []*CkptRound { return co.st().Rounds }
+
 // NumClients returns the number of registered checkpointable
 // processes.
-func (co *Coordinator) NumClients() int { return len(co.clients) }
+func (co *Coordinator) NumClients() int { return len(co.st().Clients) }
 
 // LastRound returns the most recent completed checkpoint round.
-func (co *Coordinator) LastRound() *CkptRound {
-	if len(co.Rounds) == 0 {
-		return nil
-	}
-	return co.Rounds[len(co.Rounds)-1]
+func (co *Coordinator) LastRound() *CkptRound { return co.st().LastRound() }
+
+// RestartStats returns the most recent completed restart's aggregated
+// stage times (nil while one is in flight).
+func (co *Coordinator) RestartStats() *RestartStages { return co.st().RestartStats }
+
+// apply journals one event through the state machine and performs the
+// returned effects.  Only tasks on the active coordinator's process
+// may apply events with protocol side-effects.
+func (co *Coordinator) apply(t *kernel.Task, ev coordstate.Event) {
+	t.Compute(co.Sys.C.Params.JournalAppendCost)
+	co.runEffects(t, co.Mach.Apply(ev))
+	co.shipW.WakeAll()
 }
 
-// main is the coordinator program body.
+// runEffects turns Apply's effect list into protocol frames and
+// harness wakeups, in order.
+func (co *Coordinator) runEffects(t *kernel.Task, effects []coordstate.Effect) {
+	for _, fx := range effects {
+		switch fx.Kind {
+		case coordstate.FxStartRound:
+			r := co.st().Round
+			if r == nil {
+				break // round already gone (cannot happen mid-effects)
+			}
+			frame := co.doCkptFrame(r.Tag)
+			for _, cid := range fx.CIDs {
+				if fd, ok := co.conns[cid]; ok {
+					t.SendFrame(fd, frame)
+				}
+			}
+		case coordstate.FxRelease:
+			var e bin.Encoder
+			e.B = append(e.B, msgRelease)
+			e.Str(fx.Name)
+			for _, cid := range fx.CIDs {
+				if fd, ok := co.conns[cid]; ok {
+					t.SendFrame(fd, e.B)
+				}
+			}
+		case coordstate.FxReleaseOne:
+			if fd, ok := co.conns[fx.CID]; ok {
+				var e bin.Encoder
+				e.B = append(e.B, msgRelease)
+				e.Str(fx.Name)
+				t.SendFrame(fd, e.B)
+			}
+		case coordstate.FxRoundDone:
+			co.afterRound(t, fx.Round)
+		case coordstate.FxGuidKnown:
+			for _, qfd := range co.pendingQ[fx.Name] {
+				co.replyQuery(t, qfd, fx.Name)
+			}
+			delete(co.pendingQ, fx.Name)
+		case coordstate.FxRestartDone, coordstate.FxRestartFailed:
+			co.Sys.doneW.WakeAll()
+		}
+	}
+}
+
+// main is the coordinator program body (leader and standby alike).
 func (co *Coordinator) main(t *kernel.Task, _ []string) {
 	lfd, err := t.ListenTCP(co.Port)
 	if err != nil {
 		t.Printf("dmtcp_coordinator: %v\n", err)
 		return
 	}
-	if iv := co.Sys.Cfg.Interval; iv > 0 {
-		t.P.SpawnTask("interval", true, func(tick *kernel.Task) {
-			for {
-				tick.Compute(iv)
-				co.requestCheckpoint(tick)
-			}
-		})
+	if !co.Standby {
+		co.startInterval()
 	}
+	t.P.SpawnTask("journal-ship", true, co.shipLoop)
 	for {
 		fd, err := t.Accept(lfd)
 		if err != nil {
 			return
 		}
-		co.nextCID++
-		id := co.nextCID
-		t.P.SpawnTask(fmt.Sprintf("conn%d", id), false, func(h *kernel.Task) {
-			co.serve(h, id, fd)
-		})
+		c := fd
+		t.P.SpawnTask("conn", false, func(h *kernel.Task) { co.serve(h, c) })
 	}
 }
 
+// startInterval launches the periodic-checkpoint ticker on this
+// instance's process.
+func (co *Coordinator) startInterval() {
+	iv := co.Sys.Cfg.Interval
+	if iv <= 0 || co.proc == nil {
+		return
+	}
+	co.proc.SpawnTask("interval", true, func(tick *kernel.Task) {
+		for {
+			tick.Compute(iv)
+			if co.Sys.Coord != co {
+				return // deposed (should not happen; leaders die with nodes)
+			}
+			co.requestCheckpoint(tick)
+		}
+	})
+}
+
 // serve handles one client connection.
-func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
+func (co *Coordinator) serve(t *kernel.Task, fd int) {
 	defer t.Close(fd)
+	var cid int64 // the client this connection speaks for (0 = command)
 	for {
 		frame, err := t.RecvFrame(fd)
 		if err != nil {
-			co.disconnect(t, cid)
+			co.onDisconnect(t, cid, fd)
 			return
 		}
 		if len(frame) == 0 {
@@ -177,10 +240,14 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 		switch frame[0] {
 		case msgRegister:
 			d := &bin.Decoder{B: body}
-			c := &coordClient{id: cid, fd: fd, desc: d.Str()}
-			co.clients[cid] = c
+			co.apply(t, coordstate.Event{Kind: coordstate.EvRegister, Now: t.Now(), Desc: d.Str()})
+			cid = co.st().NextCID
+			co.conns[cid] = fd
+		case msgResync:
+			d := &bin.Decoder{B: body}
+			cid = co.resync(t, fd, d.Str())
 		case msgCheckpoint:
-			co.cmdWaiters = append(co.cmdWaiters, chan2{fd: fd})
+			co.cmdWaiters = append(co.cmdWaiters, fd)
 			co.requestCheckpoint(t)
 		case msgBarrier:
 			co.onBarrier(t, cid, body)
@@ -188,21 +255,18 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 			co.retryDeferredGC(t)
 			var e bin.Encoder
 			e.B = append(e.B, 's')
-			e.Int(len(co.clients))
-			e.Int(len(co.Rounds))
+			e.Int(len(co.st().Clients))
+			e.Int(len(co.st().Rounds))
 			t.SendFrame(fd, e.B)
 		case msgAdvertise:
 			d := &bin.Decoder{B: body}
 			guid, host, port := d.Str(), d.Str(), d.Int()
-			co.advertised[guid] = kernel.Addr{Host: host, Port: port}
-			for _, qfd := range co.pendingQ[guid] {
-				co.replyQuery(t, qfd, guid)
-			}
-			delete(co.pendingQ, guid)
+			co.apply(t, coordstate.Event{Kind: coordstate.EvAdvertise, Now: t.Now(),
+				GUID: guid, Addr: kernel.Addr{Host: host, Port: port}})
 		case msgQuery:
 			d := &bin.Decoder{B: body}
 			guid := d.Str()
-			if _, ok := co.advertised[guid]; ok {
+			if _, ok := co.st().Advertised[guid]; ok {
 				co.replyQuery(t, fd, guid)
 			} else {
 				co.pendingQ[guid] = append(co.pendingQ[guid], fd)
@@ -228,9 +292,7 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 		case msgRestartEnd:
 			co.onRestartEnd(t, body)
 		case msgRestartFail:
-			co.restartErr = string(body)
-			co.restartAgg = nil
-			co.doneW.WakeAll()
+			co.apply(t, coordstate.Event{Kind: coordstate.EvRestartFail, Now: t.Now(), Msg: string(body)})
 		case msgQuit:
 			co.Sys.C.Eng.Stop()
 			return
@@ -238,8 +300,75 @@ func (co *Coordinator) serve(t *kernel.Task, cid int64, fd int) {
 	}
 }
 
+// resync re-binds a reconnecting manager (its coordinator died and a
+// standby took over) to its replayed client entry, matching on the
+// stable identity string.  A manager the journal never recorded —
+// it registered in the instants before the old leader died — is
+// registered fresh.
+func (co *Coordinator) resync(t *kernel.Task, fd int, desc string) int64 {
+	cid := co.st().ClientByDesc(desc)
+	if cid == 0 {
+		co.apply(t, coordstate.Event{Kind: coordstate.EvRegister, Now: t.Now(), Desc: desc})
+		cid = co.st().NextCID
+	}
+	co.conns[cid] = fd
+	// If a round started after the takeover while this manager was
+	// still reconnecting, it never saw the checkpoint request: re-send
+	// it, but only when the manager has not begun the algorithm (no
+	// recorded arrival) — a mid-algorithm manager re-drives itself by
+	// re-sending its barrier arrival.
+	if r := co.st().Round; r != nil && r.Participants[cid] {
+		arrived := false
+		for _, m := range r.Arrived {
+			if m[cid] {
+				arrived = true
+				break
+			}
+		}
+		if !arrived {
+			t.SendFrame(fd, co.doCkptFrame(r.Tag))
+		}
+	}
+	return cid
+}
+
+// doCkptFrame encodes the begin-checkpoint request broadcast to
+// managers (round start and resync re-send share it).  The round tag
+// rides along so the manager's barrier arrivals name the round they
+// belong to.
+func (co *Coordinator) doCkptFrame(tag int64) []byte {
+	cfg := co.Sys.Cfg
+	var e bin.Encoder
+	e.B = append(e.B, msgDoCkpt)
+	e.Str(cfg.CkptDir)
+	e.Bool(cfg.Compress)
+	e.Bool(cfg.Fsync)
+	e.Bool(cfg.Forked)
+	e.Bool(cfg.Store)
+	e.I64(tag)
+	return e.B
+}
+
+// onDisconnect handles a dropped connection: when it carried a
+// registered client (and has not been superseded by a resync on a
+// newer connection), the client is removed and any in-flight round's
+// barriers re-evaluated — with the dead client out of the participant
+// set, a barrier the remaining clients have all reached must be
+// released now.
+func (co *Coordinator) onDisconnect(t *kernel.Task, cid int64, fd int) {
+	if cid == 0 || co.conns[cid] != fd {
+		return
+	}
+	delete(co.conns, cid)
+	client, ok := co.st().Clients[cid]
+	co.apply(t, coordstate.Event{Kind: coordstate.EvDisconnect, Now: t.Now(), CID: cid})
+	if ok {
+		co.maybeAutoRecover(t, client.Desc)
+	}
+}
+
 func (co *Coordinator) replyQuery(t *kernel.Task, fd int, guid string) {
-	addr := co.advertised[guid]
+	addr := co.st().Advertised[guid]
 	var e bin.Encoder
 	e.B = append(e.B, 'q')
 	e.Str(guid)
@@ -251,73 +380,25 @@ func (co *Coordinator) replyQuery(t *kernel.Task, fd int, guid string) {
 // requestCheckpoint starts a round now, or queues one if a round is
 // already in progress.
 func (co *Coordinator) requestCheckpoint(t *kernel.Task) {
-	if co.round != nil {
-		co.pendingCkpt++
-		return
-	}
-	if len(co.clients) == 0 {
-		// Nothing to checkpoint; satisfy waiters immediately.
-		co.finishRound(t, &roundState{start: t.Now(), participants: map[int64]*coordClient{}})
-		return
-	}
 	// Rounds whose GC was deferred (forked writers were still
 	// committing) are collected now, before the new round's writes
 	// begin.
 	co.retryDeferredGC(t)
-	co.round = &roundState{
-		idx:          len(co.Rounds),
-		start:        t.Now(),
-		participants: make(map[int64]*coordClient, len(co.clients)),
-		arrived:      make(map[string]map[int64]bool),
-		released:     make(map[string]bool),
-		stageMax:     make(map[string]time.Duration),
-	}
-	for id, c := range co.clients {
-		co.round.participants[id] = c
-	}
 	cfg := co.Sys.Cfg
-	var e bin.Encoder
-	e.B = append(e.B, msgDoCkpt)
-	e.Str(cfg.CkptDir)
-	e.Bool(cfg.Compress)
-	e.Bool(cfg.Fsync)
-	e.Bool(cfg.Forked)
-	e.Bool(cfg.Store)
-	for _, c := range sortedClients(co.round.participants) {
-		t.SendFrame(c.fd, e.B)
-	}
+	co.apply(t, coordstate.Event{Kind: coordstate.EvCkptRequest, Now: t.Now(),
+		Cfg: coordstate.RoundCfg{Compress: cfg.Compress, Fsync: cfg.Fsync, Forked: cfg.Forked, Store: cfg.Store}})
 }
 
-// sortedClients orders clients by registration id so that broadcasts
-// are deterministic.
-func sortedClients(m map[int64]*coordClient) []*coordClient {
-	out := make([]*coordClient, 0, len(m))
-	for _, c := range m {
-		out = append(out, c)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].id < out[j-1].id; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-// onBarrier counts a manager's arrival at a named barrier and
-// releases the barrier when everyone is in.
+// onBarrier journals a manager's arrival at a named barrier; the
+// state machine releases the barrier when everyone is in.
 func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
-	r := co.round
-	if r == nil || r.participants[cid] == nil {
-		return
-	}
 	d := &bin.Decoder{B: body}
-	name := d.Str()
-	stage := time.Duration(d.I64())
-	if stage > r.stageMax[name] {
-		r.stageMax[name] = stage
-	}
-	if name == "checkpointed" {
-		img := ImageInfo{
+	ev := coordstate.Event{Kind: coordstate.EvBarrier, Now: t.Now(), CID: cid}
+	ev.Barrier = d.Str()
+	ev.RoundTag = d.I64()
+	ev.Stage = time.Duration(d.I64())
+	if ev.Barrier == coordstate.BarrierCheckpointed {
+		img := &ImageInfo{
 			Host:    d.Str(),
 			Path:    d.Str(),
 			Prog:    d.Str(),
@@ -325,73 +406,21 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 			Bytes:   d.I64(),
 			Raw:     d.I64(),
 		}
-		sync := time.Duration(d.I64())
+		ev.Sync = time.Duration(d.I64())
 		img.Generation = d.I64()
 		img.Chunks = d.Int()
 		img.NewChunks = d.Int()
 		img.Dedup = d.I64()
-		r.images = append(r.images, img)
-		r.bytes += img.Bytes
-		r.raw += img.Raw
-		r.dedup += img.Dedup
-		if co.Sys.Cfg.Store {
-			co.notePlaced(img)
-		}
-		if sync > r.syncMax {
-			r.syncMax = sync
-		}
+		ev.Image = img
 	}
-	if r.arrived[name] == nil {
-		r.arrived[name] = make(map[int64]bool)
-	}
-	r.arrived[name][cid] = true
-	if len(r.arrived[name]) < len(r.participants) {
-		return
-	}
-	co.releaseBarrier(t, r, name)
+	co.apply(t, ev)
 }
 
-// releaseBarrier releases a complete barrier to every participant and
-// finishes the round when it was the last one.
-func (co *Coordinator) releaseBarrier(t *kernel.Task, r *roundState, name string) {
-	if r.released[name] {
-		return
-	}
-	r.released[name] = true
-	var e bin.Encoder
-	e.B = append(e.B, msgRelease)
-	e.Str(name)
-	for _, c := range sortedClients(r.participants) {
-		t.SendFrame(c.fd, e.B)
-	}
-	if name == ckptBarriers[len(ckptBarriers)-1] {
-		co.finishRound(t, r)
-	}
-}
-
-func (co *Coordinator) finishRound(t *kernel.Task, r *roundState) {
-	round := &CkptRound{
-		Index:    len(co.Rounds),
-		NumProcs: len(r.participants),
-		Stages: StageTimes{
-			Suspend: r.stageMax["suspended"],
-			Elect:   r.stageMax["elected"],
-			Drain:   r.stageMax["drained"],
-			Write:   r.stageMax["checkpointed"],
-			Refill:  r.stageMax["refilled"],
-			Total:   t.Now().Sub(r.start),
-		},
-		Bytes:    r.bytes,
-		RawBytes: r.raw,
-		SyncCost: r.syncMax,
-		Images:   r.images,
-		Compress: co.Sys.Cfg.Compress,
-		Forked:   co.Sys.Cfg.Forked,
-
-		Store:      co.Sys.Cfg.Store,
-		DedupBytes: r.dedup,
-	}
-	if round.Store && len(r.images) > 0 {
+// afterRound performs the leader-side work of a completed round:
+// store collection, command waiter release, and the durable journal
+// snapshot.
+func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
+	if round.Store && len(round.Images) > 0 {
 		// Forked rounds commit their manifests in background children
 		// after the barrier releases, so their stores are still busy
 		// here and collectStores defers them (possibly only on some
@@ -401,22 +430,30 @@ func (co *Coordinator) finishRound(t *kernel.Task, r *roundState) {
 		// so stats are never double-counted across retries.
 		st, deferred := co.collectStores(t)
 		if deferred {
-			co.gcPending = append(co.gcPending, round)
-		} else {
-			round.GC = st
+			co.gcPending = append(co.gcPending, round.Index)
+		} else if st != nil {
+			co.apply(t, coordstate.Event{Kind: coordstate.EvRoundGC, Now: t.Now(),
+				Idxs: []int{round.Index}, GC: *st})
 		}
 	}
-	co.Rounds = append(co.Rounds, round)
-	co.round = nil
-	for _, w := range co.cmdWaiters {
-		t.SendFrame(w.fd, []byte{'c'})
+	for _, fd := range co.cmdWaiters {
+		t.SendFrame(fd, []byte{'c'})
 	}
 	co.cmdWaiters = nil
-	co.doneW.WakeAll()
-	if co.pendingCkpt > 0 {
-		co.pendingCkpt--
-		co.requestCheckpoint(t)
+	co.Sys.doneW.WakeAll()
+	co.writeJournalFile(t)
+}
+
+// writeJournalFile snapshots the serialized journal to the checkpoint
+// directory — the durable, inspectable artifact of the event-sourced
+// design (the network replication to standbys is what takeover runs
+// on).
+func (co *Coordinator) writeJournalFile(t *kernel.Task) {
+	if fresh := co.Mach.EntriesSince(co.journaledSeq); len(fresh) > 0 {
+		co.journalBuf = append(co.journalBuf, coordstate.EncodeEntries(fresh)...)
+		co.journaledSeq = co.Mach.Seq()
 	}
+	t.WriteFileAll(co.Sys.Cfg.CkptDir+"/coordinator.journal", co.journalBuf, int64(len(co.journalBuf)))
 }
 
 // collectStores runs the retention policy plus a mark-and-sweep GC
@@ -484,95 +521,28 @@ func (co *Coordinator) retryDeferredGC(t *kernel.Task) {
 	if deferred || st == nil {
 		return // some store still busy; keep pending
 	}
-	for _, r := range co.gcPending {
-		cp := *st
-		r.GC = &cp
-	}
+	co.apply(t, coordstate.Event{Kind: coordstate.EvRoundGC, Now: t.Now(),
+		Idxs: co.gcPending, GC: *st})
 	co.gcPending = nil
-}
-
-// placeInfo is one image's entry in the coordinator placement map.
-type placeInfo struct {
-	Name    string
-	Host    string // node that wrote the latest generation
-	Prog    string
-	VirtPid kernel.Pid
-	// LatestGen is the newest committed generation; ReplicatedGen the
-	// newest fully-replicated one (the recovery watermark).
-	LatestGen     int64
-	ReplicatedGen int64
-	// Holders maps hostname → highest generation that node holds.
-	Holders map[string]int64
-}
-
-// holderHosts returns the holder hostnames in deterministic order.
-func (pi *placeInfo) holderHosts() []string {
-	out := make([]string, 0, len(pi.Holders))
-	for h := range pi.Holders {
-		out = append(out, h)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// notePlaced records a committed generation in the placement map (the
-// writer itself holds what it wrote).
-func (co *Coordinator) notePlaced(img ImageInfo) {
-	name, gen, ok := store.NameForManifest(img.Path)
-	if !ok {
-		return
-	}
-	pi := co.placement[name]
-	if pi == nil {
-		pi = &placeInfo{Name: name, Holders: make(map[string]int64)}
-		co.placement[name] = pi
-	}
-	pi.Host = img.Host
-	pi.Prog = img.Prog
-	pi.VirtPid = img.VirtPid
-	if gen > pi.LatestGen {
-		pi.LatestGen = gen
-	}
-	if gen > pi.Holders[img.Host] {
-		pi.Holders[img.Host] = gen
-	}
-}
-
-// noteReplicated records that holder now has generation gen of name
-// (reported by the replication service per completed peer copy).
-func (co *Coordinator) noteReplicated(name string, gen int64, holder string) {
-	pi := co.placement[name]
-	if pi == nil {
-		pi = &placeInfo{Name: name, Holders: make(map[string]int64)}
-		co.placement[name] = pi
-	}
-	if gen > pi.Holders[holder] {
-		pi.Holders[holder] = gen
-	}
-}
-
-// noteWatermark records that gen's full fan-out completed.
-func (co *Coordinator) noteWatermark(name string, gen int64) {
-	if pi := co.placement[name]; pi != nil && gen > pi.ReplicatedGen {
-		pi.ReplicatedGen = gen
-	}
 }
 
 // maybeAutoRecover starts a recovery drive when a client's death turns
 // out to be a node death and the session opted into automatic
 // recovery.
-func (co *Coordinator) maybeAutoRecover(t *kernel.Task, c *coordClient) {
-	if !co.Sys.Cfg.AutoRecover || co.recovering || co.Sys.Replica == nil {
+func (co *Coordinator) maybeAutoRecover(t *kernel.Task, desc string) {
+	if !co.Sys.Cfg.AutoRecover || co.recovering || co.Sys.Replica == nil || !co.Sys.Cfg.Store {
 		return
 	}
-	host := c.desc
-	if i := strings.Index(host, "/"); i >= 0 {
-		host = host[:i]
-	}
+	host := descHost(desc)
 	n := co.Sys.C.LookupHost(host)
 	if n == nil || !n.Down {
 		return
 	}
+	co.spawnRecovery()
+}
+
+// spawnRecovery drives System.Recover from a coordinator task.
+func (co *Coordinator) spawnRecovery() {
 	co.recovering = true
 	co.proc.SpawnTask("recovery", true, func(rt *kernel.Task) {
 		defer func() { co.recovering = false }()
@@ -582,12 +552,23 @@ func (co *Coordinator) maybeAutoRecover(t *kernel.Task, c *coordClient) {
 	})
 }
 
-// onRestartEnd aggregates restart stage times; when all expected
-// restart processes have reported, RestartStats is published.
+// descHost extracts the hostname from a manager identity string
+// ("host/prog[vpid]").
+func descHost(desc string) string {
+	if i := strings.Index(desc, "/"); i >= 0 {
+		return desc[:i]
+	}
+	return desc
+}
+
+// onRestartEnd journals restart stage times; when all expected
+// restart processes have reported, the state machine publishes the
+// aggregate.
 func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 	d := &bin.Decoder{B: body}
-	expect := d.Int()
-	st := RestartStages{
+	ev := coordstate.Event{Kind: coordstate.EvRestartEnd, Now: t.Now()}
+	ev.Expect = d.Int()
+	ev.Restart = RestartStages{
 		Files:  time.Duration(d.I64()),
 		Conns:  time.Duration(d.I64()),
 		Memory: time.Duration(d.I64()),
@@ -598,73 +579,181 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 		FetchedBytes:  d.I64(),
 		FetchedChunks: d.Int(),
 	}
-	co.restartExpect = expect
-	co.restartAgg = append(co.restartAgg, st)
-	if len(co.restartAgg) < expect {
-		return
-	}
-	// Per the paper, the per-host stages (files, conns) are averaged
-	// across hosts; the globally synchronized stages use the max.
-	var agg RestartStages
-	for _, s := range co.restartAgg {
-		agg.Files += s.Files
-		agg.Conns += s.Conns
-		if s.Memory > agg.Memory {
-			agg.Memory = s.Memory
-		}
-		if s.Refill > agg.Refill {
-			agg.Refill = s.Refill
-		}
-		if s.Total > agg.Total {
-			agg.Total = s.Total
-		}
-		if s.Fetch > agg.Fetch {
-			agg.Fetch = s.Fetch
-		}
-		agg.FetchedBytes += s.FetchedBytes
-		agg.FetchedChunks += s.FetchedChunks
-	}
-	n := time.Duration(len(co.restartAgg))
-	agg.Files /= n
-	agg.Conns /= n
-	co.RestartStats = &agg
-	co.restartAgg = nil
-	co.doneW.WakeAll()
+	co.apply(t, ev)
 	co.retryDeferredGC(t)
 }
 
-// disconnect removes a dead client; if a round is in flight the
-// barrier counts are re-checked so the round can still complete: with
-// the dead client out of the participant set, a barrier the remaining
-// clients have all reached must be released now — nobody else will
-// arrive to trigger it.
-func (co *Coordinator) disconnect(t *kernel.Task, cid int64) {
-	c := co.clients[cid]
-	delete(co.clients, cid)
-	if r := co.round; r != nil && r.participants[cid] != nil {
-		delete(r.participants, cid)
-		for _, m := range r.arrived {
-			delete(m, cid)
+// --- journal replication and takeover --------------------------------
+
+// shipLoop is the leader's journal replicator: after every state
+// change (batched by JournalShipDelay) it pushes the journal suffix
+// each live standby lacks through that standby's replica daemon — the
+// same want/missing discipline chunk replication uses.  On a standby
+// instance the loop idles until promotion.
+func (co *Coordinator) shipLoop(t *kernel.Task) {
+	p := co.Sys.C.Params
+	for {
+		if co.Standby {
+			co.shipW.Wait(t.T)
+			continue
 		}
-		if len(r.participants) == 0 {
-			// Every participant died mid-round: close the round out so
-			// command waiters are not wedged forever.
-			co.finishRound(t, r)
-		} else {
-			// Re-evaluate the barriers in protocol order; releasing one
-			// may be what the survivors are blocked on.  finishRound
-			// (via the last barrier) clears co.round, so stop there.
-			for _, name := range ckptBarriers {
-				if co.round != r {
-					break
-				}
-				if !r.released[name] && len(r.arrived[name]) >= len(r.participants) {
-					co.releaseBarrier(t, r, name)
-				}
+		peers := co.Sys.coordPeers(co)
+		behind := false
+		for _, peer := range peers {
+			if co.shipped[peer.Hostname] >= co.Mach.Seq() {
+				continue
+			}
+			seq, err := co.Sys.Replica.PushJournal(t, peer.Hostname, co.Mach)
+			if err != nil {
+				behind = true
+				continue
+			}
+			co.shipped[peer.Hostname] = seq
+			if seq < co.Mach.Seq() {
+				behind = true
 			}
 		}
+		if behind {
+			// A standby daemon is unreachable (booting, or its node
+			// died and liveness has not been re-read): back off and
+			// retry rather than spinning.
+			co.shipW.WaitTimeout(t.T, p.JournalRetryDelay)
+			continue
+		}
+		caughtUp := true
+		for _, peer := range peers {
+			if co.shipped[peer.Hostname] < co.Mach.Seq() {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			co.shipW.Wait(t.T)
+			// Batch window: let a barrier storm coalesce into one push.
+			t.Compute(p.JournalShipDelay)
+		}
 	}
-	if c != nil {
-		co.maybeAutoRecover(t, c)
+}
+
+// promote turns a standby into the active coordinator.  The in-flight
+// round (if any) is sacrificed by the takeover event; clients on dead
+// nodes are dropped; live managers re-bind via resync as their
+// reconnect loops find the new address.
+func (s *System) promote(t *kernel.Task, co *Coordinator) {
+	if s.Coord == co || co.Node.Down || co.proc == nil {
+		return
 	}
+	old := s.Coord
+	co.Standby = false
+	co.apply(t, coordstate.Event{Kind: coordstate.EvTakeover, Now: t.Now(),
+		Leader: co.Node.Hostname, Epoch: co.Mach.Epoch() + 1})
+	s.Coord = co
+	if s.Replica != nil {
+		s.Replica.ClearJournalSink(co.Node)
+	}
+	t.Printf("dmtcp_coordinator: %s taking over from %s (epoch %d, journal seq %d)\n",
+		co.Node.Hostname, old.Node.Hostname, co.Mach.Epoch(), co.Mach.Seq())
+	// Clients that died with a dead node will never resync: drop them
+	// now so the next round does not wait on ghosts.
+	for _, cid := range co.st().ClientIDs() {
+		host := descHost(co.st().Clients[cid].Desc)
+		if n := s.C.LookupHost(host); n != nil && n.Down {
+			co.apply(t, coordstate.Event{Kind: coordstate.EvDisconnect, Now: t.Now(), CID: cid})
+		}
+	}
+	// Events raised while no leader was live (replication completions
+	// land here) are journaled now.
+	for _, ev := range s.pendingEv {
+		co.apply(t, ev)
+	}
+	s.pendingEv = nil
+	co.startInterval()
+	co.writeJournalFile(t)
+	co.shipW.WakeAll()
+	s.doneW.WakeAll()
+	// Clients the journal recorded but whose processes died while no
+	// coordinator was watching will never resync either: give live
+	// managers one resync window, then drop the silent ones.
+	co.proc.SpawnTask("resync-sweep", true, func(st *kernel.Task) {
+		st.Compute(s.C.Params.ResyncWindow)
+		if s.Coord != co {
+			return
+		}
+		for _, cid := range co.st().ClientIDs() {
+			if _, ok := co.conns[cid]; !ok {
+				co.apply(st, coordstate.Event{Kind: coordstate.EvDisconnect, Now: st.Now(), CID: cid})
+			}
+		}
+	})
+	if s.Cfg.AutoRecover && s.Replica != nil && s.Cfg.Store && !co.recovering {
+		// The dead coordinator node may also have hosted managed
+		// processes; drive recovery for them exactly as a client-death
+		// observation would have.
+		if len(co.deadHosts()) > 0 {
+			co.spawnRecovery()
+		}
+	}
+}
+
+// onCoordNodeDown is the standby-side failure detector: when the
+// active coordinator's node dies, every surviving standby arms a
+// takeover timer — detection plus an election timeout staggered by
+// rank (lowest node id first).  The best-ranked live candidate at
+// fire time promotes itself; lower-ranked candidates find the
+// takeover already done and stand down.  The staggering means losing
+// the front-runner during its own election wait (a double failure)
+// only delays takeover by one more timeout instead of losing it.
+func (s *System) onCoordNodeDown(n *kernel.Node) {
+	if s.Coord == nil || s.Coord.Node != n {
+		return
+	}
+	old := s.Coord
+	cands := make([]*Coordinator, 0, len(s.coords))
+	for _, co := range s.coords {
+		if !co.Node.Down && co.proc != nil {
+			cands = append(cands, co)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Node.ID < cands[j].Node.ID })
+	for rank, co := range cands {
+		co := co
+		wait := s.C.Params.FailureDetectDelay +
+			time.Duration(rank+1)*s.C.Params.ElectionTimeout
+		co.proc.SpawnTask("coord-takeover", true, func(t *kernel.Task) {
+			t.Compute(wait)
+			if s.Coord != old {
+				return // someone already took over
+			}
+			if s.nextCoordinator() == co {
+				s.promote(t, co)
+			}
+		})
+	}
+}
+
+// nextCoordinator returns the live coordinator instance with the
+// lowest node id (the deterministic election winner), or nil.
+func (s *System) nextCoordinator() *Coordinator {
+	var best *Coordinator
+	for _, co := range s.coords {
+		if co.Node.Down || co.proc == nil {
+			continue
+		}
+		if best == nil || co.Node.ID < best.Node.ID {
+			best = co
+		}
+	}
+	return best
+}
+
+// coordPeers returns the live sibling coordinator instances journal
+// entries must be shipped to.
+func (s *System) coordPeers(co *Coordinator) []*kernel.Node {
+	var out []*kernel.Node
+	for _, other := range s.coords {
+		if other == co || other.Node.Down {
+			continue
+		}
+		out = append(out, other.Node)
+	}
+	return out
 }

@@ -580,7 +580,7 @@ func TestIntervalCheckpoints(t *testing.T) {
 		e.sys.Launch(0, "counter", "200", "/out/iv")
 		task.Compute(900 * time.Millisecond)
 	})
-	if n := len(e.sys.Coord.Rounds); n < 3 {
+	if n := len(e.sys.Coord.Rounds()); n < 3 {
 		t.Fatalf("interval rounds = %d, want ≥3", n)
 	}
 }

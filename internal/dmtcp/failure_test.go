@@ -147,7 +147,7 @@ func TestBackToBackCheckpointRequestsQueue(t *testing.T) {
 		// waiters release when it completes); the queued follow-up
 		// round, if any, must also finish without wedging the session.
 		task.Compute(10 * time.Second)
-		if n := len(e.sys.Coord.Rounds); n < 1 || n > 2 {
+		if n := len(e.sys.Coord.Rounds()); n < 1 || n > 2 {
 			t.Errorf("coordinator rounds = %d", n)
 		}
 	})

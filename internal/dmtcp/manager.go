@@ -14,6 +14,26 @@ import (
 // time (§4.3 step 4).
 var drainToken = []byte("\x00\x01DMTCP-EOB\x01\x00")
 
+// CoordLostError reports that a manager lost its coordinator
+// connection and exhausted the reconnect/backoff window without a
+// standby taking over.  Callers see it (rather than a silent round
+// failure) when coordinator HA is enabled but no live standby exists.
+type CoordLostError struct {
+	// Addr is the last coordinator address tried.
+	Addr kernel.Addr
+	// Attempts is how many reconnects were attempted.
+	Attempts int
+	// Err is the last connect error.
+	Err error
+}
+
+func (e *CoordLostError) Error() string {
+	return fmt.Sprintf("dmtcp: coordinator at %s:%d unreachable after %d attempts: %v",
+		e.Addr.Host, e.Addr.Port, e.Attempts, e.Err)
+}
+
+func (e *CoordLostError) Unwrap() error { return e.Err }
+
 // Manager is the per-process DMTCP library instance: the libc
 // wrappers (as a kernel.Hooks implementation) plus the checkpoint
 // manager thread.  One Manager exists inside every checkpointed
@@ -39,6 +59,19 @@ type Manager struct {
 
 	coordFD int
 	mgrTask *kernel.Task
+	// desc is the manager's stable identity with the coordinator
+	// ("host/prog[vpid]"); the resync handshake after a coordinator
+	// takeover re-binds the new connection to the replayed client
+	// entry by this string.
+	desc string
+	// pendingCkpt stashes a checkpoint request that arrived while the
+	// manager was mid-barrier (a promoted coordinator re-sends the
+	// request at resync if it started a round the manager never saw);
+	// loop consumes it before reading the socket again.
+	pendingCkpt []byte
+	// curTag is the round identity of the checkpoint in progress,
+	// echoed with every barrier arrival.
+	curTag int64
 
 	nextConnSeq int64
 
@@ -65,6 +98,7 @@ func newManager(sys *System, p *kernel.Process) *Manager {
 	return &Manager{
 		sys:      sys,
 		p:        p,
+		coordFD:  -1,
 		pidTable: make(map[kernel.Pid]kernel.Pid),
 		socks:    make(map[*kernel.OpenFile]*SockMeta),
 	}
@@ -95,23 +129,98 @@ func (m *Manager) connectCoordinator(t *kernel.Task) {
 	if err := t.Connect(fd, addr); err != nil {
 		panic(fmt.Sprintf("dmtcp: cannot reach coordinator at %v: %v", addr, err))
 	}
+	m.desc = fmt.Sprintf("%s/%s[%d]", m.p.Node.Hostname, m.p.ProgName, m.virtPid)
 	var e bin.Encoder
 	e.B = append(e.B, msgRegister)
-	e.Str(fmt.Sprintf("%s/%s[%d]", m.p.Node.Hostname, m.p.ProgName, m.virtPid))
+	e.Str(m.desc)
 	if err := t.SendFrame(fd, e.B); err != nil {
 		panic(fmt.Sprintf("dmtcp: register: %v", err))
 	}
 	m.coordFD = fd
 }
 
+// coordLost handles a dead coordinator connection.  Without standbys
+// (or in a dying process) it returns an error immediately — the old
+// behavior: the session is over.  With coordinator HA it retries with
+// capped exponential backoff until the promoted standby answers,
+// re-binding this manager's identity with a resync handshake; the
+// typed CoordLostError surfaces only when the window closes with no
+// leader.
+func (m *Manager) coordLost(t *kernel.Task) error {
+	if m.p.Dead || m.p.Zombie || !m.sys.haEnabled() {
+		return fmt.Errorf("dmtcp: coordinator connection lost")
+	}
+	return m.reconnectCoordinator(t)
+}
+
+// reconnectCoordinator dials the (possibly re-elected) coordinator
+// with capped backoff and resyncs this manager's identity.
+func (m *Manager) reconnectCoordinator(t *kernel.Task) error {
+	p := m.sys.C.Params
+	delay := p.CoordRetryBase
+	deadline := t.Now().Add(p.CoordRetryWindow)
+	attempts := 0
+	var lastErr error
+	if m.coordFD >= 0 {
+		// Drop the dead connection's descriptor before dialing anew;
+		// otherwise every takeover leaks one protected fd per manager.
+		t.Close(m.coordFD)
+		m.coordFD = -1
+	}
+	for {
+		if m.p.Dead || m.p.Zombie {
+			return fmt.Errorf("dmtcp: process died while reconnecting")
+		}
+		attempts++
+		addr := m.sys.coordAddr()
+		fd := t.Socket()
+		if of, err := t.P.FD(fd); err == nil {
+			of.Protected = true
+		}
+		if err := t.Connect(fd, addr); err != nil {
+			lastErr = err
+			t.Close(fd)
+		} else {
+			var e bin.Encoder
+			e.B = append(e.B, msgResync)
+			e.Str(m.desc)
+			if err := t.SendFrame(fd, e.B); err != nil {
+				lastErr = err
+				t.Close(fd)
+			} else {
+				m.coordFD = fd
+				return nil
+			}
+		}
+		if t.Now().Add(delay) > deadline {
+			return &CoordLostError{Addr: addr, Attempts: attempts, Err: lastErr}
+		}
+		t.Compute(delay)
+		delay *= 2
+		if delay > p.CoordRetryCap {
+			delay = p.CoordRetryCap
+		}
+	}
+}
+
 // loop is the checkpoint manager thread: it blocks at the special
 // barrier (waiting for a checkpoint request) and runs the checkpoint
-// algorithm when one arrives.
+// algorithm when one arrives.  A lost coordinator connection retries
+// through coordLost: with standbys configured the manager resyncs
+// with the promoted coordinator and keeps serving checkpoints.
 func (m *Manager) loop(t *kernel.Task) {
 	for {
-		frame, err := t.RecvFrame(m.coordFD)
-		if err != nil {
-			return // coordinator gone or process dying
+		frame := m.pendingCkpt
+		m.pendingCkpt = nil
+		if frame == nil {
+			var err error
+			frame, err = t.RecvFrame(m.coordFD)
+			if err != nil {
+				if m.coordLost(t) != nil {
+					return // coordinator gone for good, or process dying
+				}
+				continue
+			}
 		}
 		if len(frame) == 0 || frame[0] != msgDoCkpt {
 			continue
@@ -123,6 +232,7 @@ func (m *Manager) loop(t *kernel.Task) {
 			Fsync:    d.Bool(),
 			Forked:   d.Bool(),
 			Store:    d.Bool(),
+			Tag:      d.I64(),
 		}
 		m.doCheckpoint(t, cfg)
 	}
@@ -134,31 +244,55 @@ type ckptConfig struct {
 	Fsync    bool
 	Forked   bool
 	Store    bool
+	// Tag is the coordinator's round identity; barrier arrivals echo
+	// it so a post-takeover coordinator can tell live-round arrivals
+	// from stragglers of a round the takeover aborted.
+	Tag int64
 }
 
 // barrier reports arrival at a named global barrier and blocks until
 // the coordinator releases it (§4.3: "the only global communication
-// primitive used at checkpoint time is a barrier").
+// primitive used at checkpoint time is a barrier").  If the
+// coordinator dies mid-wait and a standby takes over, the arrival is
+// re-sent on the resynced connection — the coordinator state machine
+// treats duplicate arrivals as idempotent and immediately re-releases
+// barriers of a round the takeover aborted, so the manager never
+// wedges mid-algorithm.
 func (m *Manager) barrier(t *kernel.Task, name string, stage time.Duration, extra func(*bin.Encoder)) error {
 	var e bin.Encoder
 	e.B = append(e.B, msgBarrier)
 	e.Str(name)
+	e.I64(m.curTag)
 	e.I64(int64(stage))
 	if extra != nil {
 		extra(&e)
 	}
-	if err := t.SendFrame(m.coordFD, e.B); err != nil {
-		return err
-	}
 	for {
-		frame, err := t.RecvFrame(m.coordFD)
-		if err != nil {
-			return err
+		if err := t.SendFrame(m.coordFD, e.B); err != nil {
+			if lerr := m.coordLost(t); lerr != nil {
+				return lerr
+			}
+			continue // re-send the arrival on the new connection
 		}
-		if len(frame) > 0 && frame[0] == msgRelease {
-			d := &bin.Decoder{B: frame[1:]}
-			if d.Str() == name {
-				return nil
+		for {
+			frame, err := t.RecvFrame(m.coordFD)
+			if err != nil {
+				if lerr := m.coordLost(t); lerr != nil {
+					return lerr
+				}
+				break // resynced: re-send the arrival
+			}
+			if len(frame) > 0 && frame[0] == msgRelease {
+				d := &bin.Decoder{B: frame[1:]}
+				if d.Str() == name {
+					return nil
+				}
+			}
+			if len(frame) > 0 && frame[0] == msgDoCkpt {
+				// A promoted coordinator started a round while this
+				// manager was still finishing an aborted one: keep the
+				// request for loop so it is not lost mid-barrier.
+				m.pendingCkpt = append([]byte(nil), frame...)
 			}
 		}
 	}
@@ -169,6 +303,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 	p := t.P
 	params := m.sys.C.Params
 	start := t.Now()
+	m.curTag = cfg.Tag
 
 	// ---- Stage 2: suspend user threads --------------------------------
 	p.CkptPending = true

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/store"
 )
@@ -16,6 +17,12 @@ import (
 // node(s), restarts the lost processes on a surviving replica holder,
 // and restarts the surviving processes in place — a globally
 // consistent cut, exactly as a coordinated-checkpointing system must.
+//
+// With coordinator standbys configured, the coordinator node itself
+// may be among the dead: recovery first waits for the standby
+// takeover (the promoted standby has replayed the journal, so it
+// holds the same placement map and round history), then proceeds
+// against the new coordinator.
 
 // Recovery reports one completed recovery drive.
 type Recovery struct {
@@ -34,7 +41,8 @@ type Recovery struct {
 	// remote-fetch stage.
 	Stats *RestartStages
 	// Took is the full recovery latency: failure-detection timeout,
-	// rollback, fetch, and restart.
+	// takeover (when the coordinator died too), rollback, fetch, and
+	// restart.
 	Took time.Duration
 }
 
@@ -42,18 +50,31 @@ type Recovery struct {
 // until the computation is running again.  It requires the replicated
 // storage service (Config.Store + Config.ReplicaFactor).
 func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
-	if s.Replica == nil {
+	if s.Replica == nil || !s.Cfg.Store || s.Cfg.ReplicaFactor <= 0 {
 		return nil, fmt.Errorf("dmtcp: recovery requires Store and ReplicaFactor")
 	}
-	co := s.Coord
 	start := t.Now()
 	// The failure detector only trusts a silent peer to be dead after
 	// missed heartbeats, not on the first connection reset.
 	t.Compute(s.C.Params.FailureDetectDelay)
+	// The coordinator may be among the dead: wait for the standby
+	// takeover before reading any coordinator state.
+	if s.Coord.Node.Down {
+		p := s.C.Params
+		deadline := t.Now().Add(p.FailureDetectDelay + p.ElectionTimeout + p.CoordRetryWindow)
+		for s.Coord.Node.Down && t.Now() < deadline {
+			s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
+		}
+		if s.Coord.Node.Down {
+			return nil, fmt.Errorf("dmtcp: coordinator node %s lost with no live standby", s.Coord.Node.Hostname)
+		}
+	}
+	co := s.Coord
 	// Let a round the node died in the middle of settle first
-	// (disconnect re-checks its barriers, so it will finish).
-	for co.round != nil {
-		co.doneW.Wait(t.T)
+	// (disconnect re-checks its barriers, so it will finish; a round
+	// orphaned by the coordinator's own death was aborted at takeover).
+	for co.st().Round != nil {
+		s.doneW.Wait(t.T)
 	}
 	dead := co.deadHosts()
 	if len(dead) == 0 {
@@ -99,7 +120,7 @@ func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
 func (co *Coordinator) deadHosts() []string {
 	seen := map[string]bool{}
 	var out []string
-	for _, pi := range co.placement {
+	for _, pi := range co.st().Placement {
 		if pi.Host == "" || seen[pi.Host] {
 			continue
 		}
@@ -127,9 +148,10 @@ func (co *Coordinator) recoveryRound(dead []string) *CkptRound {
 	for _, h := range dead {
 		isDead[h] = true
 	}
+	rounds := co.Rounds()
 	var fallback *CkptRound
-	for i := len(co.Rounds) - 1; i >= 0; i-- {
-		r := co.Rounds[i]
+	for i := len(rounds) - 1; i >= 0; i-- {
+		r := rounds[i]
 		if !r.Store || len(r.Images) == 0 {
 			continue
 		}
@@ -159,12 +181,12 @@ func (co *Coordinator) roundRecoverable(r *CkptRound, dead map[string]bool) bool
 		if !ok {
 			return false
 		}
-		pi := co.placement[name]
+		pi := co.st().Placement[name]
 		if pi == nil {
 			return false
 		}
 		if dead[img.Host] {
-			if pi.ReplicatedGen < gen || co.aliveHolder(pi, gen, "") == "" {
+			if co.aliveHolder(pi, gen, "") == "" {
 				return false
 			}
 			continue
@@ -180,28 +202,74 @@ func (co *Coordinator) roundRecoverable(r *CkptRound, dead map[string]bool) bool
 	return true
 }
 
-// holderHas reports whether host is alive and still holds generation
-// gen of name.  The placement map's Holders is monotonic ("highest
-// generation ever pushed"), so it alone cannot rule out the holder's
-// own retention having pruned the manifest since — the coordinator
-// re-verifies against the holder's store before trusting it.
-func (co *Coordinator) holderHas(host, name string, gen int64) bool {
+// candidateHolders returns the hosts that may hold generation gen of
+// pi, most-likely first: recorded holders whose known generation
+// covers gen, then the remaining recorded holders and the writer's
+// ring-placement targets.  The fallback tier matters after a
+// coordinator takeover — EvReplicated and EvWatermark records raised
+// in the instants before the leader died may never have shipped, so
+// the replayed placement map can run behind what the holders' stores
+// actually contain; the likely tier keeps the common (no-takeover)
+// lookup as cheap as the placement map made it.
+func (co *Coordinator) candidateHolders(pi *coordstate.PlaceInfo, gen int64) []string {
+	seen := map[string]bool{}
+	var likely, fallback []string
+	for _, h := range pi.HolderHosts() {
+		seen[h] = true
+		if pi.Holders[h] >= gen {
+			likely = append(likely, h)
+		} else {
+			fallback = append(fallback, h)
+		}
+	}
+	if co.Sys.Replica != nil && pi.Host != "" {
+		if n := co.Sys.C.LookupHost(pi.Host); n != nil {
+			for _, peer := range co.Sys.Replica.Targets(n) {
+				if h := peer.Hostname; !seen[h] {
+					seen[h] = true
+					fallback = append(fallback, h)
+				}
+			}
+		}
+	}
+	sort.Strings(likely)
+	sort.Strings(fallback)
+	return append(likely, fallback...)
+}
+
+// holderComplete reports whether host is alive and holds a complete
+// copy of (name, gen): the manifest plus every chunk it references.
+// The placement map alone cannot settle this — Holders is monotonic
+// ("highest generation ever pushed") so retention may have pruned the
+// manifest since, watermarks can lag a takeover, and a push the
+// source died under leaves a manifest whose chunks never all arrived
+// (pushTo ships the manifest first) — so the coordinator verifies
+// against the holder's store before trusting it.
+func (co *Coordinator) holderComplete(host, name string, gen int64) bool {
 	n := co.Sys.C.LookupHost(host)
 	if n == nil || n.Down {
 		return false
 	}
 	st := store.Open(n, store.Config{Root: co.Sys.StoreRoot()})
-	return n.FS.Exists(st.ManifestPath(name, gen))
+	path := st.ManifestPath(name, gen)
+	if !n.FS.Exists(path) {
+		return false
+	}
+	m, err := st.LoadManifest(path)
+	if err != nil {
+		return false
+	}
+	return len(st.MissingChunks(m.Refs())) == 0
 }
 
-// aliveHolder returns a live holder (≠ exclude) that has generation
-// gen of pi, or "".
-func (co *Coordinator) aliveHolder(pi *placeInfo, gen int64, exclude string) string {
-	for _, h := range pi.holderHosts() {
+// aliveHolder returns a live holder (≠ exclude) with a complete copy
+// of generation gen of pi, or "".
+func (co *Coordinator) aliveHolder(pi *coordstate.PlaceInfo, gen int64, exclude string) string {
+	for _, h := range co.candidateHolders(pi, gen) {
 		if h == exclude {
 			continue
 		}
-		if pi.Holders[h] >= gen && co.holderHas(h, pi.Name, gen) {
+		if co.holderComplete(h, pi.Name, gen) {
 			return h
 		}
 	}
@@ -223,15 +291,15 @@ func (co *Coordinator) pickTarget(r *CkptRound, host string) *kernel.Node {
 		if !ok {
 			return nil
 		}
-		pi := co.placement[name]
+		pi := co.st().Placement[name]
 		if pi == nil {
 			return nil
 		}
-		for _, h := range pi.holderHosts() {
+		for _, h := range co.candidateHolders(pi, gen) {
 			if h == host {
 				continue
 			}
-			if pi.Holders[h] >= gen && co.holderHas(h, pi.Name, gen) {
+			if co.holderComplete(h, pi.Name, gen) {
 				counts[h]++
 			}
 		}

@@ -33,13 +33,13 @@ func TestBarrierReleasesWhenClientDiesMidRound(t *testing.T) {
 		// inside the drain stage, which lasts ~DrainSettle.
 		deadline := task.Now().Add(10 * time.Second)
 		for task.Now() < deadline {
-			if r := co.round; r != nil && r.released["suspended"] {
+			if r := co.st().Round; r != nil && r.Released["suspended"] {
 				break
 			}
 			task.Compute(time.Millisecond)
 		}
-		r := co.round
-		if r == nil || !r.released["suspended"] {
+		r := co.st().Round
+		if r == nil || !r.Released["suspended"] {
 			t.Fatal("round never reached the drain stage")
 		}
 		procs := e.sys.ManagedProcesses()
@@ -89,7 +89,7 @@ func TestReplicationShipsOnlyDirtyChunks(t *testing.T) {
 			t.Errorf("watermark = %v,%v, want 1,true", wm, ok)
 		}
 		// Both ring peers of node00 hold the generation.
-		pi := e.sys.Coord.placement[name]
+		pi := e.sys.Coord.st().Placement[name]
 		if pi == nil || pi.ReplicatedGen != 1 {
 			t.Fatalf("placement = %+v", pi)
 		}
@@ -211,16 +211,16 @@ func TestRecoveryPrefersRoundCoveringDeadHost(t *testing.T) {
 		co := e.sys.Coord
 		deadline := task.Now().Add(10 * time.Second)
 		for task.Now() < deadline {
-			if r := co.round; r != nil && r.released["suspended"] {
+			if r := co.st().Round; r != nil && r.Released["suspended"] {
 				break
 			}
 			task.Compute(time.Millisecond)
 		}
-		if co.round == nil {
+		if co.st().Round == nil {
 			t.Fatal("round 2 never started")
 		}
 		e.c.KillNode(2)
-		for co.round != nil && task.Now() < deadline {
+		for co.st().Round != nil && task.Now() < deadline {
 			task.Compute(10 * time.Millisecond)
 		}
 		r2 := co.LastRound()

@@ -12,11 +12,10 @@ package dmtcp
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/bin"
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
-	"repro/internal/store"
 )
 
 // GUID is a globally unique socket identifier: (host, pid, timestamp,
@@ -190,68 +189,22 @@ func sortedPids(m map[kernel.Pid]kernel.Pid) []kernel.Pid {
 	return out
 }
 
-// StageTimes breaks a checkpoint or restart into the stages of
-// Table 1.
-type StageTimes struct {
-	Suspend time.Duration
-	Elect   time.Duration
-	Drain   time.Duration
-	Write   time.Duration
-	Refill  time.Duration
-	Total   time.Duration
-}
-
-// RestartStages mirrors Table 1b, extended with the remote-fetch
-// stage a restart pays when its images must be pulled from replica
-// peers (recovery after node loss, store-mode migration).
-type RestartStages struct {
-	Files  time.Duration // reopen files and recreate ptys
-	Conns  time.Duration // recreate and reconnect sockets
-	Memory time.Duration // fork, rearrange FDs, restore memory/threads
-	Refill time.Duration
-	Total  time.Duration
-
-	// Fetch is the time spent pulling manifests and missing chunks
-	// from replica peers (max across hosts); FetchedBytes and
-	// FetchedChunks total the data that actually traveled.
-	Fetch         time.Duration
-	FetchedBytes  int64
-	FetchedChunks int
-}
-
-// ImageInfo describes one per-process checkpoint file (a monolithic
-// image, or a store manifest when the session runs incrementally).
-type ImageInfo struct {
-	Host    string
-	Path    string
-	Prog    string
-	VirtPid kernel.Pid
-	Bytes   int64 // bytes written this round (new chunks + manifest in store mode)
-	Raw     int64 // uncompressed footprint
-
-	// Store-mode statistics (zero for monolithic images).
-	Generation int64 // committed store generation
-	Chunks     int   // chunks referenced by the manifest
-	NewChunks  int   // chunks actually written this round
-	Dedup      int64 // stored bytes avoided via dedup
-}
-
-// CkptRound is the record of one completed cluster-wide checkpoint.
-type CkptRound struct {
-	Index    int
-	NumProcs int
-	Stages   StageTimes
-	Bytes    int64 // aggregate on-disk
-	RawBytes int64 // aggregate uncompressed
-	SyncCost time.Duration
-	Images   []ImageInfo
-	Compress bool
-	Forked   bool
-
-	// Store is true when the round went through the chunk store;
-	// DedupBytes aggregates the stored bytes dedup avoided writing,
-	// and GC reports the coordinator's post-round collection pass.
-	Store      bool
-	DedupBytes int64
-	GC         *store.GCStats
-}
+// The coordinator's logical record types now live in coordstate — the
+// journaled, replicated state machine standby coordinators replay —
+// and are re-exported here as the package's public surface.
+type (
+	// StageTimes breaks a checkpoint or restart into the stages of
+	// Table 1.
+	StageTimes = coordstate.StageTimes
+	// RestartStages mirrors Table 1b, extended with the remote-fetch
+	// stage a restart pays when its images must be pulled from replica
+	// peers (recovery after node loss, store-mode migration).
+	RestartStages = coordstate.RestartStages
+	// ImageInfo describes one per-process checkpoint file (a
+	// monolithic image, or a store manifest when the session runs
+	// incrementally).
+	ImageInfo = coordstate.ImageInfo
+	// CkptRound is the record of one completed cluster-wide
+	// checkpoint.
+	CkptRound = coordstate.CkptRound
+)

@@ -37,10 +37,12 @@ type Cluster struct {
 	// simulation's LD_PRELOAD).  The DMTCP layer installs this.
 	HookFactory func(p *Process) Hooks
 
-	// NodeDownHook, when set, is called after KillNode has torn a node
-	// down, so upper layers (the DMTCP session) can clear per-node
-	// bookkeeping that would otherwise wedge on the dead node.
-	NodeDownHook func(n *Node)
+	// nodeDownHooks are called in registration order after KillNode
+	// has torn a node down, so upper layers can clear per-node
+	// bookkeeping that would otherwise wedge on the dead node — and,
+	// with coordinator HA, so standby coordinators learn the active
+	// coordinator's node died and can run the takeover election.
+	nodeDownHooks []func(n *Node)
 
 	nextConnID int64
 	nextShmID  int64
@@ -150,10 +152,17 @@ func (c *Cluster) KillNode(id NodeID) int {
 			delete(n.FS.files, path)
 		}
 	}
-	if c.NodeDownHook != nil {
-		c.NodeDownHook(n)
+	for _, hook := range c.nodeDownHooks {
+		hook(n)
 	}
 	return killed
+}
+
+// AddNodeDownHook subscribes fn to node-death notifications; multiple
+// layers (storage bookkeeping, replica service, coordinator standbys)
+// each register their own.
+func (c *Cluster) AddNodeDownHook(fn func(n *Node)) {
+	c.nodeDownHooks = append(c.nodeDownHooks, fn)
 }
 
 // Node is a single machine: a kernel, local disks, and a filesystem.

@@ -157,6 +157,36 @@ type Params struct {
 	// not on the first connection reset.
 	FailureDetectDelay time.Duration
 
+	// ---- Coordinator HA (journaled state machine + standby takeover) ----
+
+	// JournalAppendCost is the per-entry cost of serializing and
+	// appending one coordinator journal record (leader side) or of
+	// decoding and applying one (standby side).
+	JournalAppendCost time.Duration
+	// JournalShipDelay is the batching window the leader's journal
+	// shipper waits after a state change before pushing, so barrier
+	// storms coalesce into one push per standby.
+	JournalShipDelay time.Duration
+	// JournalRetryDelay is how long the shipper backs off when a
+	// standby's replica daemon is unreachable.
+	JournalRetryDelay time.Duration
+	// ElectionTimeout is the extra delay a standby waits after the
+	// failure detector fires before claiming leadership (lets a
+	// higher-priority standby claim first in a real deployment).
+	ElectionTimeout time.Duration
+	// CoordRetryBase/Cap/Window parameterize the checkpoint manager's
+	// reconnect backoff when its coordinator connection dies: retries
+	// start at Base, double to Cap, and give up (with a typed error)
+	// after Window.  Window must comfortably cover failure detection
+	// plus election plus resync.
+	CoordRetryBase   time.Duration
+	CoordRetryCap    time.Duration
+	CoordRetryWindow time.Duration
+	// ResyncWindow is the grace period after a takeover before the new
+	// leader drops replayed clients that never reconnected (their
+	// processes died while no coordinator was watching).
+	ResyncWindow time.Duration
+
 	// JitterPct adds bounded uniform noise to the big time charges
 	// (suspend quantum, compression, storage) so repeated trials show
 	// the run-to-run variance the paper reports as error bars.  Zero
@@ -209,6 +239,15 @@ func Default() *Params {
 
 		ReplicaRPCCost:     25 * time.Microsecond,
 		FailureDetectDelay: 250 * time.Millisecond,
+
+		JournalAppendCost: 3 * time.Microsecond,
+		JournalShipDelay:  2 * time.Millisecond,
+		JournalRetryDelay: 50 * time.Millisecond,
+		ElectionTimeout:   150 * time.Millisecond,
+		CoordRetryBase:    10 * time.Millisecond,
+		CoordRetryCap:     200 * time.Millisecond,
+		CoordRetryWindow:  5 * time.Second,
+		ResyncWindow:      500 * time.Millisecond,
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/bin"
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -45,6 +46,10 @@ import (
 // Port is where every node's replica daemon listens.
 const Port = 7791
 
+// DefaultFanOut bounds the concurrent per-generation pushers when
+// Config.FanOut is zero.
+const DefaultFanOut = 4
+
 // Protocol message types (first byte of each frame).
 const (
 	opWant     = 'w' // push: which of these chunk hashes do you lack?
@@ -53,6 +58,8 @@ const (
 	opDone     = 'd' // push: end of generation → ack
 	opGetMan   = 'g' // fetch: manifest by path
 	opGetChunk = 'h' // fetch: chunk by hash
+	opJWant    = 'W' // journal: which seq do you have? (epoch-fenced)
+	opJAppend  = 'J' // journal: entries batch → ack with new seq
 	opAck      = 'k'
 	opErr      = 'e'
 )
@@ -64,6 +71,11 @@ type Config struct {
 	Factor int
 	// Root is the store root, the same path on every node.
 	Root string
+	// FanOut bounds the concurrent pushers a generation's fan-out may
+	// use (0 means DefaultFanOut).  Peers are pushed to in parallel,
+	// so the unreplicated window shrinks from sum-of-pushes to
+	// roughly the slowest single push.
+	FanOut int
 }
 
 // Job is one committed generation awaiting replication.
@@ -89,6 +101,10 @@ type Stats struct {
 	// traffic served to restarting nodes.
 	FetchChunks int
 	FetchBytes  int64
+	// JournalEntries and JournalBytes count coordinator journal
+	// records shipped to standby coordinators.
+	JournalEntries int
+	JournalBytes   int64
 }
 
 // FetchStats reports one EnsureLocal call.
@@ -128,6 +144,11 @@ type Service struct {
 	// child); WaitIdle must not return before they land in a queue.
 	inflight map[*kernel.Node]int
 	idleW    *sim.WaitQueue
+
+	// sinks maps a node to the standby coordinator state machine its
+	// daemon feeds with journal records pushed by the active
+	// coordinator.
+	sinks map[*kernel.Node]*coordstate.Machine
 }
 
 // Install registers the dmtcp_replicad program and returns the
@@ -140,6 +161,7 @@ func Install(c *kernel.Cluster, cfg Config) *Service {
 		queues:   make(map[*kernel.Node]*nodeQueue),
 		inflight: make(map[*kernel.Node]int),
 		idleW:    sim.NewWaitQueue(c.Eng, "replica.idle"),
+		sinks:    make(map[*kernel.Node]*coordstate.Machine),
 	}
 	c.RegisterFunc("dmtcp_replicad", sv.daemonMain)
 	return sv
@@ -219,6 +241,90 @@ func (sv *Service) WaitIdle(t *kernel.Task) {
 	}
 }
 
+// SetJournalSink registers the standby coordinator state machine on
+// node n: journal records pushed to n's replica daemon are applied to
+// it (effects discarded — a standby only mirrors state).
+func (sv *Service) SetJournalSink(n *kernel.Node, m *coordstate.Machine) { sv.sinks[n] = m }
+
+// ClearJournalSink detaches n's sink (a standby promoted to leader no
+// longer accepts pushed entries — it is the pusher now).
+func (sv *Service) ClearJournalSink(n *kernel.Node) { delete(sv.sinks, n) }
+
+// PushJournal ships the coordinator journal records peerHost lacks,
+// using the same want/missing discipline as chunk replication: ask
+// the peer's daemon for its epoch and last applied seq, then send
+// only the suffix.  When the peer sat out one or more leadership
+// changes it may hold entries a dead leader never replicated; the
+// pusher — which has every takeover entry — computes the newest seq
+// the peer provably shares (FenceFor) and the append instructs the
+// peer to rewind there first, so divergent prefixes can never be
+// silently extended (double-failure safe).  It returns the peer's
+// acknowledged seq.
+func (sv *Service) PushJournal(t *kernel.Task, peerHost string, m *coordstate.Machine) (int64, error) {
+	p := sv.C.Params
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true // infrastructure socket: not checkpointed
+	}
+	defer t.Close(fd)
+	if err := t.Connect(fd, kernel.Addr{Host: peerHost, Port: Port}); err != nil {
+		return 0, fmt.Errorf("replica: journal push to %s: %w", peerHost, err)
+	}
+	var e bin.Encoder
+	e.B = append(e.B, opJWant)
+	e.I64(m.Epoch())
+	if err := t.SendFrame(fd, e.B); err != nil {
+		return 0, err
+	}
+	resp, err := t.RecvFrame(fd)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) == 0 || resp[0] != opAck {
+		return 0, fmt.Errorf("replica: %s refused journal handshake", peerHost)
+	}
+	d := &bin.Decoder{B: resp[1:]}
+	peerEpoch, have := d.I64(), d.I64()
+	if peerEpoch > m.Epoch() {
+		return 0, fmt.Errorf("replica: %s is on epoch %d, pusher on %d (deposed)", peerHost, peerEpoch, m.Epoch())
+	}
+	from := have
+	if fence := m.FenceFor(peerEpoch); fence < from {
+		from = fence
+	}
+	entries := m.EntriesSince(from)
+	if len(entries) == 0 && from == have {
+		return have, nil
+	}
+	var je bin.Encoder
+	je.B = append(je.B, opJAppend)
+	je.I64(m.Epoch())
+	je.I64(from) // rewind point: the newest seq the peer provably shares
+	je.U32(uint32(len(entries)))
+	var total int64
+	for _, ent := range entries {
+		je.I64(ent.Seq)
+		je.Bytes(ent.Data)
+		total += int64(len(ent.Data))
+	}
+	t.Compute(time.Duration(len(entries)) * p.JournalAppendCost)
+	t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, total))
+	if err := t.SendFrame(fd, je.B); err != nil {
+		return have, err
+	}
+	ack, err := t.RecvFrame(fd)
+	if err != nil {
+		return have, err
+	}
+	if len(ack) == 0 || ack[0] != opAck {
+		return have, fmt.Errorf("replica: %s rejected journal batch", peerHost)
+	}
+	got := (&bin.Decoder{B: ack[1:]}).I64()
+	sv.Stats.JournalEntries += len(entries)
+	sv.Stats.JournalBytes += total
+	return got, nil
+}
+
 // Targets returns the ring-placement peers for generations written on
 // src: the next Factor live nodes by ID.
 func (sv *Service) Targets(src *kernel.Node) []*kernel.Node {
@@ -272,8 +378,13 @@ func (sv *Service) worker(t *kernel.Task) {
 }
 
 // replicate pushes one committed generation to every placement target
+// concurrently — bounded worker tasks, the simulation's goroutines —
 // and advances the source store's replication watermark once the full
-// fan-out has succeeded.
+// fan-out has succeeded.  Parallel pushes shrink the unreplicated
+// window recovery must roll back across from the sum of the per-peer
+// pushes to roughly the slowest one.  The outcome is independent of
+// completion order: the done count and the watermark depend only on
+// the set of pushes that succeeded.
 func (sv *Service) replicate(t *kernel.Task, job Job) {
 	src := t.P.Node
 	st := store.Open(src, store.Config{Root: sv.Cfg.Root})
@@ -282,16 +393,38 @@ func (sv *Service) replicate(t *kernel.Task, job Job) {
 		return // generation pruned (or lost) before its turn came
 	}
 	targets := sv.Targets(src)
-	done := 0
-	for _, peer := range targets {
-		if sv.pushTo(t, st, peer, job, m) {
-			done++
-			if sv.OnReplicated != nil {
-				sv.OnReplicated(job.Name, job.Generation, peer.Hostname)
-			}
-		}
+	if len(targets) == 0 {
+		return
 	}
-	if done == len(targets) && done > 0 {
+	width := sv.Cfg.FanOut
+	if width <= 0 {
+		width = DefaultFanOut
+	}
+	if width > len(targets) {
+		width = len(targets)
+	}
+	next, done, finished := 0, 0, 0
+	joinW := sim.NewWaitQueue(sv.C.Eng, src.Hostname+".replfan")
+	for i := 0; i < width; i++ {
+		t.P.SpawnTask("repl-push", false, func(wt *kernel.Task) {
+			for next < len(targets) {
+				peer := targets[next]
+				next++
+				if sv.pushTo(wt, st, peer, job, m) {
+					done++
+					if sv.OnReplicated != nil {
+						sv.OnReplicated(job.Name, job.Generation, peer.Hostname)
+					}
+				}
+			}
+			finished++
+			joinW.WakeAll()
+		})
+	}
+	for finished < width {
+		joinW.Wait(t.T)
+	}
+	if done == len(targets) {
 		st.SetReplicationWatermark(t, job.Name, job.Generation)
 		sv.Stats.Generations++
 		if sv.OnWatermark != nil {
@@ -499,6 +632,60 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			for _, i := range holes {
 				e.U32(i)
 			}
+			t.SendFrame(fd, e.B)
+		case opJWant:
+			mach := sv.sinks[t.P.Node]
+			if mach == nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			d := &bin.Decoder{B: body}
+			epoch := d.I64()
+			if epoch < mach.Epoch() {
+				// A deposed leader pushing under a stale epoch is
+				// fenced off; its entries must never overwrite the new
+				// epoch's.
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.I64(mach.Epoch())
+			e.I64(mach.Seq())
+			t.SendFrame(fd, e.B)
+		case opJAppend:
+			mach := sv.sinks[t.P.Node]
+			if mach == nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			d := &bin.Decoder{B: body}
+			epoch, from := d.I64(), d.I64()
+			if d.Err != nil || epoch < mach.Epoch() {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			if from < mach.Seq() {
+				// Entries beyond the leader-computed fence were made by
+				// a dead leader and never reached the current one:
+				// rewind, then replay the authoritative suffix.
+				mach.TruncateTo(from)
+			}
+			n := int(d.U32())
+			for i := 0; i < n && d.Err == nil; i++ {
+				seq := d.I64()
+				data := d.Bytes()
+				if d.Err != nil || seq != mach.Seq()+1 {
+					break // hole: the ack's seq makes the pusher re-ship
+				}
+				t.Compute(p.JournalAppendCost)
+				if _, err := mach.ApplyEntry(coordstate.Entry{Seq: seq, Data: data}); err != nil {
+					break
+				}
+			}
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.I64(mach.Seq())
 			t.SendFrame(fd, e.B)
 		case opGetMan:
 			d := &bin.Decoder{B: body}

@@ -1,9 +1,12 @@
 package replica_test
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/mtcp"
@@ -15,8 +18,12 @@ import (
 const root = "/ckpt/store"
 
 func testCluster(t *testing.T, nodes int) (*sim.Engine, *kernel.Cluster) {
+	return seededCluster(t, 1, nodes)
+}
+
+func seededCluster(t *testing.T, seed int64, nodes int) (*sim.Engine, *kernel.Cluster) {
 	t.Helper()
-	eng := sim.NewEngine(1)
+	eng := sim.NewEngine(seed)
 	c := kernel.NewCluster(eng, model.Default(), nodes)
 	t.Cleanup(eng.Shutdown)
 	return eng, c
@@ -180,6 +187,185 @@ func TestEnsureLocalFetchesOnlyMissing(t *testing.T) {
 		}
 		if err != nil || fs.ManifestFetched || fs.Chunks != 0 {
 			t.Errorf("warm fetch = %+v, %v — dedup not applied", fs, err)
+		}
+	})
+}
+
+// fanOutOnce runs one factor-3 fan-out on a fresh cluster and reports
+// the outcome facts order-independence is judged on.
+func fanOutOnce(t *testing.T, seed int64, fanOut int) (bytesSent int64, pushes int, holders []string) {
+	t.Helper()
+	eng, c := seededCluster(t, seed, 5)
+	sv := replica.Install(c, replica.Config{Factor: 3, Root: root, FanOut: fanOut})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	var holderSet []string
+	sv.OnReplicated = func(_ string, _ int64, holder string) {
+		holderSet = append(holderSet, holder)
+	}
+	run(t, eng, c, func(task *kernel.Task) {
+		p1 := commit(task, 0, 0)
+		name, gen, _ := store.NameForManifest(p1)
+		sv.Enqueue(c.Node(0), replica.Job{Name: name, Generation: gen, ManifestPath: p1})
+		sv.WaitIdle(task)
+
+		src := store.Open(c.Node(0), store.Config{Root: root})
+		m, err := src.LoadManifest(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, peer := range []*kernel.Node{c.Node(1), c.Node(2), c.Node(3)} {
+			ps := store.Open(peer, store.Config{Root: root})
+			if missing := ps.MissingChunks(m.Refs()); len(missing) != 0 {
+				t.Errorf("%s missing %d chunks", peer.Hostname, len(missing))
+			}
+		}
+		if wm, ok := src.ReplicationWatermark(name); !ok || wm != gen {
+			t.Errorf("watermark = %v,%v want %d", wm, ok, gen)
+		}
+	})
+	sort.Strings(holderSet)
+	return sv.Stats.BytesSent, sv.Stats.Pushes, holderSet
+}
+
+// TestParallelFanOutOrderIndependence pins the concurrent fan-out's
+// contract: whatever order the parallel pushers complete in — and
+// however wide the pool is, including the width-1 sequential case —
+// the outcome is identical: same peers hold complete generations,
+// same bytes shipped, same watermark.
+func TestParallelFanOutOrderIndependence(t *testing.T) {
+	refBytes, refPushes, refHolders := fanOutOnce(t, 1, 0) // default parallel width
+	if refPushes != 3 || len(refHolders) != 3 {
+		t.Fatalf("fan-out incomplete: pushes=%d holders=%v", refPushes, refHolders)
+	}
+	for _, tc := range []struct {
+		name   string
+		seed   int64
+		fanOut int
+	}{
+		{"different schedule", 7, 0},
+		{"another schedule", 23, 0},
+		{"width 2", 1, 2},
+		{"sequential", 1, 1},
+	} {
+		bytes, pushes, holders := fanOutOnce(t, tc.seed, tc.fanOut)
+		if bytes != refBytes || pushes != refPushes || !reflect.DeepEqual(holders, refHolders) {
+			t.Errorf("%s: outcome diverged: bytes %d vs %d, pushes %d vs %d, holders %v vs %v",
+				tc.name, bytes, refBytes, pushes, refPushes, holders, refHolders)
+		}
+	}
+}
+
+// TestJournalPushAndFencing exercises the coordinator-journal
+// transport the daemons carry for coordinator HA: the want/append
+// handshake ships only the suffix the sink lacks, and a stale-epoch
+// pusher is fenced off.
+func TestJournalPushAndFencing(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 1, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	leader := coordstate.NewMachine()
+	standby := coordstate.NewMachine()
+	sv.SetJournalSink(c.Node(1), standby)
+	run(t, eng, c, func(task *kernel.Task) {
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "a/x[1]"})
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "b/y[2]"})
+		seq, err := sv.PushJournal(task, "node01", leader)
+		if err != nil || seq != 2 {
+			t.Fatalf("push: seq=%d err=%v", seq, err)
+		}
+		if !reflect.DeepEqual(standby.State(), leader.State()) {
+			t.Fatal("sink state diverges after push")
+		}
+		before := sv.Stats.JournalEntries
+
+		// Second push with nothing new ships nothing.
+		if _, err := sv.PushJournal(task, "node01", leader); err != nil {
+			t.Fatal(err)
+		}
+		if sv.Stats.JournalEntries != before {
+			t.Error("caught-up push re-shipped entries")
+		}
+
+		// Only the suffix travels.
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "c/z[3]"})
+		if seq, err := sv.PushJournal(task, "node01", leader); err != nil || seq != 3 {
+			t.Fatalf("suffix push: seq=%d err=%v", seq, err)
+		}
+		if got := sv.Stats.JournalEntries - before; got != 1 {
+			t.Errorf("suffix push shipped %d entries, want 1", got)
+		}
+
+		// The sink is promoted to epoch 1; the old epoch-0 leader must
+		// be fenced off.
+		standby.Apply(coordstate.Event{Kind: coordstate.EvTakeover, Leader: "node01", Epoch: 1})
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "stale"})
+		if _, err := sv.PushJournal(task, "node01", leader); err == nil {
+			t.Fatal("stale-epoch push accepted")
+		}
+		if standby.State().ClientByDesc("stale") != 0 {
+			t.Fatal("stale entry applied through the fence")
+		}
+	})
+}
+
+// TestJournalFenceAfterDoubleTakeover: standby B holds epoch-0
+// entries the intermediate leader A never saw; after A dies too, the
+// next leader C (epoch 2) must rewind B past the divergence point —
+// the first epoch boundary B missed — not merely to C's newest epoch
+// start, or B would keep a divergent prefix under C's suffix.
+func TestJournalFenceAfterDoubleTakeover(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 1, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	reg := func(m *coordstate.Machine, desc string) {
+		m.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: desc})
+	}
+	// Shared epoch-0 prefix of 2 entries.
+	leader0 := coordstate.NewMachine()
+	reg(leader0, "a/x[1]")
+	reg(leader0, "b/y[2]")
+	// B replicated the prefix, then got 2 more epoch-0 entries that
+	// never reached anyone else before leader0 died.
+	ahead, err := coordstate.Replay(leader0.EntriesSince(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg(ahead, "c/z[3]")
+	reg(ahead, "d/w[4]")
+	// A took over at epoch 1 (from the shared prefix), appended one
+	// entry, then died; C took over from A's journal at epoch 2.
+	next, err := coordstate.Replay(leader0.EntriesSince(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next.Apply(coordstate.Event{Kind: coordstate.EvTakeover, Leader: "node01", Epoch: 1})
+	reg(next, "e/v[5]")
+	next.Apply(coordstate.Event{Kind: coordstate.EvTakeover, Leader: "node00", Epoch: 2})
+	if fence := next.FenceFor(0); fence != 2 {
+		t.Fatalf("FenceFor(0) = %d, want 2 (entry before epoch 1's takeover)", fence)
+	}
+
+	sv.SetJournalSink(c.Node(1), ahead)
+	run(t, eng, c, func(task *kernel.Task) {
+		seq, err := sv.PushJournal(task, "node01", next)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if seq != next.Seq() {
+			t.Fatalf("peer acked seq %d, want %d", seq, next.Seq())
+		}
+		if !reflect.DeepEqual(ahead.State(), next.State()) {
+			t.Fatalf("divergent prefix survived the fence:\npeer %+v\nleader %+v",
+				ahead.State(), next.State())
+		}
+		if ahead.State().ClientByDesc("c/z[3]") != 0 {
+			t.Fatal("orphaned epoch-0 entry kept after rewind")
 		}
 	})
 }
