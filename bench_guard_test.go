@@ -1,0 +1,104 @@
+package dmtcpsim
+
+// Regression guards over the committed benchmark artifacts.  CI runs
+// these with the ordinary test suite, so a change that silently
+// regresses the committed pipeline numbers — or regenerates them with
+// a regression baked in — fails the build.
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// loadBenchTable reads one committed BENCH_*.json artifact.
+func loadBenchTable(t *testing.T, path, id string) *Table {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing committed artifact %s: %v", path, err)
+	}
+	var tables []*Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, tab := range tables {
+		if tab.ID == id {
+			return tab
+		}
+	}
+	t.Fatalf("%s holds no table %q", path, id)
+	return nil
+}
+
+// col returns the index of a named column.
+func col(t *testing.T, tab *Table, name string) int {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q", tab.ID, name)
+	return -1
+}
+
+// ratio parses a "3.96x" cell.
+func ratio(t *testing.T, cell string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cell), "x"), 64)
+	if err != nil {
+		t.Fatalf("bad ratio cell %q: %v", cell, err)
+	}
+	return f
+}
+
+// TestBenchPipelineGuard pins the committed BENCH_pipeline.json
+// acceptance floor:
+//
+//   - no speedup cell may regress below 1.0 (more workers can never be
+//     slower than the serial path);
+//   - the 4-worker 100%-dirty checkpoint is >= 2.5x the serial path;
+//   - 100%-dirty incremental is >= 1.0x the full rewrite at every
+//     worker count (the old serial path was 0.9x — slower);
+//   - 8 workers on 4 cores show no real further speedup over 4 (the
+//     core accounting is honest; a few percent of extra compute/IO
+//     overlap is the tolerance).
+func TestBenchPipelineGuard(t *testing.T) {
+	tab := loadBenchTable(t, "BENCH_pipeline.json", "pipeline")
+	cDirty := col(t, tab, "dirty %")
+	cWorkers := col(t, tab, "workers")
+	cSpeedup := col(t, tab, "speedup")
+	cVsFull := col(t, tab, "vs full")
+
+	speedups := map[string]map[string]float64{} // dirty → workers → speedup
+	for _, row := range tab.Rows {
+		sp := ratio(t, row[cSpeedup])
+		if sp < 1.0 {
+			t.Errorf("dirty %s%% workers %s: speedup %.2f < 1.0", row[cDirty], row[cWorkers], sp)
+		}
+		if row[cDirty] == "100" {
+			if vf := ratio(t, row[cVsFull]); vf < 1.0 {
+				t.Errorf("dirty 100%% workers %s: incremental %.2fx vs full rewrite, want >= 1.0",
+					row[cWorkers], vf)
+			}
+		}
+		if speedups[row[cDirty]] == nil {
+			speedups[row[cDirty]] = map[string]float64{}
+		}
+		speedups[row[cDirty]][row[cWorkers]] = sp
+	}
+	d100 := speedups["100"]
+	if d100 == nil || d100["4"] == 0 {
+		t.Fatal("no 100 percent dirty 4-worker row committed")
+	}
+	if d100["4"] < 2.5 {
+		t.Errorf("4-worker 100%%-dirty speedup %.2fx, want >= 2.5x", d100["4"])
+	}
+	if w8 := d100["8"]; w8 != 0 && w8 > d100["4"]*1.10 {
+		t.Errorf("8 workers on 4 cores sped up %.2fx over 4 workers' %.2fx: core accounting leak",
+			w8, d100["4"])
+	}
+}

@@ -196,6 +196,33 @@ func BenchmarkCoordFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineWrite measures the parallel pipelined checkpoint
+// write path: worker scaling on a 100%-dirty incremental checkpoint,
+// the incremental-vs-full margin, and the replication overlap.
+func BenchmarkPipelineWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunPipeline(benchOpts(b, i))
+		find := func(dirty, workers string) int {
+			for r, row := range tab.Rows {
+				if row[0] == dirty && row[1] == workers {
+					return r
+				}
+			}
+			return -1
+		}
+		w1, w4 := find("100", "1"), find("100", "4")
+		if w1 >= 0 && w4 >= 0 {
+			b.ReportMetric(cell(tab, w1, 3), "serial-incr-s")
+			b.ReportMetric(cell(tab, w4, 3), "4w-incr-s")
+			b.ReportMetric(cell(tab, w1, 3)/cell(tab, w4, 3), "4w-speedup") // target: ≥2.5
+			b.ReportMetric(cell(tab, w4, 6), "4w-overlap-MB")
+		}
+		if w8 := find("100", "8"); w8 >= 0 && w4 >= 0 {
+			b.ReportMetric(cell(tab, w4, 3)/cell(tab, w8, 3), "8w-vs-4w") // target: ≈1 (honest cores)
+		}
+	}
+}
+
 // BenchmarkDejaVuComparison regenerates the §2 related-work
 // comparison against a DejaVu-style logging checkpointer.
 func BenchmarkDejaVuComparison(b *testing.B) {

@@ -5,8 +5,8 @@
 //	dmtcp-bench [-run id] [-trials n] [-quick] [-list] [-json]
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
-// sync, forked, barrier, dejavu, store, failover, coordha, all
-// (default).
+// sync, forked, barrier, dejavu, store, failover, coordha, pipeline,
+// all (default).
 package main
 
 import (
@@ -51,6 +51,7 @@ func main() {
 		{"store", "incremental chunk store vs full rewrite", func() *dmtcpsim.Table { return dmtcpsim.RunStore(o) }},
 		{"failover", "replicated storage + node-failure recovery", func() *dmtcpsim.Table { return dmtcpsim.RunFailover(o) }},
 		{"coordha", "coordinator HA: journaled state machine + standby takeover", func() *dmtcpsim.Table { return dmtcpsim.RunCoordFailover(o) }},
+		{"pipeline", "parallel pipelined checkpoint write (workers x dirty%)", func() *dmtcpsim.Table { return dmtcpsim.RunPipeline(o) }},
 	}
 	if *list {
 		for _, e := range exps {

@@ -202,5 +202,6 @@ var (
 	RunStore         = experiments.RunStore
 	RunFailover      = experiments.RunFailover
 	RunCoordFailover = experiments.RunCoordFailover
+	RunPipeline      = experiments.RunPipeline
 	RunAll           = experiments.All
 )

@@ -91,6 +91,10 @@ type ImageInfo struct {
 	Chunks     int   // chunks referenced by the manifest
 	NewChunks  int   // chunks actually written this round
 	Dedup      int64 // stored bytes avoided via dedup
+
+	// Pipeline statistics.
+	Workers int   // parallel writer tasks the image used
+	Overlap int64 // stored bytes at the farthest-ahead peer by commit
 }
 
 // CkptRound is the record of one completed cluster-wide checkpoint.
@@ -111,6 +115,12 @@ type CkptRound struct {
 	Store      bool
 	DedupBytes int64
 	GC         *store.GCStats
+
+	// OverlapBytes aggregates (across the round's images) the stored
+	// bytes eager streaming had already replicated — per image, the
+	// farthest-ahead peer's total — before the manifests committed:
+	// the write/replication pipeline overlap.
+	OverlapBytes int64
 }
 
 // Client is one registered checkpoint manager.  The id is assigned by
@@ -152,6 +162,7 @@ type RoundState struct {
 	Images       []ImageInfo
 	Bytes, Raw   int64
 	Dedup        int64
+	Overlap      int64
 	SyncMax      time.Duration
 }
 

@@ -165,6 +165,7 @@ func apply(st *State, ev Event) []Effect {
 			r.Bytes += img.Bytes
 			r.Raw += img.Raw
 			r.Dedup += img.Dedup
+			r.Overlap += img.Overlap
 			if r.Cfg.Store {
 				placeImage(st, img)
 			}
@@ -327,14 +328,15 @@ func finishRound(st *State, now sim.Time) []Effect {
 			Refill:  r.StageMax["refilled"],
 			Total:   now.Sub(r.Start),
 		},
-		Bytes:      r.Bytes,
-		RawBytes:   r.Raw,
-		SyncCost:   r.SyncMax,
-		Images:     r.Images,
-		Compress:   r.Cfg.Compress,
-		Forked:     r.Cfg.Forked,
-		Store:      r.Cfg.Store,
-		DedupBytes: r.Dedup,
+		Bytes:        r.Bytes,
+		RawBytes:     r.Raw,
+		SyncCost:     r.SyncMax,
+		Images:       r.Images,
+		Compress:     r.Cfg.Compress,
+		Forked:       r.Cfg.Forked,
+		Store:        r.Cfg.Store,
+		DedupBytes:   r.Dedup,
+		OverlapBytes: r.Overlap,
 	}
 	st.Rounds = append(st.Rounds, round)
 	st.Round = nil
@@ -410,6 +412,8 @@ func (ev Event) Encode() []byte {
 			e.Int(img.Chunks)
 			e.Int(img.NewChunks)
 			e.I64(img.Dedup)
+			e.Int(img.Workers)
+			e.I64(img.Overlap)
 		}
 	case EvRoundGC:
 		e.U32(uint32(len(ev.Idxs)))
@@ -491,6 +495,8 @@ func DecodeEvent(b []byte) (Event, error) {
 			img.Chunks = d.Int()
 			img.NewChunks = d.Int()
 			img.Dedup = d.I64()
+			img.Workers = d.Int()
+			img.Overlap = d.I64()
 			ev.Image = img
 		}
 	case EvRoundGC:

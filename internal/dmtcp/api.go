@@ -34,6 +34,14 @@ type Config struct {
 	// Interval enables periodic checkpoints (--interval).
 	Interval time.Duration
 
+	// CkptWorkers is the number of parallel writer tasks each process
+	// partitions its checkpoint across (hashing, compression, chunk
+	// writes), and symmetrically the restore/fetch pool at restart.
+	// The kernel's per-node core accounting keeps the speedup honest:
+	// workers beyond Node.Cores buy nothing.  0 or 1 is the serial
+	// paper-faithful path.
+	CkptWorkers int
+
 	// Store routes checkpoint images through the content-addressed
 	// chunk store under CkptDir/store: each generation writes only
 	// chunks not already present (incremental checkpointing), and the

@@ -214,7 +214,7 @@ func (co *Coordinator) startInterval() {
 	}
 	co.proc.SpawnTask("interval", true, func(tick *kernel.Task) {
 		for {
-			tick.Compute(iv)
+			tick.Idle(iv)
 			if co.Sys.Coord != co {
 				return // deposed (should not happen; leaders die with nodes)
 			}
@@ -346,6 +346,7 @@ func (co *Coordinator) doCkptFrame(tag int64) []byte {
 	e.Bool(cfg.Forked)
 	e.Bool(cfg.Store)
 	e.I64(tag)
+	e.Int(cfg.CkptWorkers)
 	return e.B
 }
 
@@ -411,6 +412,8 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 		img.Chunks = d.Int()
 		img.NewChunks = d.Int()
 		img.Dedup = d.I64()
+		img.Workers = d.Int()
+		img.Overlap = d.I64()
 		ev.Image = img
 	}
 	co.apply(t, ev)
@@ -629,7 +632,7 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 		if caughtUp {
 			co.shipW.Wait(t.T)
 			// Batch window: let a barrier storm coalesce into one push.
-			t.Compute(p.JournalShipDelay)
+			t.Idle(p.JournalShipDelay)
 		}
 	}
 }
@@ -674,7 +677,7 @@ func (s *System) promote(t *kernel.Task, co *Coordinator) {
 	// coordinator was watching will never resync either: give live
 	// managers one resync window, then drop the silent ones.
 	co.proc.SpawnTask("resync-sweep", true, func(st *kernel.Task) {
-		st.Compute(s.C.Params.ResyncWindow)
+		st.Idle(s.C.Params.ResyncWindow)
 		if s.Coord != co {
 			return
 		}
@@ -719,7 +722,7 @@ func (s *System) onCoordNodeDown(n *kernel.Node) {
 		wait := s.C.Params.FailureDetectDelay +
 			time.Duration(rank+1)*s.C.Params.ElectionTimeout
 		co.proc.SpawnTask("coord-takeover", true, func(t *kernel.Task) {
-			t.Compute(wait)
+			t.Idle(wait)
 			if s.Coord != old {
 				return // someone already took over
 			}

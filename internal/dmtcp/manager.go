@@ -195,7 +195,7 @@ func (m *Manager) reconnectCoordinator(t *kernel.Task) error {
 		if t.Now().Add(delay) > deadline {
 			return &CoordLostError{Addr: addr, Attempts: attempts, Err: lastErr}
 		}
-		t.Compute(delay)
+		t.Idle(delay)
 		delay *= 2
 		if delay > p.CoordRetryCap {
 			delay = p.CoordRetryCap
@@ -233,6 +233,7 @@ func (m *Manager) loop(t *kernel.Task) {
 			Forked:   d.Bool(),
 			Store:    d.Bool(),
 			Tag:      d.I64(),
+			Workers:  d.Int(),
 		}
 		m.doCheckpoint(t, cfg)
 	}
@@ -248,6 +249,8 @@ type ckptConfig struct {
 	// it so a post-takeover coordinator can tell live-round arrivals
 	// from stragglers of a round the takeover aborted.
 	Tag int64
+	// Workers sizes the parallel checkpoint writer pool.
+	Workers int
 }
 
 // barrier reports arrival at a named global barrier and blocks until
@@ -316,7 +319,10 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 			p.CritW.Wait(t.T)
 		}
 	}
-	t.Compute(params.Jitter(m.sys.C.Eng.Rand(),
+	// The suspend quantum is waiting (threads drift to the signal
+	// handler over a scheduler quantum), not CPU: it must not contend
+	// for cores with other managers suspending on the same node.
+	t.Idle(params.Jitter(m.sys.C.Eng.Rand(),
 		params.SuspendQuantum+time.Duration(len(users))*params.SuspendPerThread))
 	for _, u := range users {
 		u.T.Suspend()
@@ -357,7 +363,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		}
 	}
 	drained := m.drainAll(t, leaders)
-	t.Compute(params.DrainSettle) // final poll timeout concluding the drain
+	t.Idle(params.DrainSettle) // final poll timeout concluding the drain (a wait, not CPU)
 	if err := m.barrier(t, "drained", t.Now().Sub(s4), nil); err != nil {
 		return
 	}
@@ -368,7 +374,8 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 	img.Ext["dmtcp.fdtable"] = encodeFDTable(m.fdTable(t, owners))
 	img.Ext["dmtcp.conns"] = encodeConns(m.connRecs(t, drained))
 	img.Ext["dmtcp.pids"] = encodePids(m.virtPid, m.pidTable)
-	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync}
+	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync,
+		Workers: cfg.Workers}
 	if cfg.Store {
 		opts.Store = m.sys.StoreOn(p.Node)
 		m.sys.noteStoreWrite(p.Node)
@@ -380,6 +387,15 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		}
 		m.lastStoreGen = gen
 		opts.Generation = gen
+		if m.sys.Replica != nil && m.sys.Cfg.ReplicaFactor > 0 {
+			// Eager streaming: finished chunks flow to the replica
+			// daemon as they land, so fan-out overlaps the write.  A
+			// nil stream (no live daemon/targets) falls back to the
+			// post-commit Enqueue path below.
+			if stream := m.sys.Replica.NewStream(p.Node, p, mtcp.ImageBase(img), gen); stream != nil {
+				opts.Stream = stream
+			}
+		}
 	}
 	var res mtcp.WriteResult
 	if cfg.Forked {
@@ -400,7 +416,11 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		t.ForkRaw("ckpt-writer", func(c *kernel.Task) {
 			wres := mtcp.WriteImage(c, img, opts)
 			if opts.Store != nil {
-				m.sys.replicateCommit(c, wres)
+				if opts.Stream == nil {
+					// Streamed writes replicate as they go; only the
+					// plain path hands off to the post-commit queue.
+					m.sys.replicateCommit(c, wres)
+				}
 				if m.sys.Replica != nil {
 					m.sys.Replica.EndCommit(node)
 				}
@@ -412,6 +432,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 			Path:     mtcp.ImagePath(opts.Dir, img, opts.Compress),
 			RawBytes: img.LogicalBytes(),
 			Bytes:    img.LogicalBytes(),
+			Workers:  max(cfg.Workers, 1),
 		}
 		if opts.Store != nil {
 			res.Path = opts.Store.ManifestPath(mtcp.ImageBase(img), opts.Generation)
@@ -422,7 +443,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		}
 	} else {
 		res = mtcp.WriteImage(t, img, opts)
-		if opts.Store != nil {
+		if opts.Store != nil && opts.Stream == nil {
 			m.sys.replicateCommit(t, res)
 		}
 	}
@@ -439,6 +460,8 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		e.Int(res.Chunks)
 		e.Int(res.NewChunks)
 		e.I64(res.DedupBytes)
+		e.Int(res.Workers)
+		e.I64(res.OverlapBytes)
 	})
 	if err != nil {
 		return
@@ -564,7 +587,7 @@ func (m *Manager) drainAll(t *kernel.Task, fds []int) map[int][]byte {
 			break
 		}
 		if !progress {
-			t.Compute(200 * time.Microsecond) // let in-flight data land
+			t.Idle(200 * time.Microsecond) // let in-flight data land
 		}
 	}
 	out := make(map[int][]byte, len(jobs))

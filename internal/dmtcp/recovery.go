@@ -56,7 +56,7 @@ func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
 	start := t.Now()
 	// The failure detector only trusts a silent peer to be dead after
 	// missed heartbeats, not on the first connection reset.
-	t.Compute(s.C.Params.FailureDetectDelay)
+	t.Idle(s.C.Params.FailureDetectDelay)
 	// The coordinator may be among the dead: wait for the standby
 	// takeover before reading any coordinator state.
 	if s.Coord.Node.Down {

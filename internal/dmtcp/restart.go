@@ -68,7 +68,7 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 			if !store.IsManifestPath(path) {
 				continue
 			}
-			fs, err := s.Replica.EnsureLocal(t, path, from)
+			fs, err := s.Replica.EnsureLocalN(t, path, from, s.Cfg.CkptWorkers)
 			if err != nil {
 				fail("fetch %s: %v", path, err)
 			}
@@ -426,7 +426,7 @@ func (s *System) restoreProcess(
 
 	// ---- Step 5: restore memory and threads ----------------------------
 	m5 := c.Now()
-	mtcp.ChargeMemoryRestore(c, img, path)
+	mtcp.ChargeMemoryRestoreN(c, img, path, s.Cfg.CkptWorkers)
 	mtcp.InstallMemory(p, img, c, func(t *kernel.Task, rec mtcp.AreaRecord) *kernel.ShmSegment {
 		seg := s.resolveShm(t, rec.ShmBacking, rec.Bytes, rec.Class())
 		if len(seg.Payload) == 0 && len(rec.Payload) > 0 {

@@ -184,6 +184,7 @@ func All(o Opts) []*Table {
 		RunDejaVu(o),
 		RunStore(o),
 		RunFailover(o),
+		RunPipeline(o),
 	}
 }
 

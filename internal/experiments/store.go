@@ -72,8 +72,9 @@ func RunStore(o Opts) *Table {
 			"full MB/gen", "incr MB/gen", "dedup %"},
 		Notes: []string{
 			"per-generation means over generations 2..N (generation 1 cold-starts the store);",
-			"incremental cost = hash everything + compress/write only dirty chunks (stdchk-style),",
-			"so low dirty rates approach hash bandwidth while 100% dirty converges on the full rewrite",
+			"incremental cost = compress/write only dirty chunks: the kernel's per-chunk write",
+			"versions are the fingerprint (no content rescans), so a clean generation costs",
+			"~only the manifest and 100% dirty converges on the full rewrite from below",
 		},
 	}
 	for _, rate := range rates {

@@ -176,6 +176,14 @@ type Node struct {
 	// gone, its local files lost, and spawns/connections to it fail.
 	Down bool
 
+	// Cores is the number of CPU cores the node models
+	// (model.Params.CoresPerNode; the paper's nodes are dual-socket
+	// dual-core Xeon 5130s, §5.2).  Concurrent Task.Compute charges
+	// contend for them through the core scheduler; 0 disables
+	// accounting (every charge gets a free dedicated processor).
+	Cores int
+	cpu   *CPUSched
+
 	// DiskW is the local-disk write path (page-cache absorb then
 	// physical drain); DiskR the streaming read path.
 	DiskW *flow.Pipe
@@ -196,7 +204,9 @@ func newNode(c *Cluster, id NodeID) *Node {
 		ID:       id,
 		Hostname: fmt.Sprintf("node%02d", id),
 		Cluster:  c,
+		Cores:    p.CoresPerNode,
 	}
+	n.cpu = newCPUSched(n, n.Cores)
 	n.DiskW = flow.NewPipe(c.Eng, n.Hostname+".diskw",
 		p.DiskAbsorbBW, p.DiskPhysicalBW, float64(p.PageCacheBytes))
 	n.DiskR = flow.NewPipe(c.Eng, n.Hostname+".diskr",
@@ -205,6 +215,9 @@ func newNode(c *Cluster, id NodeID) *Node {
 	n.Kern = newKernel(n)
 	return n
 }
+
+// CPU returns the node's core scheduler.
+func (n *Node) CPU() *CPUSched { return n.cpu }
 
 // WritePipeFor returns the bandwidth server charged for writing at
 // path: the shared SAN volume for /san paths (direct or via NFS

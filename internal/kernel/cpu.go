@@ -1,0 +1,197 @@
+package kernel
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// cpuEpsilon is the residual core-seconds below which a compute job is
+// considered finished.
+const cpuEpsilon = 1e-9
+
+// CPUSched is the per-node core scheduler: a virtual-time model of the
+// node's CPUs that makes concurrent Task.Compute charges contend for
+// cores instead of each getting a free dedicated processor.
+//
+// The model is generalized processor sharing with a per-job cap of one
+// core: while the number of runnable compute jobs is at most
+// Node.Cores, every job progresses at full rate (one core-second of
+// work per wall second); once the node is oversubscribed, the cores
+// are shared equally and every charge dilates by jobs/cores.  Jobs
+// whose thread is suspended (checkpointed user threads, stopped
+// processes) release their share for the duration — a frozen thread
+// burns no cycles.
+//
+// This is what makes the paper's §5.3 observation — "compression runs
+// in parallel and may slow down the user process" — an emergent effect
+// rather than the old CompressionSlowdown constant: a forked
+// checkpoint writer's compression jobs and the application's compute
+// loop dilate one another exactly when they oversubscribe the node.
+type CPUSched struct {
+	node  *Node
+	cores int
+
+	jobs   []*cpuJob
+	lastAt sim.Time
+	gen    uint64 // invalidates scheduled completion events
+}
+
+type cpuJob struct {
+	remaining float64 // core-seconds of work left
+	paused    bool    // owning thread suspended: no core share
+	finished  bool
+	done      *sim.WaitQueue
+}
+
+func newCPUSched(n *Node, cores int) *CPUSched {
+	return &CPUSched{node: n, cores: cores}
+}
+
+// Cores returns the number of cores the scheduler models (0 means
+// accounting is disabled and charges never contend).
+func (cs *CPUSched) Cores() int { return cs.cores }
+
+// Runnable returns the number of compute jobs currently holding a core
+// share.
+func (cs *CPUSched) Runnable() int {
+	n := 0
+	for _, j := range cs.jobs {
+		if !j.paused {
+			n++
+		}
+	}
+	return n
+}
+
+// rate returns the per-job service rate in core-seconds per second.
+func (cs *CPUSched) rate() float64 {
+	k := cs.Runnable()
+	if k == 0 {
+		return 0
+	}
+	if k <= cs.cores {
+		return 1
+	}
+	return float64(cs.cores) / float64(k)
+}
+
+// advance integrates job progress from lastAt to now.  Callers must
+// have arranged (via gen-guarded events) that no rate change occurred
+// strictly inside the interval.
+func (cs *CPUSched) advance() {
+	now := cs.node.Cluster.Eng.Now()
+	dt := now.Sub(cs.lastAt).Seconds()
+	cs.lastAt = now
+	if dt <= 0 {
+		return
+	}
+	r := cs.rate()
+	if r == 0 {
+		return
+	}
+	for _, j := range cs.jobs {
+		if !j.paused {
+			j.remaining -= dt * r
+		}
+	}
+}
+
+// reschedule arms a single completion event for the next job to finish
+// at the current rate.
+func (cs *CPUSched) reschedule() {
+	cs.gen++
+	gen := cs.gen
+	r := cs.rate()
+	if r == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for _, j := range cs.jobs {
+		if !j.paused && j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	if math.IsInf(minRem, 1) {
+		return
+	}
+	var d time.Duration
+	if minRem > cpuEpsilon {
+		d = time.Duration(math.Ceil(minRem / r * float64(time.Second)))
+		if d <= 0 {
+			d = 1
+		}
+	}
+	cs.node.Cluster.Eng.Schedule(d, func() {
+		if cs.gen != gen {
+			return
+		}
+		cs.step()
+	})
+}
+
+// step advances progress, completes finished jobs, and re-arms.
+func (cs *CPUSched) step() {
+	cs.advance()
+	live := cs.jobs[:0]
+	for _, j := range cs.jobs {
+		if !j.paused && j.remaining <= cpuEpsilon {
+			j.finished = true
+			j.done.WakeAll()
+		} else {
+			live = append(live, j)
+		}
+	}
+	cs.jobs = live
+	cs.reschedule()
+}
+
+// remove drops a job that will not complete (its thread was killed
+// mid-compute).
+func (cs *CPUSched) remove(job *cpuJob) {
+	for i, j := range cs.jobs {
+		if j == job {
+			cs.jobs = append(cs.jobs[:i], cs.jobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Run charges d of core time to the calling thread, blocking it until
+// the work has been served under the node's core-sharing discipline.
+// With core accounting disabled (cores <= 0) it degrades to a plain
+// virtual-time sleep.
+func (cs *CPUSched) Run(th *sim.Thread, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if cs.cores <= 0 {
+		th.Sleep(d)
+		return
+	}
+	cs.advance()
+	j := &cpuJob{
+		remaining: d.Seconds(),
+		done:      sim.NewWaitQueue(cs.node.Cluster.Eng, cs.node.Hostname+".cpu"),
+	}
+	cs.jobs = append(cs.jobs, j)
+	th.SetSuspendHook(func(suspended bool) {
+		cs.advance()
+		j.paused = suspended
+		cs.reschedule()
+	})
+	defer func() {
+		th.SetSuspendHook(nil)
+		if !j.finished {
+			// Thread killed mid-compute: release the core share.
+			cs.advance()
+			cs.remove(j)
+			cs.reschedule()
+		}
+	}()
+	cs.reschedule()
+	for !j.finished {
+		j.done.Wait(th)
+	}
+}

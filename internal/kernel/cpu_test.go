@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// spawnComputers starts n sibling tasks each charging work of CPU time
+// and returns a wait that blocks until all have finished, plus the
+// slice of per-task completion times.
+func spawnComputers(task *Task, n int, work time.Duration) func() []sim.Time {
+	done := make([]sim.Time, n)
+	finished := 0
+	join := sim.NewWaitQueue(task.P.Node.Cluster.Eng, "cpu-test-join")
+	for i := 0; i < n; i++ {
+		i := i
+		task.P.SpawnTask("burn", false, func(bt *Task) {
+			bt.Compute(work)
+			done[i] = bt.Now()
+			finished++
+			join.WakeAll()
+		})
+	}
+	return func() []sim.Time {
+		for finished < n {
+			join.Wait(task.T)
+		}
+		return done
+	}
+}
+
+// TestCPUFullRateUpToCores pins that up to Node.Cores concurrent
+// Compute charges proceed at full rate: 4 tasks x 1 s on a 4-core node
+// finish in ~1 s of virtual time.
+func TestCPUFullRateUpToCores(t *testing.T) {
+	te := newEnv(t, 1)
+	te.run(t, func(task *Task) {
+		if c := task.P.Node.Cores; c != 4 {
+			t.Fatalf("default cores = %d, want 4 (Xeon 5130)", c)
+		}
+		start := task.Now()
+		wait := spawnComputers(task, 4, time.Second)
+		for _, at := range wait() {
+			took := at.Sub(start)
+			if took < time.Second || took > 1050*time.Millisecond {
+				t.Errorf("4 tasks on 4 cores: finished after %v, want ~1s", took)
+			}
+		}
+	})
+}
+
+// TestCPUOversubscriptionDilates pins the dilation: 8 tasks x 1 s on 4
+// cores share the processors and finish in ~2 s, and total throughput
+// never exceeds the core count.
+func TestCPUOversubscriptionDilates(t *testing.T) {
+	te := newEnv(t, 1)
+	te.run(t, func(task *Task) {
+		start := task.Now()
+		wait := spawnComputers(task, 8, time.Second)
+		for _, at := range wait() {
+			took := at.Sub(start)
+			if took < 1900*time.Millisecond || took > 2100*time.Millisecond {
+				t.Errorf("8 tasks on 4 cores: finished after %v, want ~2s", took)
+			}
+		}
+	})
+}
+
+// TestCPUSuspendedTaskReleasesCore pins the honesty rule a parallel
+// checkpoint depends on: a suspended thread (a checkpointed user
+// task) stops holding its core share, so checkpoint writer tasks
+// running while the application is frozen get the whole machine.
+func TestCPUSuspendedTaskReleasesCore(t *testing.T) {
+	te := newEnv(t, 1)
+	te.run(t, func(task *Task) {
+		// 4 background burners would saturate the node...
+		wait := spawnComputers(task, 4, 10*time.Second)
+		task.Compute(10 * time.Millisecond) // let them start
+		// ...but suspending all of them frees every core.
+		var suspended []*Task
+		for _, bt := range task.P.Tasks() {
+			if bt.Role == "burn" {
+				bt.T.Suspend()
+				suspended = append(suspended, bt)
+			}
+		}
+		if len(suspended) != 4 {
+			t.Fatalf("suspended %d burners, want 4", len(suspended))
+		}
+		start := task.Now()
+		task.Compute(time.Second)
+		if took := task.Now().Sub(start); took > 1050*time.Millisecond {
+			t.Errorf("compute beside 4 suspended burners took %v, want ~1s", took)
+		}
+		for _, bt := range suspended {
+			bt.T.Resume()
+		}
+		wait()
+	})
+}
+
+// TestCPUKilledTaskReleasesCore pins that killing a process mid-compute
+// frees its core shares for the survivors.
+func TestCPUKilledTaskReleasesCore(t *testing.T) {
+	te := newEnv(t, 1)
+	te.run(t, func(task *Task) {
+		var victims []Pid
+		for i := 0; i < 4; i++ {
+			victims = append(victims, task.ForkFn("victim", func(ct *Task) {
+				ct.Compute(time.Hour)
+				ct.Exit(0)
+			}))
+		}
+		task.Compute(10 * time.Millisecond)
+		for _, pid := range victims {
+			if err := task.P.Kern.Kill(pid); err != nil {
+				t.Fatalf("kill: %v", err)
+			}
+		}
+		if n := task.P.Node.CPU().Runnable(); n > 1 {
+			t.Errorf("runnable after killing all victims = %d, want <= 1", n)
+		}
+		start := task.Now()
+		task.Compute(time.Second)
+		if took := task.Now().Sub(start); took > 1050*time.Millisecond {
+			t.Errorf("compute after kills took %v, want ~1s", took)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package kernel
+
+import "repro/internal/sim"
+
+// RunWorkers fans n work items over a pool of worker tasks spawned in
+// the calling task's process, blocking t until every claimed item is
+// done.  Items are claimed in index order through a shared cursor
+// (safe under the engine's cooperative scheduling), so the
+// partitioning is deterministic and self-balancing: a worker stuck on
+// an expensive item simply claims fewer of them.  The first error fn
+// returns stops further claiming (in-flight items finish) and is
+// returned.  workers <= 1 runs inline.
+//
+// The checkpoint write/restore pools and the replica fetch pool all
+// ride this one orchestration.
+func RunWorkers(t *Task, workers, n int, role string, fn func(wt *Task, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(t, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	next, finished := 0, 0
+	var firstErr error
+	join := sim.NewWaitQueue(t.P.Node.Cluster.Eng, t.P.Node.Hostname+"."+role+".join")
+	for w := 0; w < workers; w++ {
+		t.P.SpawnTask(role, true, func(wt *Task) {
+			defer func() {
+				finished++
+				join.WakeAll()
+			}()
+			for next < n && firstErr == nil {
+				i := next
+				next++
+				if err := fn(wt, i); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+			}
+		})
+	}
+	for finished < workers {
+		join.Wait(t.T)
+	}
+	return firstErr
+}

@@ -146,7 +146,9 @@ func (t *Task) SetSendContinuation(fd int, remaining []byte) {
 
 func (p *Process) params() *model.Params { return p.Node.Cluster.Params }
 
-// charge advances virtual time by d in the calling task.
+// charge advances virtual time by d in the calling task without
+// occupying a core (syscall overheads, fork/exec setup: costs far too
+// small to matter for core contention).
 func (t *Task) charge(d time.Duration) {
 	if d > 0 {
 		t.T.Sleep(d)
@@ -156,8 +158,16 @@ func (t *Task) charge(d time.Duration) {
 // chargeSyscall charges the base syscall cost.
 func (t *Task) chargeSyscall() { t.charge(t.P.params().SyscallCost) }
 
-// Compute charges d of pure CPU time (the workload's "work").
-func (t *Task) Compute(d time.Duration) { t.charge(d) }
+// Compute charges d of CPU time (the workload's "work", compression,
+// hashing).  Concurrent Compute charges on one node contend for its
+// cores: up to Node.Cores runnable tasks proceed at full rate, and an
+// oversubscribed node dilates every charge by runnable/cores.
+func (t *Task) Compute(d time.Duration) { t.P.Node.cpu.Run(t.T, d) }
+
+// Idle blocks the task for d of wall-clock time without occupying a
+// core — network transfers in flight, poll timeouts, backoff waits.
+// Unlike Compute, concurrent Idle periods never dilate one another.
+func (t *Task) Idle(d time.Duration) { t.charge(d) }
 
 // Now returns virtual time.
 func (t *Task) Now() sim.Time { return t.T.Now() }

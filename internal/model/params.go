@@ -39,6 +39,15 @@ type Params struct {
 	ExecCost time.Duration
 	// PageSize in bytes.
 	PageSize int64
+	// CoresPerNode is the number of CPU cores each simulated node
+	// models.  Anchor: §5.2 — the paper's cluster nodes are dual-socket
+	// dual-core Xeon 5130s, i.e. 4 cores.  Concurrent Task.Compute
+	// charges on one node contend for these cores (runnable tasks
+	// beyond the core count dilate every charge proportionally), which
+	// is what bounds parallel checkpoint-writer speedup and makes the
+	// §5.3 compression slowdown an emergent effect.  0 disables core
+	// accounting.
+	CoresPerNode int
 
 	// ---- MTCP / DMTCP machinery ----
 
@@ -124,19 +133,28 @@ type Params struct {
 	// GunzipZeroBW is decompression throughput over zero output.
 	GunzipZeroBW float64
 
-	// CompressionSlowdown is the run-time slowdown factor applied to
-	// a process while a forked checkpoint child is compressing in the
-	// background (§5.3: "compression runs in parallel and may slow
-	// down the user process").
+	// CompressionSlowdown is retained for reference only: it was the
+	// constant run-time slowdown applied to a process while a forked
+	// checkpoint child compressed in the background (§5.3:
+	// "compression runs in parallel and may slow down the user
+	// process").  Per-node core accounting (CoresPerNode) superseded
+	// it — the slowdown now emerges from the writer's compression jobs
+	// and the application's compute loop contending for the node's
+	// cores, and scales with how oversubscribed the node actually is.
 	CompressionSlowdown float64
 
 	// ---- Content-addressed checkpoint store ----
 
-	// HashBW is chunk-fingerprint (SHA-256) throughput over input
+	// HashBW is content-fingerprint (SHA-256) throughput over input
 	// bytes.  On the paper's Xeon 5130 cores sha256sum streams at
-	// roughly 150 MB/s — much faster than gzip, which is what makes
-	// hash-then-skip cheaper than compress-then-write for clean
-	// chunks (stdchk's incremental storage argument).
+	// roughly 150 MB/s.  Since the kernel tracks per-chunk write
+	// versions at store granularity (soft-dirty-bit style), chunk
+	// identity derives from (scope, offset, write version) and the
+	// write path only pays HashBW for the real payload bytes a chunk
+	// carries — dirty detection itself is version-based, never a bulk
+	// rescan (the fix for the old 100%-dirty "hash everything"
+	// regression, where incremental writes were slower than full
+	// rewrites).
 	HashBW float64
 	// ChunkLookupCost is one content-addressed index probe or insert
 	// (an in-memory hash-table hit plus amortized metadata I/O).
@@ -203,6 +221,7 @@ func Default() *Params {
 		ForkPerPage:   2200 * time.Nanosecond,
 		ExecCost:      2 * time.Millisecond,
 		PageSize:      4 * KB,
+		CoresPerNode:  4,
 
 		SuspendQuantum:   22 * time.Millisecond,
 		SuspendPerThread: 600 * time.Microsecond,

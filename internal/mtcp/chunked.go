@@ -100,7 +100,105 @@ func payloadSpan(payload []byte, off, span int64) []byte {
 	return payload[lo:hi]
 }
 
-// writeChunked is checkpoint step 5 through the store.
+// areaKeys assigns each image area a stable lookup key: its name plus
+// an occurrence index, so duplicate names (two identically named
+// mappings) cannot alias each other across generations.
+func areaKeys(areas []AreaRecord) []string {
+	seen := map[string]int{}
+	keys := make([]string, len(areas))
+	for i := range areas {
+		n := areas[i].Name
+		keys[i] = fmt.Sprintf("%s#%d", n, seen[n])
+		seen[n]++
+	}
+	return keys
+}
+
+// priorGen is the previous committed generation of an image: its chunk
+// refs and write versions keyed by area, loaded once per write so
+// clean chunks are recognized by version without rescanning content.
+type priorGen struct {
+	refs map[string][]store.ChunkRef
+	vers map[string][]uint64
+}
+
+// lookup returns the prior generation's ref for (areaKey, idx) when
+// the chunk's write version and span are unchanged — the kernel's
+// dirty tracking proving the content identical.
+func (pg *priorGen) lookup(areaKey string, idx int, ver uint64, span int64) (store.ChunkRef, bool) {
+	if pg == nil {
+		return store.ChunkRef{}, false
+	}
+	vs := pg.vers[areaKey]
+	rs := pg.refs[areaKey]
+	if idx >= len(vs) || idx >= len(rs) {
+		return store.ChunkRef{}, false
+	}
+	if vs[idx] != ver || rs[idx].LogicalBytes != span {
+		return store.ChunkRef{}, false
+	}
+	return rs[idx], true
+}
+
+// loadPrior reads the newest committed generation below gen, charging
+// the manifest metadata read.  nil means a cold start: the image has
+// no history in this store and the write proceeds straight through —
+// no per-chunk dedup bookkeeping can pay for itself.
+func loadPrior(t *kernel.Task, s *store.Store, name string, gen int64) *priorGen {
+	var best int64
+	for _, g := range s.Generations(name) {
+		if g < gen && g > best {
+			best = g
+		}
+	}
+	if best == 0 {
+		return nil
+	}
+	path := s.ManifestPath(name, best)
+	m, err := s.LoadManifest(path)
+	if err != nil {
+		return nil
+	}
+	hdr, err := Decode(m.Header)
+	if err != nil {
+		return nil
+	}
+	if ino, err := t.P.Node.FS.ReadFile(path); err == nil {
+		t.P.Node.ReadPipeFor(path).Read(t.T, ino.Size())
+	}
+	keys := areaKeys(hdr.Areas)
+	pg := &priorGen{
+		refs: make(map[string][]store.ChunkRef, len(hdr.Areas)),
+		vers: make(map[string][]uint64, len(hdr.Areas)),
+	}
+	for i := range hdr.Areas {
+		pg.vers[keys[i]] = hdr.Areas[i].ChunkVers
+	}
+	for _, ac := range m.Areas {
+		if ac.Area >= 0 && ac.Area < len(keys) {
+			pg.refs[keys[ac.Area]] = ac.Chunks
+		}
+	}
+	return pg
+}
+
+// chunkWork is one chunk of one area awaiting hashing/write.
+type chunkWork struct {
+	area      int
+	idx       int
+	off, span int64
+	ver       uint64
+}
+
+// writeChunked is checkpoint step 5 through the store: a parallel,
+// pipelined write path.  A pool of opts.Workers tasks partitions the
+// image's chunks, recognizes clean chunks by the kernel's write
+// versions (no content rescans), compresses and writes the dirty ones
+// concurrently (the node's core scheduler meters the real speedup),
+// and hands every finished chunk to opts.Stream so replication fan-out
+// overlaps the write.  The calling task is the committer: it assembles
+// the manifest from the index-addressed results — byte-identical
+// regardless of worker count or completion order — and commits it.
 func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 	s := opts.Store
 	p := t.P.Node.Cluster.Params
@@ -114,14 +212,12 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 	if gen == 0 {
 		gen = s.NextGeneration(name)
 	}
-	m := &store.Manifest{
-		Name:       name,
-		Generation: gen,
-		Header:     headerBytes(img),
-	}
+	prior := loadPrior(t, s, name, gen)
+	keys := areaKeys(img.Areas)
 
-	var newBytes, dedupBytes int64
-	chunks, newChunks := 0, 0
+	// Deterministic work list and index-addressed result slots.
+	var work []chunkWork
+	results := make([][]store.ChunkRef, len(img.Areas))
 	cb := s.Cfg.ChunkBytes
 	for ai := range img.Areas {
 		a := &img.Areas[ai]
@@ -129,33 +225,80 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		if pl := int64(len(a.Payload)); pl > logical {
 			logical = pl
 		}
-		ac := store.AreaChunks{Area: ai}
-		for off := int64(0); off < logical; off += cb {
+		n := 0
+		if logical > 0 {
+			n = int((logical + cb - 1) / cb)
+		}
+		results[ai] = make([]store.ChunkRef, n)
+		for i := 0; i < n; i++ {
+			off := int64(i) * cb
 			span := cb
 			if off+span > logical {
 				span = logical - off
 			}
-			data := payloadSpan(a.Payload, off, span)
-			ver := chunkVersionFor(a.ChunkVers, off, span)
-			idx := int(off / cb)
-			t.Compute(p.HashTime(span))
-			ref := store.ChunkRef{
-				Hash:         store.ChunkHash(chunkScope(img, a, ver), idx, ver, span, a.Class(), data),
-				LogicalBytes: span,
-				Entropy:      a.Entropy,
-				ZeroFrac:     a.ZeroFrac,
-			}
-			stored, isNew := s.PutChunk(t, &ref, data)
-			chunks++
-			if isNew {
-				newChunks++
-				newBytes += stored
-			} else {
-				dedupBytes += stored
-			}
-			ac.Chunks = append(ac.Chunks, ref)
+			work = append(work, chunkWork{area: ai, idx: i, off: off, span: span,
+				ver: chunkVersionFor(a.ChunkVers, off, span)})
 		}
-		m.Areas = append(m.Areas, ac)
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var newBytes, dedupBytes int64
+	newChunks := 0
+	runWorkers(t, workers, len(work), "ckpt-worker", func(wt *kernel.Task, i int) {
+		w := work[i]
+		a := &img.Areas[w.area]
+		// Clean chunk: same write version (and span) as the prior
+		// generation means same content — reuse its ref after one
+		// index probe, never rescanning the span.
+		if pr, ok := prior.lookup(keys[w.area], w.idx, w.ver, w.span); ok {
+			wt.Compute(p.ChunkLookupCost)
+			if s.HasChunk(pr.Hash) {
+				results[w.area][w.idx] = pr
+				dedupBytes += pr.StoredBytes
+				if opts.Stream != nil {
+					opts.Stream.Chunk(wt, pr)
+				}
+				return
+			}
+		}
+		// Dirty (or cold-start) chunk: identity derives from the dedup
+		// scope, position, and write version; only real payload bytes
+		// need content fingerprinting.
+		data := payloadSpan(a.Payload, w.off, w.span)
+		if n := int64(len(data)); n > 0 {
+			wt.Compute(p.HashTime(n))
+		}
+		ref := store.ChunkRef{
+			Hash:         store.ChunkHash(chunkScope(img, a, w.ver), w.idx, w.ver, w.span, a.Class(), data),
+			LogicalBytes: w.span,
+			Entropy:      a.Entropy,
+			ZeroFrac:     a.ZeroFrac,
+		}
+		stored, isNew := s.PutChunk(wt, &ref, data)
+		results[w.area][w.idx] = ref
+		if isNew {
+			newChunks++
+			newBytes += stored
+		} else {
+			dedupBytes += stored
+		}
+		if opts.Stream != nil {
+			opts.Stream.Chunk(wt, ref)
+		}
+	})
+
+	m := &store.Manifest{
+		Name:       name,
+		Generation: gen,
+		Header:     headerBytes(img),
+	}
+	chunks := 0
+	for ai := range img.Areas {
+		m.Areas = append(m.Areas, store.AreaChunks{Area: ai, Chunks: results[ai]})
+		chunks += len(results[ai])
 	}
 
 	path, manifestBytes := s.WriteManifest(t, m)
@@ -168,6 +311,10 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		Chunks:     chunks,
 		NewChunks:  newChunks,
 		DedupBytes: dedupBytes,
+		Workers:    workers,
+	}
+	if opts.Stream != nil {
+		res.OverlapBytes = opts.Stream.Commit(t, path)
 	}
 	if opts.Fsync {
 		syncStart := t.Now()
@@ -228,19 +375,45 @@ func loadChunked(t *kernel.Task, path string) (*Image, error) {
 // streaming every referenced chunk and decompressing the compressed
 // ones.
 func chargeChunkedRestore(t *kernel.Task, img *Image, path string) {
+	chargeChunkedRestoreN(t, img, path, 1)
+}
+
+// chargeChunkedRestoreN is the parallel variant: referenced chunks are
+// partitioned across a worker pool, so decompression uses the node's
+// cores instead of one (chunk streaming shares the read pipe's
+// bandwidth either way).  It reports whether path was a manifest.
+func chargeChunkedRestoreN(t *kernel.Task, img *Image, path string, workers int) bool {
 	p := t.P.Node.Cluster.Params
 	root, ok := store.RootForManifest(path)
 	if !ok {
-		return
+		return false
 	}
 	s := store.Open(t.P.Node, store.Config{Root: root})
 	m := img.manifest // decoded by loadChunked for this same image
 	if m == nil {
 		var err error
 		if m, err = s.LoadManifest(path); err != nil {
-			return
+			return true
 		}
 	}
-	s.ChargeRead(t, m.Refs())
+	refs := m.Refs()
+	if workers <= 1 {
+		s.ChargeRead(t, refs)
+	} else {
+		// Workers claim chunk batches: each charges its batch's read
+		// bandwidth (the pipe shares it) and decompression CPU (the
+		// core scheduler shares that).
+		const batch = 16
+		n := (len(refs) + batch - 1) / batch
+		runWorkers(t, workers, n, "restore-worker", func(wt *kernel.Task, i int) {
+			lo := i * batch
+			hi := lo + batch
+			if hi > len(refs) {
+				hi = len(refs)
+			}
+			s.ChargeRead(wt, refs[lo:hi])
+		})
+	}
 	t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+	return true
 }

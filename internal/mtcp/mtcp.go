@@ -30,6 +30,33 @@ type WriteOptions struct {
 	// it in the parent so overlapping background writers of the same
 	// process cannot collide on a generation number.
 	Generation int64
+	// Workers is the number of parallel writer tasks the image is
+	// partitioned across (hashing, compression, chunk writes).  The
+	// node's core scheduler keeps the speedup honest: workers beyond
+	// Node.Cores buy nothing.  0 or 1 writes serially.
+	Workers int
+	// Stream, when non-nil, receives every manifest-referenced chunk
+	// as soon as it is durable locally, so replication fan-out can
+	// overlap the write instead of starting after the commit.
+	Stream ChunkStream
+}
+
+// ChunkStream is the eager-replication hook: the checkpoint writer
+// hands chunks over as they land and signals the manifest commit.  The
+// replica service implements it; MTCP only sees this interface (the
+// two-layer API of §4.1 extended to the storage fan-out).
+type ChunkStream interface {
+	// Chunk reports one manifest-referenced chunk (newly written or
+	// dedup-reused) that is durable in the local store.
+	Chunk(t *kernel.Task, ref store.ChunkRef)
+	// Commit reports that the manifest at path has been written; it
+	// returns the stored bytes the farthest-ahead peer had already
+	// received before the commit (the write/replication overlap —
+	// never more than the generation's stored bytes, whatever the
+	// replication factor).
+	Commit(t *kernel.Task, manifestPath string) int64
+	// Abort discards the stream without committing.
+	Abort()
 }
 
 // WriteResult reports what a checkpoint write produced.
@@ -45,6 +72,10 @@ type WriteResult struct {
 	Chunks     int   // total chunks referenced by the manifest
 	NewChunks  int   // chunks actually written this generation
 	DedupBytes int64 // stored bytes avoided via dedup
+
+	// Pipeline statistics.
+	Workers      int   // writer tasks the image was partitioned across
+	OverlapBytes int64 // stored bytes replicated to peers before commit
 }
 
 // ImagePath returns the conventional checkpoint file name,
@@ -78,10 +109,27 @@ func WriteImage(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 	rng := t.P.Node.Cluster.Eng.Rand()
 	raw := img.LogicalBytes()
 	onDisk := raw
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	if opts.Compress {
 		onDisk = img.CompressedBytes(p)
-		for _, a := range img.Areas {
-			t.Compute(p.Jitter(rng, p.CompressTime(a.Bytes, a.Class())))
+		if workers <= 1 {
+			for _, a := range img.Areas {
+				t.Compute(p.Jitter(rng, p.CompressTime(a.Bytes, a.Class())))
+			}
+		} else {
+			// Worker pool: compression work is partitioned at store
+			// chunk granularity so one huge area still spreads across
+			// all workers; the core scheduler meters the actual
+			// speedup.
+			spans := compressSpans(img)
+			runWorkers(t, workers, len(spans), "gz-worker", func(wt *kernel.Task, i int) {
+				sp := spans[i]
+				r := wt.P.Node.Cluster.Eng.Rand()
+				wt.Compute(p.Jitter(r, p.CompressTime(sp.bytes, sp.class)))
+			})
 		}
 	}
 	pipe := t.P.Node.WritePipeFor(path)
@@ -93,6 +141,7 @@ func WriteImage(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		Bytes:    onDisk,
 		RawBytes: raw,
 		Took:     t.Now().Sub(start),
+		Workers:  workers,
 	}
 	if opts.Fsync {
 		syncStart := t.Now()

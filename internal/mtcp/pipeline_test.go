@@ -1,0 +1,131 @@
+package mtcp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/store"
+)
+
+// buildPipelineImage maps a multi-area address space with real payload
+// bytes and a touched working set, so the chunk path exercises payload
+// hashing, version-based dedup, and multi-area partitioning at once.
+func buildPipelineImage(task *kernel.Task) *Image {
+	task.MapLib("/lib/libc.so", 6*model.MB)
+	heap := task.MapAnon("[heap]", 48*model.MB, model.ClassData)
+	heap.Payload = bytes.Repeat([]byte("hp"), 4096)
+	heap.Touch(0, int64(len(heap.Payload)))
+	heap.TouchFraction(0.4, 7)
+	task.MapAnon("[anon]", 9*model.MB+12345, model.ClassNumeric)
+	task.P.SaveState([]byte("iteration=42"))
+	return Capture(task.P, 777)
+}
+
+// TestManifestDeterministicAcrossWorkers pins the committer contract:
+// the same image written through 1, 2, and 8 workers produces
+// byte-identical manifests (fresh store roots, so every run starts
+// cold and writes everything).
+func TestManifestDeterministicAcrossWorkers(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		img := buildPipelineImage(task)
+		var manifests [][]byte
+		for _, workers := range []int{1, 2, 8} {
+			root := fmt.Sprintf("/ckpt/det%d/store", workers)
+			s := store.Open(task.P.Node, store.Config{Root: root, Compress: true})
+			res := WriteImage(task, img, WriteOptions{Store: s, Workers: workers})
+			if res.Workers != workers {
+				t.Errorf("result workers = %d, want %d", res.Workers, workers)
+			}
+			ino, err := task.P.Node.FS.ReadFile(res.Path)
+			if err != nil {
+				t.Fatalf("manifest missing for %d workers: %v", workers, err)
+			}
+			manifests = append(manifests, append([]byte(nil), ino.Data...))
+		}
+		for i := 1; i < len(manifests); i++ {
+			if !bytes.Equal(manifests[0], manifests[i]) {
+				t.Errorf("manifest differs between 1 worker and run %d: %d vs %d bytes",
+					i, len(manifests[0]), len(manifests[i]))
+			}
+		}
+	})
+}
+
+// TestParallelWriteSpeedupBoundedByCores pins both halves of the core
+// model on the chunk path: 4 workers on the 4-core node approach a 4x
+// speedup over the serial writer, and 8 workers buy no further real
+// speedup.
+func TestParallelWriteSpeedupBoundedByCores(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		img := buildPipelineImage(task)
+		took := map[int]time.Duration{}
+		for _, workers := range []int{1, 4, 8} {
+			root := fmt.Sprintf("/ckpt/sp%d/store", workers)
+			s := store.Open(task.P.Node, store.Config{Root: root, Compress: true})
+			res := WriteImage(task, img, WriteOptions{Store: s, Workers: workers})
+			took[workers] = res.Took
+		}
+		sp4 := float64(took[1]) / float64(took[4])
+		if sp4 < 2.5 {
+			t.Errorf("4-worker speedup %.2fx, want >= 2.5x", sp4)
+		}
+		sp8 := float64(took[1]) / float64(took[8])
+		if sp8 > sp4*1.10 {
+			t.Errorf("8 workers on 4 cores sped up %.2fx over %.2fx: dilation not applied", sp8, sp4)
+		}
+	})
+}
+
+// TestVersionDedupSkipsCleanChunks pins the incremental model: a
+// second generation whose memory is untouched reuses every chunk ref
+// (write versions unchanged), writes ~nothing, and costs a small
+// fraction of the cold generation; dirty chunks are rewritten.
+func TestVersionDedupSkipsCleanChunks(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		s := store.Open(task.P.Node, store.Config{Root: "/ckpt/vd/store", Compress: true})
+		img1 := buildPipelineImage(task)
+		res1 := WriteImage(task, img1, WriteOptions{Store: s})
+		if res1.NewChunks != res1.Chunks {
+			t.Errorf("cold generation: %d/%d chunks new", res1.NewChunks, res1.Chunks)
+		}
+
+		// Clean second generation: identical versions.
+		img2 := Capture(task.P, 777)
+		res2 := WriteImage(task, img2, WriteOptions{Store: s})
+		if res2.NewChunks != 0 {
+			t.Errorf("clean generation rewrote %d chunks", res2.NewChunks)
+		}
+		if res2.Took > res1.Took/10 {
+			t.Errorf("clean generation took %v, cold %v: version dedup not skipping work",
+				res2.Took, res1.Took)
+		}
+		m1, err1 := s.LoadManifest(res1.Path)
+		m2, err2 := s.LoadManifest(res2.Path)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("manifests unreadable: %v %v", err1, err2)
+		}
+		r1, r2 := m1.Refs(), m2.Refs()
+		for i := range r1 {
+			if r1[i].Hash != r2[i].Hash {
+				t.Fatalf("clean generation changed chunk %d", i)
+			}
+		}
+
+		// Dirty a slice of the heap: exactly the covering chunks churn.
+		if a := task.P.Mem.Area("[heap]"); a != nil {
+			a.Touch(2*kernel.CkptChunkBytes, kernel.CkptChunkBytes+1)
+		}
+		img3 := Capture(task.P, 777)
+		res3 := WriteImage(task, img3, WriteOptions{Store: s})
+		if res3.NewChunks != 2 {
+			t.Errorf("dirtying 2 chunks rewrote %d", res3.NewChunks)
+		}
+	})
+}

@@ -145,6 +145,14 @@ type Service struct {
 	inflight map[*kernel.Node]int
 	idleW    *sim.WaitQueue
 
+	// daemons maps each node to its live replica daemon process, where
+	// eager-streaming shipper tasks run (they must outlive the
+	// checkpointed process that feeds them).
+	daemons map[*kernel.Node]*kernel.Process
+	// streams are the in-progress eager-replication streams per source
+	// node; WaitIdle counts them like queued jobs.
+	streams map[*kernel.Node][]*Stream
+
 	// sinks maps a node to the standby coordinator state machine its
 	// daemon feeds with journal records pushed by the active
 	// coordinator.
@@ -161,6 +169,8 @@ func Install(c *kernel.Cluster, cfg Config) *Service {
 		queues:   make(map[*kernel.Node]*nodeQueue),
 		inflight: make(map[*kernel.Node]int),
 		idleW:    sim.NewWaitQueue(c.Eng, "replica.idle"),
+		daemons:  make(map[*kernel.Node]*kernel.Process),
+		streams:  make(map[*kernel.Node][]*Stream),
 		sinks:    make(map[*kernel.Node]*coordstate.Machine),
 	}
 	c.RegisterFunc("dmtcp_replicad", sv.daemonMain)
@@ -213,6 +223,8 @@ func (sv *Service) EndCommit(n *kernel.Node) {
 
 // Pending returns the number of generations committed, queued, or in
 // flight on live nodes (work on dead nodes is lost with the node).
+// Eager-replication streams count from the moment they open until
+// their fan-out resolves.
 func (sv *Service) Pending() int {
 	n := 0
 	for node, q := range sv.queues {
@@ -229,6 +241,16 @@ func (sv *Service) Pending() int {
 			continue
 		}
 		n += c
+	}
+	for node, ss := range sv.streams {
+		if node.Down {
+			continue
+		}
+		for _, s := range ss {
+			if !s.aborted {
+				n++
+			}
+		}
 	}
 	return n
 }
@@ -308,7 +330,7 @@ func (sv *Service) PushJournal(t *kernel.Task, peerHost string, m *coordstate.Ma
 		total += int64(len(ent.Data))
 	}
 	t.Compute(time.Duration(len(entries)) * p.JournalAppendCost)
-	t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, total))
+	t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, total))
 	if err := t.SendFrame(fd, je.B); err != nil {
 		return have, err
 	}
@@ -343,6 +365,7 @@ func (sv *Service) Targets(src *kernel.Node) []*kernel.Node {
 // daemonMain is the dmtcp_replicad program: a replication worker plus
 // a get-put server.
 func (sv *Service) daemonMain(t *kernel.Task, _ []string) {
+	sv.daemons[t.P.Node] = t.P
 	t.P.SpawnTask("repl-worker", true, sv.worker)
 	lfd, err := t.ListenTCP(Port)
 	if err != nil {
@@ -436,7 +459,6 @@ func (sv *Service) replicate(t *kernel.Task, job Job) {
 // pushTo copies one generation to one peer, shipping only the chunks
 // the peer lacks.
 func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, job Job, m *store.Manifest) bool {
-	p := t.P.Node.Cluster.Params
 	fd := t.Socket()
 	defer t.Close(fd)
 	if err := t.Connect(fd, kernel.Addr{Host: peer.Hostname, Port: Port}); err != nil {
@@ -445,6 +467,33 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 
 	// 1. Dedup handshake: which chunks does the peer lack?
 	refs := m.Refs()
+	missing, ok := sv.wantMissing(t, fd, refs)
+	if !ok {
+		return false
+	}
+
+	// 2. Ship the manifest first: once it lands, the chunks that
+	// follow are referenced the moment they arrive, so the peer's own
+	// mark-and-sweep can never treat them as garbage mid-push.
+	if !sv.shipManifest(t, fd, job.ManifestPath) {
+		return false
+	}
+
+	// 3. Ship the missing chunks, then verify the whole generation.
+	if !sv.shipChunks(t, st, fd, missing) {
+		return false
+	}
+	if !sv.verifyPush(t, st, fd, job.ManifestPath, refs) {
+		return false
+	}
+	sv.Stats.Pushes++
+	return true
+}
+
+// wantMissing runs the want/missing dedup handshake for one batch of
+// refs on an open peer connection, returning the subset the peer
+// lacks.
+func (sv *Service) wantMissing(t *kernel.Task, fd int, refs []store.ChunkRef) ([]store.ChunkRef, bool) {
 	var e bin.Encoder
 	e.B = append(e.B, opWant)
 	e.U32(uint32(len(refs)))
@@ -452,11 +501,11 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 		e.Str(r.Hash)
 	}
 	if err := t.SendFrame(fd, e.B); err != nil {
-		return false
+		return nil, false
 	}
 	resp, err := t.RecvFrame(fd)
 	if err != nil || len(resp) == 0 || resp[0] != opAck {
-		return false
+		return nil, false
 	}
 	d := &bin.Decoder{B: resp[1:]}
 	nMissing := int(d.U32())
@@ -464,41 +513,44 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 	for i := 0; i < nMissing && d.Err == nil; i++ {
 		idx := int(d.U32())
 		if idx < 0 || idx >= len(refs) {
-			return false
+			return nil, false
 		}
 		missing = append(missing, refs[idx])
 	}
+	return missing, true
+}
 
-	// 2. Ship the manifest first: once it lands, the chunks that
-	// follow are referenced the moment they arrive, so the peer's own
-	// mark-and-sweep can never treat them as garbage mid-push.
-	ino, err := t.P.Node.FS.ReadFile(job.ManifestPath)
+// shipManifest sends one manifest to an open peer connection.
+func (sv *Service) shipManifest(t *kernel.Task, fd int, manifestPath string) bool {
+	p := t.P.Node.Cluster.Params
+	ino, err := t.P.Node.FS.ReadFile(manifestPath)
 	if err != nil {
 		return false
 	}
-	t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, int64(len(ino.Data))))
+	t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, int64(len(ino.Data))))
 	var me bin.Encoder
 	me.B = append(me.B, opManifest)
-	me.Str(job.ManifestPath)
+	me.Str(manifestPath)
 	me.Bytes(ino.Data)
 	if err := t.SendFrame(fd, me.B); err != nil {
 		return false
 	}
 	sv.Stats.ManifestBytes += int64(len(ino.Data))
+	return true
+}
 
-	// 3. Ship the missing chunks, then have the peer verify the whole
-	// generation against the manifest it now holds.  The verification
-	// closes the remaining race: a chunk the want-reply counted as
-	// present could have been swept by the peer's GC (its referencing
-	// manifest pruned) before our manifest arrived to pin it — any
-	// such hole is reported back and re-pushed.
+// verifyPush has the peer check a shipped generation against the
+// manifest it now holds, re-pushing any holes.  The verification
+// closes the remaining race: a chunk the want-reply counted as present
+// could have been swept by the peer's GC (its referencing manifest
+// pruned) before our manifest arrived to pin it — and, on the eager
+// streaming path, a chunk streamed ahead of the manifest could have
+// been swept as unreferenced garbage in the same window.
+func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestPath string, refs []store.ChunkRef) bool {
 	for attempt := 0; ; attempt++ {
-		if !sv.shipChunks(t, st, fd, missing) {
-			return false
-		}
 		var de bin.Encoder
 		de.B = append(de.B, opDone)
-		de.Str(job.ManifestPath)
+		de.Str(manifestPath)
 		if err := t.SendFrame(fd, de.B); err != nil {
 			return false
 		}
@@ -509,12 +561,12 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 		d := &bin.Decoder{B: ack[1:]}
 		nHoles := int(d.U32())
 		if nHoles == 0 {
-			break
+			return true
 		}
 		if attempt >= 2 {
 			return false
 		}
-		missing = missing[:0]
+		missing := make([]store.ChunkRef, 0, nHoles)
 		for i := 0; i < nHoles && d.Err == nil; i++ {
 			idx := int(d.U32())
 			if idx < 0 || idx >= len(refs) {
@@ -522,23 +574,25 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 			}
 			missing = append(missing, refs[idx])
 		}
+		if !sv.shipChunks(t, st, fd, missing) {
+			return false
+		}
 	}
-	sv.Stats.Pushes++
-	return true
 }
 
 // shipChunks streams the given chunks to an open peer connection:
 // local disk read plus one network transfer of the stored (compressed)
-// bytes each.
+// bytes each.  Chunks travel in stored form — no decompression, and
+// the transfer occupies no core.
 func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []store.ChunkRef) bool {
 	p := t.P.Node.Cluster.Params
-	st.ChargeRead(t, refs)
+	st.ChargeReadRaw(t, refs)
 	for _, ref := range refs {
 		data, err := st.ReadChunkData(ref.Hash)
 		if err != nil {
 			return false
 		}
-		t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ref.StoredBytes))
+		t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, ref.StoredBytes))
 		var ce bin.Encoder
 		ce.B = append(ce.B, opChunk)
 		ce.Str(ref.Hash)
@@ -696,7 +750,7 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 				continue
 			}
 			t.P.Node.ReadPipeFor(path).Read(t.T, ino.Size())
-			t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
+			t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
 			var e bin.Encoder
 			e.B = append(e.B, opAck)
 			e.Bytes(ino.Data)
@@ -710,7 +764,7 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 				continue
 			}
 			t.P.Node.ReadPipeFor(st.ChunkPath(hash)).Read(t.T, ino.Size())
-			t.Compute(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
+			t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, ino.Size()))
 			var e bin.Encoder
 			e.B = append(e.B, opAck)
 			e.Bytes(ino.Data)
@@ -728,6 +782,16 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 // it asks only for missing chunks, a node that already holds replicas
 // fetches ~nothing.
 func (sv *Service) EnsureLocal(t *kernel.Task, manifestPath, fromHost string) (FetchStats, error) {
+	return sv.EnsureLocalN(t, manifestPath, fromHost, 1)
+}
+
+// EnsureLocalN is EnsureLocal with a parallel fetch pool: missing
+// chunks are partitioned across workers tasks, each pulling over its
+// own connection to fromHost's daemon, so a recovery fetch can use the
+// peer's read bandwidth and the local cores (chunk writes land
+// decompressed-never, but local store writes still cost bandwidth)
+// instead of serializing request/response round trips.
+func (sv *Service) EnsureLocalN(t *kernel.Task, manifestPath, fromHost string, workers int) (FetchStats, error) {
 	var fs FetchStats
 	local := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
 
@@ -778,27 +842,64 @@ func (sv *Service) EnsureLocal(t *kernel.Task, manifestPath, fromHost string) (F
 	if len(missing) == 0 {
 		return fs, nil
 	}
-	if err := dial(); err != nil {
-		return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
-	}
-	for _, ref := range missing {
+	// fetchOne pulls one chunk over an open connection.
+	fetchOne := func(ft *kernel.Task, cfd int, ref store.ChunkRef) error {
 		var e bin.Encoder
 		e.B = append(e.B, opGetChunk)
 		e.Str(ref.Hash)
-		if err := t.SendFrame(fd, e.B); err != nil {
-			return fs, err
+		if err := ft.SendFrame(cfd, e.B); err != nil {
+			return err
 		}
-		resp, err := t.RecvFrame(fd)
+		resp, err := ft.RecvFrame(cfd)
 		if err != nil {
-			return fs, err
+			return err
 		}
 		if len(resp) == 0 || resp[0] != opAck {
-			return fs, fmt.Errorf("replica: %s lacks chunk %s", fromHost, ref.Hash)
+			return fmt.Errorf("replica: %s lacks chunk %s", fromHost, ref.Hash)
 		}
 		d := &bin.Decoder{B: resp[1:]}
-		local.PutReplicaChunk(t, ref, d.Bytes())
+		local.PutReplicaChunk(ft, ref, d.Bytes())
 		fs.Chunks++
 		fs.Bytes += ref.StoredBytes
+		return nil
+	}
+	if workers <= 1 || len(missing) == 1 {
+		if err := dial(); err != nil {
+			return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
+		}
+		for _, ref := range missing {
+			if err := fetchOne(t, fd, ref); err != nil {
+				return fs, err
+			}
+		}
+		return fs, nil
+	}
+	// Parallel fetch: workers claim chunks through the shared worker
+	// pool, each over its own (lazily dialed) connection to the
+	// serving daemon.  Connections live in the calling process's fd
+	// table and are closed after the pool drains.
+	conns := map[*kernel.Task]int{}
+	defer func() {
+		for _, cfd := range conns {
+			t.Close(cfd)
+		}
+	}()
+	err = kernel.RunWorkers(t, workers, len(missing), "fetch-worker", func(ft *kernel.Task, i int) error {
+		cfd, ok := conns[ft]
+		if !ok {
+			cfd = ft.Socket()
+			if of, ferr := ft.P.FD(cfd); ferr == nil {
+				of.Protected = true
+			}
+			conns[ft] = cfd
+			if cerr := ft.Connect(cfd, kernel.Addr{Host: fromHost, Port: Port}); cerr != nil {
+				return cerr
+			}
+		}
+		return fetchOne(ft, cfd, missing[i])
+	})
+	if err != nil {
+		return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
 	}
 	return fs, nil
 }

@@ -1,0 +1,250 @@
+package replica
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Eager streaming: replication fan-out overlapping the checkpoint
+// write.  The checkpoint writer opens a Stream before it starts
+// committing chunks; per-peer shipper tasks — running in the source
+// node's replica daemon, so they outlive the checkpointed process —
+// consume chunks as they land and push them with the same want/missing
+// handshake post-commit replication uses.  The manifest still travels
+// only at commit, so a peer holding eagerly streamed chunks of an
+// uncommitted generation simply holds unreferenced objects: its own
+// mark-and-sweep may reclaim them at will, and the commit-time verify
+// pass re-ships any such hole.  GC watermark semantics are unchanged —
+// the source's watermark is initialized at commit (before the
+// coordinator's post-round collection can run) and advances only after
+// the full fan-out verifies.
+//
+// Stream implements the checkpoint layer's ChunkStream interface
+// structurally; this package never imports it.
+
+// streamBatch bounds how many freshly landed chunks one want/missing
+// round trip covers.
+const streamBatch = 32
+
+// Stream is one checkpoint generation being replicated while it is
+// still being written.
+type Stream struct {
+	sv   *Service
+	src  *kernel.Node
+	name string
+	gen  int64
+
+	refs         []store.ChunkRef // chunks handed over, arrival order
+	committed    bool
+	aborted      bool
+	manifestPath string
+	// overlap is the pre-commit shipped total of the farthest-ahead
+	// peer (a max, not a sum: with factor >= 2 every peer receives the
+	// same chunks, and "how much of the image was replicated before
+	// commit" must never exceed the image).
+	overlap int64
+	// writer is the process feeding the stream: the checkpointed
+	// process that opened it, re-pointed at the forked writer child by
+	// its first Chunk call.  A dead writer with no commit means the
+	// stream can never complete and is aborted.
+	writer *kernel.Process
+
+	w       *sim.WaitQueue
+	targets int
+	pending int // shipper tasks still running
+	okPeers int
+}
+
+// NewStream opens an eager-replication stream for one upcoming
+// generation of name on src, fed by writer (the checkpointed process;
+// a forked writer child re-points the stream at itself with its first
+// chunk).  It returns nil when streaming cannot run (no live daemon on
+// the source, or no placement targets) — callers fall back to plain
+// post-commit Enqueue.
+func (sv *Service) NewStream(src *kernel.Node, writer *kernel.Process, name string, gen int64) *Stream {
+	daemon := sv.daemons[src]
+	if daemon == nil || daemon.Dead || daemon.Zombie || src.Down {
+		return nil
+	}
+	targets := sv.Targets(src)
+	if len(targets) == 0 {
+		return nil
+	}
+	s := &Stream{
+		sv:      sv,
+		src:     src,
+		name:    name,
+		gen:     gen,
+		writer:  writer,
+		w:       sim.NewWaitQueue(sv.C.Eng, src.Hostname+".stream"),
+		targets: len(targets),
+		pending: len(targets),
+	}
+	sv.streams[src] = append(sv.streams[src], s)
+	for _, peer := range targets {
+		peer := peer
+		daemon.SpawnTask("repl-stream", true, func(st *kernel.Task) {
+			ok := s.shipTo(st, peer)
+			s.finishPeer(st, peer, ok)
+		})
+	}
+	return s
+}
+
+// Chunk hands one durable chunk to the stream (ChunkStream).
+func (s *Stream) Chunk(t *kernel.Task, ref store.ChunkRef) {
+	if s.aborted {
+		return
+	}
+	s.writer = t.P
+	s.refs = append(s.refs, ref)
+	s.w.WakeAll()
+}
+
+// Commit reports the written manifest and returns the stored bytes
+// the farthest-ahead peer had already received before this instant
+// (ChunkStream).  The source's replication watermark is initialized
+// here so the coordinator's post-round GC can never prune the
+// generation while its fan-out completes.
+func (s *Stream) Commit(t *kernel.Task, manifestPath string) int64 {
+	if s.aborted {
+		return 0
+	}
+	s.writer = t.P
+	store.Open(s.src, store.Config{Root: s.sv.Cfg.Root}).InitReplicationWatermark(t, s.name)
+	s.manifestPath = manifestPath
+	s.committed = true
+	s.w.WakeAll()
+	return s.overlap
+}
+
+// Abort discards the stream without committing (ChunkStream).
+func (s *Stream) Abort() {
+	s.aborted = true
+	s.w.WakeAll()
+}
+
+// stale reports that the stream can never commit: its writer process
+// died (or its node did) before the manifest landed.
+func (s *Stream) stale() bool {
+	if s.committed || s.aborted {
+		return false
+	}
+	if s.src.Down {
+		return true
+	}
+	return s.writer != nil && (s.writer.Dead || s.writer.Zombie)
+}
+
+// shipTo feeds one peer: chunks in want/missing batches as they land,
+// then the manifest and the verify pass at commit.
+func (s *Stream) shipTo(t *kernel.Task, peer *kernel.Node) bool {
+	sv := s.sv
+	st := store.Open(s.src, store.Config{Root: sv.Cfg.Root})
+	fd := t.Socket()
+	defer t.Close(fd)
+	if err := t.Connect(fd, kernel.Addr{Host: peer.Hostname, Port: Port}); err != nil {
+		return false
+	}
+	cursor := 0
+	var preBytes int64 // this peer's pre-commit shipped total
+	for {
+		for cursor == len(s.refs) && !s.committed && !s.aborted {
+			if s.stale() {
+				s.Abort()
+				return false
+			}
+			s.w.WaitTimeout(t.T, 100*time.Millisecond)
+		}
+		if s.aborted {
+			return false
+		}
+		if cursor < len(s.refs) {
+			hi := len(s.refs)
+			if hi > cursor+streamBatch {
+				hi = cursor + streamBatch
+			}
+			batch := s.refs[cursor:hi]
+			cursor = hi
+			preCommit := !s.committed
+			missing, ok := sv.wantMissing(t, fd, batch)
+			if !ok {
+				return false
+			}
+			if !sv.shipChunks(t, st, fd, missing) {
+				return false
+			}
+			if preCommit {
+				for _, r := range missing {
+					preBytes += r.StoredBytes
+				}
+				if preBytes > s.overlap {
+					s.overlap = preBytes
+				}
+			}
+			continue
+		}
+		break // committed and fully drained
+	}
+	if !sv.shipManifest(t, fd, s.manifestPath) {
+		return false
+	}
+	// The verify pass reports holes as indices into the manifest's
+	// chunk order, not the stream's arrival order.
+	m, err := st.LoadManifest(s.manifestPath)
+	if err != nil {
+		return false
+	}
+	if !sv.verifyPush(t, st, fd, s.manifestPath, m.Refs()) {
+		return false
+	}
+	sv.Stats.Pushes++
+	return true
+}
+
+// finishPeer retires one shipper; the last one resolves the stream.
+func (s *Stream) finishPeer(t *kernel.Task, peer *kernel.Node, ok bool) {
+	sv := s.sv
+	if ok {
+		s.okPeers++
+		if sv.OnReplicated != nil {
+			sv.OnReplicated(s.name, s.gen, peer.Hostname)
+		}
+	}
+	s.pending--
+	if s.pending > 0 {
+		return
+	}
+	// Last shipper out: resolve the stream.
+	ss := sv.streams[s.src]
+	for i, other := range ss {
+		if other == s {
+			sv.streams[s.src] = append(ss[:i], ss[i+1:]...)
+			break
+		}
+	}
+	if len(sv.streams[s.src]) == 0 {
+		delete(sv.streams, s.src)
+	}
+	switch {
+	case !s.committed || s.aborted:
+		// Never committed: nothing to replicate; the peers hold (at
+		// most) unreferenced chunks their GC is free to sweep.
+	case s.okPeers == s.targets:
+		st := store.Open(s.src, store.Config{Root: sv.Cfg.Root})
+		st.SetReplicationWatermark(t, s.name, s.gen)
+		sv.Stats.Generations++
+		if sv.OnWatermark != nil {
+			sv.OnWatermark(s.name, s.gen, s.src.Hostname)
+		}
+	default:
+		// Partial fan-out (a peer died or raced its GC out of
+		// retries): fall back to the queued path, which re-picks live
+		// targets and ships only what they still lack.
+		sv.Enqueue(s.src, Job{Name: s.name, Generation: s.gen, ManifestPath: s.manifestPath})
+	}
+	sv.idleW.WakeAll()
+}

@@ -108,6 +108,12 @@ type Thread struct {
 	killed      bool
 	interrupted bool
 
+	// suspendHook, when set, is called with true on Suspend and false
+	// on Resume.  Resource schedulers that account for this thread
+	// while it blocks (the kernel's per-node core scheduler) use it to
+	// stop and restart the accounting across a suspension.
+	suspendHook func(suspended bool)
+
 	exited *WaitQueue // woken when the thread dies
 }
 
@@ -235,6 +241,9 @@ func (t *Thread) Suspend() {
 		panic(fmt.Sprintf("sim: thread %q cannot Suspend itself", t.name))
 	}
 	t.suspended = true
+	if t.suspendHook != nil {
+		t.suspendHook(true)
+	}
 	if t.state == stateSleeping {
 		if rem := t.sleepUntil.Sub(t.eng.now); rem > 0 {
 			t.sleepRemainder = rem
@@ -255,6 +264,9 @@ func (t *Thread) Resume() {
 		return
 	}
 	t.suspended = false
+	if t.suspendHook != nil {
+		t.suspendHook(false)
+	}
 	switch {
 	case t.pendingWake:
 		t.pendingWake = false
@@ -296,6 +308,11 @@ func (t *Thread) ClearInterrupt() bool {
 // Interrupted reports whether an interrupt has been delivered and not
 // yet cleared.
 func (t *Thread) Interrupted() bool { return t.interrupted }
+
+// SetSuspendHook installs (or, with nil, clears) the suspend/resume
+// notification callback.  At most one hook is active per thread; the
+// caller owns the window in which it is set.
+func (t *Thread) SetSuspendHook(fn func(suspended bool)) { t.suspendHook = fn }
 
 // Kill terminates the thread.  If it has not started it never will;
 // otherwise its goroutine is unwound immediately (deferred functions

@@ -29,9 +29,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/sim"
 )
 
 // DefaultChunkBytes is the store's chunking granularity; it matches
@@ -151,20 +153,79 @@ func (s *Store) HasChunk(hash string) bool {
 	return s.Node.FS.Exists(s.ChunkPath(hash))
 }
 
+// inflightPuts tracks chunk hashes currently being compressed/written
+// per node, so concurrent PutChunk callers (parallel checkpoint
+// writers, replica receivers) never duplicate the compression CPU and
+// storage write for one chunk: the first writer claims the hash,
+// later callers wait and then observe a dedup hit.  The map itself is
+// mutex-guarded because independent simulations (parallel tests) share
+// the package; all WaitQueue operations stay within one engine's
+// cooperative scheduling.
+var (
+	inflightMu   sync.Mutex
+	inflightPuts = map[*kernel.Node]map[string]*sim.WaitQueue{}
+)
+
+// claimPut claims hash for writing on s's node.  It returns nil when
+// the claim was won; otherwise the queue to wait on until the current
+// writer finishes.
+func (s *Store) claimPut(hash string) *sim.WaitQueue {
+	inflightMu.Lock()
+	defer inflightMu.Unlock()
+	m := inflightPuts[s.Node]
+	if m == nil {
+		m = make(map[string]*sim.WaitQueue)
+		inflightPuts[s.Node] = m
+	}
+	if wq, busy := m[hash]; busy {
+		return wq
+	}
+	m[hash] = sim.NewWaitQueue(s.Node.Cluster.Eng, "store.put."+hash[:8])
+	return nil
+}
+
+// releasePut retires a claim and wakes waiters.
+func (s *Store) releasePut(hash string) {
+	inflightMu.Lock()
+	m := inflightPuts[s.Node]
+	wq := m[hash]
+	delete(m, hash)
+	if len(m) == 0 {
+		delete(inflightPuts, s.Node)
+	}
+	inflightMu.Unlock()
+	if wq != nil {
+		wq.WakeAll()
+	}
+}
+
 // PutChunk stores one chunk if absent.  It always charges the
 // content-addressed index probe; for a chunk that is already present
 // nothing else is charged or written — that skip is the entire dedup
 // win.  For a new chunk it charges compression CPU (when enabled) and
 // storage bandwidth for the stored size, then writes the object.
 // It returns the stored size and whether the chunk was new.
+//
+// PutChunk is safe for concurrent writer tasks: callers racing on one
+// hash serialize through an in-flight claim, so exactly one pays the
+// compression and write while the rest see a dedup hit.
 func (s *Store) PutChunk(t *kernel.Task, ref *ChunkRef, data []byte) (int64, bool) {
 	p := s.params()
 	t.Compute(p.ChunkLookupCost)
-	path := s.ChunkPath(ref.Hash)
-	if ino, err := s.Node.FS.ReadFile(path); err == nil {
-		ref.StoredBytes = ino.Size()
-		return ino.Size(), false
+	for {
+		path := s.ChunkPath(ref.Hash)
+		if ino, err := s.Node.FS.ReadFile(path); err == nil {
+			ref.StoredBytes = ino.Size()
+			return ino.Size(), false
+		}
+		wq := s.claimPut(ref.Hash)
+		if wq == nil {
+			break // claim won: this task writes the chunk
+		}
+		wq.Wait(t.T) // another task is writing it; re-check when done
 	}
+	defer s.releasePut(ref.Hash)
+	path := s.ChunkPath(ref.Hash)
 	stored := ref.LogicalBytes
 	if s.Cfg.Compress {
 		rng := s.Node.Cluster.Eng.Rand()
@@ -189,19 +250,27 @@ func (s *Store) ReadChunkData(hash string) ([]byte, error) {
 }
 
 // ChargeRead charges storage bandwidth and decompression CPU for
-// streaming the given chunks out of the store.
+// streaming the given chunks out of the store and reconstructing their
+// logical bytes (the restore path).
 func (s *Store) ChargeRead(t *kernel.Task, refs []ChunkRef) {
 	p := s.params()
-	var stored int64
-	for _, r := range refs {
-		stored += r.StoredBytes
-	}
-	s.Node.ReadPipeFor(s.chunkDir()).Read(t.T, stored)
+	s.ChargeReadRaw(t, refs)
 	for _, r := range refs {
 		if r.StoredBytes < r.LogicalBytes {
 			t.Compute(p.DecompressTime(r.LogicalBytes, r.Class()))
 		}
 	}
+}
+
+// ChargeReadRaw charges only the storage bandwidth for streaming the
+// given chunks out in their stored (compressed) form — what shipping a
+// chunk to a replica peer costs, where nothing is decompressed.
+func (s *Store) ChargeReadRaw(t *kernel.Task, refs []ChunkRef) {
+	var stored int64
+	for _, r := range refs {
+		stored += r.StoredBytes
+	}
+	s.Node.ReadPipeFor(s.chunkDir()).Read(t.T, stored)
 }
 
 // Generations returns the committed generation numbers for an image
