@@ -55,6 +55,45 @@ func ratio(t *testing.T, cell string) float64 {
 	return f
 }
 
+// TestBenchRestoreGuard pins the committed BENCH_restore.json
+// acceptance floor:
+//
+//   - streaming may never lose to the serial fetch-then-install
+//     baseline (speedup >= 1.0 at every worker count, and >= 1.0
+//     against the same-worker-count serial column);
+//   - the 4-worker streamed remote-fetch restart is >= 2x the 1-worker
+//     fetch-then-install path (the headline acceptance criterion);
+//   - 8 workers on 4 cores show no real further speedup over 4.
+func TestBenchRestoreGuard(t *testing.T) {
+	tab := loadBenchTable(t, "BENCH_restore.json", "restore")
+	cWorkers := col(t, tab, "workers")
+	cSpeedup := col(t, tab, "speedup")
+	cVsFI := col(t, tab, "vs f+i")
+
+	speedups := map[string]float64{}
+	for _, row := range tab.Rows {
+		sp := ratio(t, row[cSpeedup])
+		if sp < 1.0 {
+			t.Errorf("workers %s: streamed speedup %.2f < 1.0", row[cWorkers], sp)
+		}
+		if vf := ratio(t, row[cVsFI]); vf < 1.0 {
+			t.Errorf("workers %s: streamed %.2fx vs same-width fetch-then-install, want >= 1.0",
+				row[cWorkers], vf)
+		}
+		speedups[row[cWorkers]] = sp
+	}
+	if speedups["4"] == 0 {
+		t.Fatal("no 4-worker row committed")
+	}
+	if speedups["4"] < 2.0 {
+		t.Errorf("4-worker streamed restart %.2fx vs 1-worker fetch-then-install, want >= 2x", speedups["4"])
+	}
+	if w8 := speedups["8"]; w8 != 0 && w8 > speedups["4"]*1.10 {
+		t.Errorf("8 workers on 4 cores sped up %.2fx over 4 workers' %.2fx: core accounting leak",
+			w8, speedups["4"])
+	}
+}
+
 // TestBenchPipelineGuard pins the committed BENCH_pipeline.json
 // acceptance floor:
 //

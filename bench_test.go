@@ -223,6 +223,35 @@ func BenchmarkPipelineWrite(b *testing.B) {
 	}
 }
 
+// BenchmarkRestoreStream measures the streamed restore pipeline: a
+// remote-fetch restart with fetch/decompress/install overlapped,
+// against the serial fetch-then-install baseline.
+func BenchmarkRestoreStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := RunRestore(benchOpts(b, i))
+		find := func(workers string) int {
+			for r, row := range tab.Rows {
+				if row[0] == workers {
+					return r
+				}
+			}
+			return -1
+		}
+		w1, w4 := find("1"), find("4")
+		if w1 >= 0 {
+			b.ReportMetric(cell(tab, w1, 1), "serial-fi-s")
+			b.ReportMetric(cell(tab, w1, 2), "1w-streamed-s")
+		}
+		if w4 >= 0 {
+			b.ReportMetric(cell(tab, w4, 2), "4w-streamed-s")
+			b.ReportMetric(cell(tab, w4, 6), "4w-overlap-MB")
+			if w1 >= 0 {
+				b.ReportMetric(cell(tab, w1, 1)/cell(tab, w4, 2), "4w-speedup") // target: ≥2
+			}
+		}
+	}
+}
+
 // BenchmarkDejaVuComparison regenerates the §2 related-work
 // comparison against a DejaVu-style logging checkpointer.
 func BenchmarkDejaVuComparison(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
 // sync, forked, barrier, dejavu, store, failover, coordha, pipeline,
-// all (default).
+// restore, all (default).
 package main
 
 import (
@@ -52,6 +52,7 @@ func main() {
 		{"failover", "replicated storage + node-failure recovery", func() *dmtcpsim.Table { return dmtcpsim.RunFailover(o) }},
 		{"coordha", "coordinator HA: journaled state machine + standby takeover", func() *dmtcpsim.Table { return dmtcpsim.RunCoordFailover(o) }},
 		{"pipeline", "parallel pipelined checkpoint write (workers x dirty%)", func() *dmtcpsim.Table { return dmtcpsim.RunPipeline(o) }},
+		{"restore", "streamed restore pipeline (remote-fetch restart x workers)", func() *dmtcpsim.Table { return dmtcpsim.RunRestore(o) }},
 	}
 	if *list {
 		for _, e := range exps {

@@ -203,5 +203,6 @@ var (
 	RunFailover      = experiments.RunFailover
 	RunCoordFailover = experiments.RunCoordFailover
 	RunPipeline      = experiments.RunPipeline
+	RunRestore       = experiments.RunRestore
 	RunAll           = experiments.All
 )

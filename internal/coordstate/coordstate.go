@@ -74,6 +74,15 @@ type RestartStages struct {
 	Fetch         time.Duration
 	FetchedBytes  int64
 	FetchedChunks int
+
+	// Streamed-restore pipeline statistics: Workers is the restore
+	// pool size (max across hosts), and OverlapBytes totals the stored
+	// bytes already decompressed/installed when the remote fetch
+	// finished — the fetch/install overlap the pipeline bought over
+	// fetch-then-install.  Fetch and Memory overlap on this path, so
+	// Total can be less than the sum of the stages.
+	Workers      int
+	OverlapBytes int64
 }
 
 // ImageInfo describes one per-process checkpoint file (a monolithic

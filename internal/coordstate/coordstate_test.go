@@ -348,7 +348,7 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 		{Kind: EvReplicated, Name: "n", Gen: 9, Holder: "h2"},
 		{Kind: EvWatermark, Name: "n", Gen: 9},
 		{Kind: EvRestartBegin},
-		{Kind: EvRestartEnd, Expect: 3, Restart: RestartStages{Files: 1, Conns: 2, Memory: 3, Refill: 4, Total: 5, Fetch: 6, FetchedBytes: 7, FetchedChunks: 8}},
+		{Kind: EvRestartEnd, Expect: 3, Restart: RestartStages{Files: 1, Conns: 2, Memory: 3, Refill: 4, Total: 5, Fetch: 6, FetchedBytes: 7, FetchedChunks: 8, Workers: 4, OverlapBytes: 99}},
 		{Kind: EvRestartFail, Msg: "m"},
 		{Kind: EvTakeover, Leader: "l", Epoch: 2},
 	}

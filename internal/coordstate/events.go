@@ -241,6 +241,10 @@ func apply(st *State, ev Event) []Effect {
 			}
 			agg.FetchedBytes += s.FetchedBytes
 			agg.FetchedChunks += s.FetchedChunks
+			if s.Workers > agg.Workers {
+				agg.Workers = s.Workers
+			}
+			agg.OverlapBytes += s.OverlapBytes
 		}
 		n := time.Duration(len(st.RestartAgg))
 		agg.Files /= n
@@ -401,19 +405,7 @@ func (ev Event) Encode() []byte {
 		e.I64(int64(ev.Sync))
 		e.Bool(ev.Image != nil)
 		if ev.Image != nil {
-			img := ev.Image
-			e.Str(img.Host)
-			e.Str(img.Path)
-			e.Str(img.Prog)
-			e.I64(int64(img.VirtPid))
-			e.I64(img.Bytes)
-			e.I64(img.Raw)
-			e.I64(img.Generation)
-			e.Int(img.Chunks)
-			e.Int(img.NewChunks)
-			e.I64(img.Dedup)
-			e.Int(img.Workers)
-			e.I64(img.Overlap)
+			encodeImage(&e, ev.Image)
 		}
 	case EvRoundGC:
 		e.U32(uint32(len(ev.Idxs)))
@@ -441,15 +433,7 @@ func (ev Event) Encode() []byte {
 	case EvRestartBegin:
 	case EvRestartEnd:
 		e.Int(ev.Expect)
-		r := ev.Restart
-		e.I64(int64(r.Files))
-		e.I64(int64(r.Conns))
-		e.I64(int64(r.Memory))
-		e.I64(int64(r.Refill))
-		e.I64(int64(r.Total))
-		e.I64(int64(r.Fetch))
-		e.I64(r.FetchedBytes)
-		e.Int(r.FetchedChunks)
+		encodeRestart(&e, ev.Restart)
 	case EvRestartFail:
 		e.Str(ev.Msg)
 	case EvTakeover:
@@ -484,20 +468,8 @@ func DecodeEvent(b []byte) (Event, error) {
 		ev.Stage = time.Duration(d.I64())
 		ev.Sync = time.Duration(d.I64())
 		if d.Bool() {
-			img := &ImageInfo{}
-			img.Host = d.Str()
-			img.Path = d.Str()
-			img.Prog = d.Str()
-			img.VirtPid = kernel.Pid(d.I64())
-			img.Bytes = d.I64()
-			img.Raw = d.I64()
-			img.Generation = d.I64()
-			img.Chunks = d.Int()
-			img.NewChunks = d.Int()
-			img.Dedup = d.I64()
-			img.Workers = d.Int()
-			img.Overlap = d.I64()
-			ev.Image = img
+			img := decodeImage(d)
+			ev.Image = &img
 		}
 	case EvRoundGC:
 		n := int(d.U32())
@@ -525,14 +497,7 @@ func DecodeEvent(b []byte) (Event, error) {
 	case EvRestartBegin:
 	case EvRestartEnd:
 		ev.Expect = d.Int()
-		ev.Restart.Files = time.Duration(d.I64())
-		ev.Restart.Conns = time.Duration(d.I64())
-		ev.Restart.Memory = time.Duration(d.I64())
-		ev.Restart.Refill = time.Duration(d.I64())
-		ev.Restart.Total = time.Duration(d.I64())
-		ev.Restart.Fetch = time.Duration(d.I64())
-		ev.Restart.FetchedBytes = d.I64()
-		ev.Restart.FetchedChunks = d.Int()
+		ev.Restart = decodeRestart(d)
 	case EvRestartFail:
 		ev.Msg = d.Str()
 	case EvTakeover:

@@ -1,0 +1,291 @@
+package coordstate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/store"
+)
+
+// State snapshots: the journal-compaction artifact.  A long session's
+// journal grows one entry per barrier arrival, so a standby that joins
+// (or falls behind) late would replay an unbounded prefix.  Compaction
+// serializes the whole State at a round boundary and truncates the
+// journal prefix it summarizes; the snapshot ships to lagging peers
+// through the same want/missing handshake journal suffixes use, so
+// standby catch-up cost is bounded by (snapshot + suffix), not session
+// length.
+//
+// Encoding is deterministic (sorted map iteration), so the snapshot a
+// leader produces is a pure function of the state — replays and
+// re-ships agree byte for byte.
+
+// snapMagic guards snapshot decoding.
+const snapMagic = "CSNAP1\n"
+
+// EncodeState serializes a state for snapshotting.  The in-flight
+// round is volatile protocol state and must be nil (Compact only runs
+// at round boundaries).
+func EncodeState(st *State) ([]byte, error) {
+	if st.Round != nil {
+		return nil, fmt.Errorf("coordstate: cannot snapshot mid-round")
+	}
+	var e bin.Encoder
+	e.B = append(e.B, snapMagic...)
+	e.I64(st.Epoch)
+	e.Str(st.Leader)
+	e.I64(st.NextCID)
+	e.U32(uint32(len(st.Clients)))
+	for _, id := range st.ClientIDs() {
+		e.I64(id)
+		e.Str(st.Clients[id].Desc)
+	}
+	e.U32(uint32(len(st.Rounds)))
+	for _, r := range st.Rounds {
+		encodeRound(&e, r)
+	}
+	e.Int(st.PendingCkpt)
+	e.Bool(st.LastCfg.Compress)
+	e.Bool(st.LastCfg.Fsync)
+	e.Bool(st.LastCfg.Forked)
+	e.Bool(st.LastCfg.Store)
+	guids := make([]string, 0, len(st.Advertised))
+	for g := range st.Advertised {
+		guids = append(guids, g)
+	}
+	sort.Strings(guids)
+	e.U32(uint32(len(guids)))
+	for _, g := range guids {
+		addr := st.Advertised[g]
+		e.Str(g)
+		e.Str(addr.Host)
+		e.Int(addr.Port)
+	}
+	names := make([]string, 0, len(st.Placement))
+	for n := range st.Placement {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		pi := st.Placement[n]
+		e.Str(pi.Name)
+		e.Str(pi.Host)
+		e.Str(pi.Prog)
+		e.I64(int64(pi.VirtPid))
+		e.I64(pi.LatestGen)
+		e.I64(pi.ReplicatedGen)
+		hosts := pi.HolderHosts()
+		e.U32(uint32(len(hosts)))
+		for _, h := range hosts {
+			e.Str(h)
+			e.I64(pi.Holders[h])
+		}
+	}
+	e.Int(st.RestartExpect)
+	e.U32(uint32(len(st.RestartAgg)))
+	for _, r := range st.RestartAgg {
+		encodeRestart(&e, r)
+	}
+	e.Str(st.RestartErr)
+	e.Bool(st.RestartStats != nil)
+	if st.RestartStats != nil {
+		encodeRestart(&e, *st.RestartStats)
+	}
+	return e.B, nil
+}
+
+// DecodeState parses an EncodeState snapshot.
+func DecodeState(b []byte) (*State, error) {
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("coordstate: bad snapshot magic")
+	}
+	d := &bin.Decoder{B: b[len(snapMagic):]}
+	st := NewState()
+	st.Epoch = d.I64()
+	st.Leader = d.Str()
+	st.NextCID = d.I64()
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		id := d.I64()
+		st.Clients[id] = Client{ID: id, Desc: d.Str()}
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		st.Rounds = append(st.Rounds, decodeRound(d))
+	}
+	st.PendingCkpt = d.Int()
+	st.LastCfg.Compress = d.Bool()
+	st.LastCfg.Fsync = d.Bool()
+	st.LastCfg.Forked = d.Bool()
+	st.LastCfg.Store = d.Bool()
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		g := d.Str()
+		st.Advertised[g] = kernel.Addr{Host: d.Str(), Port: d.Int()}
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		pi := &PlaceInfo{Holders: make(map[string]int64)}
+		pi.Name = d.Str()
+		pi.Host = d.Str()
+		pi.Prog = d.Str()
+		pi.VirtPid = kernel.Pid(d.I64())
+		pi.LatestGen = d.I64()
+		pi.ReplicatedGen = d.I64()
+		for j, k := 0, int(d.U32()); j < k && d.Err == nil; j++ {
+			h := d.Str()
+			pi.Holders[h] = d.I64()
+		}
+		st.Placement[pi.Name] = pi
+	}
+	st.RestartExpect = d.Int()
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		st.RestartAgg = append(st.RestartAgg, decodeRestart(d))
+	}
+	st.RestartErr = d.Str()
+	if d.Bool() {
+		rs := decodeRestart(d)
+		st.RestartStats = &rs
+	}
+	if d.Err != nil {
+		return nil, fmt.Errorf("coordstate: snapshot decode: %w", d.Err)
+	}
+	return st, nil
+}
+
+func encodeRound(e *bin.Encoder, r *CkptRound) {
+	e.Int(r.Index)
+	e.Int(r.NumProcs)
+	e.I64(int64(r.Stages.Suspend))
+	e.I64(int64(r.Stages.Elect))
+	e.I64(int64(r.Stages.Drain))
+	e.I64(int64(r.Stages.Write))
+	e.I64(int64(r.Stages.Refill))
+	e.I64(int64(r.Stages.Total))
+	e.I64(r.Bytes)
+	e.I64(r.RawBytes)
+	e.I64(int64(r.SyncCost))
+	e.U32(uint32(len(r.Images)))
+	for i := range r.Images {
+		encodeImage(e, &r.Images[i])
+	}
+	e.Bool(r.Compress)
+	e.Bool(r.Forked)
+	e.Bool(r.Store)
+	e.I64(r.DedupBytes)
+	e.I64(r.OverlapBytes)
+	e.Bool(r.GC != nil)
+	if r.GC != nil {
+		encodeGC(e, *r.GC)
+	}
+}
+
+func decodeRound(d *bin.Decoder) *CkptRound {
+	r := &CkptRound{}
+	r.Index = d.Int()
+	r.NumProcs = d.Int()
+	r.Stages.Suspend = time.Duration(d.I64())
+	r.Stages.Elect = time.Duration(d.I64())
+	r.Stages.Drain = time.Duration(d.I64())
+	r.Stages.Write = time.Duration(d.I64())
+	r.Stages.Refill = time.Duration(d.I64())
+	r.Stages.Total = time.Duration(d.I64())
+	r.Bytes = d.I64()
+	r.RawBytes = d.I64()
+	r.SyncCost = time.Duration(d.I64())
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		r.Images = append(r.Images, decodeImage(d))
+	}
+	r.Compress = d.Bool()
+	r.Forked = d.Bool()
+	r.Store = d.Bool()
+	r.DedupBytes = d.I64()
+	r.OverlapBytes = d.I64()
+	if d.Bool() {
+		gc := decodeGC(d)
+		r.GC = &gc
+	}
+	return r
+}
+
+func encodeImage(e *bin.Encoder, img *ImageInfo) {
+	e.Str(img.Host)
+	e.Str(img.Path)
+	e.Str(img.Prog)
+	e.I64(int64(img.VirtPid))
+	e.I64(img.Bytes)
+	e.I64(img.Raw)
+	e.I64(img.Generation)
+	e.Int(img.Chunks)
+	e.Int(img.NewChunks)
+	e.I64(img.Dedup)
+	e.Int(img.Workers)
+	e.I64(img.Overlap)
+}
+
+func decodeImage(d *bin.Decoder) ImageInfo {
+	var img ImageInfo
+	img.Host = d.Str()
+	img.Path = d.Str()
+	img.Prog = d.Str()
+	img.VirtPid = kernel.Pid(d.I64())
+	img.Bytes = d.I64()
+	img.Raw = d.I64()
+	img.Generation = d.I64()
+	img.Chunks = d.Int()
+	img.NewChunks = d.Int()
+	img.Dedup = d.I64()
+	img.Workers = d.Int()
+	img.Overlap = d.I64()
+	return img
+}
+
+func encodeGC(e *bin.Encoder, gc store.GCStats) {
+	e.Int(gc.Pruned)
+	e.Int(gc.Manifests)
+	e.Int(gc.Live)
+	e.I64(gc.LiveBytes)
+	e.Int(gc.Swept)
+	e.I64(gc.SweptBytes)
+	e.I64(int64(gc.Took))
+}
+
+func decodeGC(d *bin.Decoder) store.GCStats {
+	var gc store.GCStats
+	gc.Pruned = d.Int()
+	gc.Manifests = d.Int()
+	gc.Live = d.Int()
+	gc.LiveBytes = d.I64()
+	gc.Swept = d.Int()
+	gc.SweptBytes = d.I64()
+	gc.Took = time.Duration(d.I64())
+	return gc
+}
+
+func encodeRestart(e *bin.Encoder, r RestartStages) {
+	e.I64(int64(r.Files))
+	e.I64(int64(r.Conns))
+	e.I64(int64(r.Memory))
+	e.I64(int64(r.Refill))
+	e.I64(int64(r.Total))
+	e.I64(int64(r.Fetch))
+	e.I64(r.FetchedBytes)
+	e.Int(r.FetchedChunks)
+	e.Int(r.Workers)
+	e.I64(r.OverlapBytes)
+}
+
+func decodeRestart(d *bin.Decoder) RestartStages {
+	var r RestartStages
+	r.Files = time.Duration(d.I64())
+	r.Conns = time.Duration(d.I64())
+	r.Memory = time.Duration(d.I64())
+	r.Refill = time.Duration(d.I64())
+	r.Total = time.Duration(d.I64())
+	r.Fetch = time.Duration(d.I64())
+	r.FetchedBytes = d.I64()
+	r.FetchedChunks = d.Int()
+	r.Workers = d.Int()
+	r.OverlapBytes = d.I64()
+	return r
+}

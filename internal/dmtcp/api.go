@@ -38,9 +38,25 @@ type Config struct {
 	// partitions its checkpoint across (hashing, compression, chunk
 	// writes), and symmetrically the restore/fetch pool at restart.
 	// The kernel's per-node core accounting keeps the speedup honest:
-	// workers beyond Node.Cores buy nothing.  0 or 1 is the serial
-	// paper-faithful path.
+	// workers beyond Node.Cores buy nothing.
+	//
+	// 0 means AUTO for the store pipeline: each pool sizes itself from
+	// the node's observed idle cores at the moment it starts (the core
+	// scheduler's Runnable count), so a checkpoint beside a busy
+	// co-tenant sizes down instead of oversubscribing, and a restore
+	// on an idle node uses the whole machine.  The monolithic
+	// (non-store) paper paths keep 0 == serial, so the Table 1 / Fig. 4
+	// anchors stay paper-faithful.
 	CkptWorkers int
+
+	// SerialRestore disables the streamed restore pipeline, restoring
+	// store-mode images the old way: fetch every missing chunk from
+	// the replica daemon first, then decompress and install.  It
+	// exists as the honest baseline the restore benchmark compares
+	// against, and it reproduces the legacy path faithfully — including
+	// that CkptWorkers: 0 stays serial rather than auto-sizing.  Leave
+	// it false to overlap fetch and install.
+	SerialRestore bool
 
 	// Store routes checkpoint images through the content-addressed
 	// chunk store under CkptDir/store: each generation writes only

@@ -444,7 +444,30 @@ func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
 	}
 	co.cmdWaiters = nil
 	co.Sys.doneW.WakeAll()
+	co.maybeCompact(t)
 	co.writeJournalFile(t)
+}
+
+// maybeCompact snapshots the coordinator state and truncates the
+// journal prefix once the materialized suffix exceeds
+// Params.JournalSnapshotEntries.  It only fires at round boundaries
+// (the snapshot format excludes the volatile in-flight round), so
+// standby catch-up stays bounded by snapshot + suffix instead of
+// growing with session length; a standby that predates the compaction
+// receives the snapshot wholesale through the journal shipper's
+// want/missing handshake.
+func (co *Coordinator) maybeCompact(t *kernel.Task) {
+	limit := int64(co.Sys.C.Params.JournalSnapshotEntries)
+	if limit <= 0 || co.Mach.Seq()-co.Mach.Base() < limit || co.st().Round != nil {
+		return
+	}
+	if err := co.Mach.Compact(); err != nil {
+		return
+	}
+	t.Compute(co.Sys.C.Params.JournalAppendCost)
+	co.journalBuf = co.Mach.JournalBytes()
+	co.journaledSeq = co.Mach.Seq()
+	co.shipW.WakeAll()
 }
 
 // writeJournalFile snapshots the serialized journal to the checkpoint
@@ -452,7 +475,12 @@ func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
 // design (the network replication to standbys is what takeover runs
 // on).
 func (co *Coordinator) writeJournalFile(t *kernel.Task) {
-	if fresh := co.Mach.EntriesSince(co.journaledSeq); len(fresh) > 0 {
+	if co.journaledSeq < co.Mach.Base() {
+		// The cached serialization predates a compaction (or this is a
+		// promoted standby that caught up via snapshot): rebuild whole.
+		co.journalBuf = co.Mach.JournalBytes()
+		co.journaledSeq = co.Mach.Seq()
+	} else if fresh := co.Mach.EntriesSince(co.journaledSeq); len(fresh) > 0 {
 		co.journalBuf = append(co.journalBuf, coordstate.EncodeEntries(fresh)...)
 		co.journaledSeq = co.Mach.Seq()
 	}
@@ -581,6 +609,8 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 		Fetch:         time.Duration(d.I64()),
 		FetchedBytes:  d.I64(),
 		FetchedChunks: d.Int(),
+		Workers:       d.Int(),
+		OverlapBytes:  d.I64(),
 	}
 	co.apply(t, ev)
 	co.retryDeferredGC(t)

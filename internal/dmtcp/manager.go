@@ -374,8 +374,17 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 	img.Ext["dmtcp.fdtable"] = encodeFDTable(m.fdTable(t, owners))
 	img.Ext["dmtcp.conns"] = encodeConns(m.connRecs(t, drained))
 	img.Ext["dmtcp.pids"] = encodePids(m.virtPid, m.pidTable)
+	workers := cfg.Workers
+	if workers == 0 && cfg.Store {
+		// Adaptive sizing (CkptWorkers == 0): the user threads were
+		// suspended above and released their core shares, so the idle
+		// count reflects exactly what this write can use beside the
+		// node's other tenants — all 4 cores on an idle node, fewer
+		// under load, never oversubscribing.
+		workers = p.Node.CPU().IdleCores()
+	}
 	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync,
-		Workers: cfg.Workers}
+		Workers: workers}
 	if cfg.Store {
 		opts.Store = m.sys.StoreOn(p.Node)
 		m.sys.noteStoreWrite(p.Node)
@@ -432,7 +441,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 			Path:     mtcp.ImagePath(opts.Dir, img, opts.Compress),
 			RawBytes: img.LogicalBytes(),
 			Bytes:    img.LogicalBytes(),
-			Workers:  max(cfg.Workers, 1),
+			Workers:  max(workers, 1),
 		}
 		if opts.Store != nil {
 			res.Path = opts.Store.ManifestPath(mtcp.ImageBase(img), opts.Generation)

@@ -252,3 +252,35 @@ func TestStoreQuick(t *testing.T) {
 	}
 	t.Log("\n" + tab.Render())
 }
+
+// TestRestoreQuick pins the streamed restore pipeline at smoke scale:
+// streaming beats fetch-then-install at every worker count, something
+// was actually fetched, and the pipeline recorded fetch/install
+// overlap.
+func TestRestoreQuick(t *testing.T) {
+	tab := RunRestore(quickOpts())
+	if len(tab.Rows) < 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		workers := row[0]
+		serial := parseSecs(t, row[1])
+		streamed := parseSecs(t, row[2])
+		fetched := parseSecs(t, row[5])
+		overlap := parseSecs(t, row[6])
+		if serial <= 0 || streamed <= 0 {
+			t.Fatalf("workers %s: non-positive times %v/%v", workers, serial, streamed)
+		}
+		if streamed >= serial {
+			t.Errorf("workers %s: streamed %.3fs not faster than fetch-then-install %.3fs",
+				workers, streamed, serial)
+		}
+		if fetched <= 0 {
+			t.Errorf("workers %s: remote restart fetched nothing", workers)
+		}
+		if overlap <= 0 {
+			t.Errorf("workers %s: no fetch/install overlap recorded", workers)
+		}
+	}
+	t.Log("\n" + tab.Render())
+}

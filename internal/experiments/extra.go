@@ -185,6 +185,7 @@ func All(o Opts) []*Table {
 		RunStore(o),
 		RunFailover(o),
 		RunPipeline(o),
+		RunRestore(o),
 	}
 }
 

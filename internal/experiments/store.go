@@ -106,7 +106,11 @@ func RunStore(o Opts) *Table {
 // between rounds, accumulating per-generation write time and bytes.
 func runStoreTrial(seed int64, mb, gens, rate int, useStore bool,
 	tm, sz, dd *Sample) {
-	cfg := dmtcp.Config{Compress: true}
+	// CkptWorkers pinned to 1: this experiment isolates the dedup axis
+	// (incremental vs full rewrite at equal parallelism); the pipeline
+	// and restore experiments own the worker axis, and CkptWorkers: 0
+	// would auto-size the store path to all idle cores.
+	cfg := dmtcp.Config{Compress: true, CkptWorkers: 1}
 	if useStore {
 		cfg.Store = true
 		cfg.StoreKeep = 2

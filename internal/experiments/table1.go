@@ -103,5 +103,10 @@ func RunTable1(o Opts) *Table {
 		rsRow("restart: refill buffers", func(r *dmtcp.RestartStages) time.Duration { return r.Refill }),
 		rsRow("restart: TOTAL", func(r *dmtcp.RestartStages) time.Duration { return r.Total }),
 	)
+	t.Notes = append(t.Notes,
+		"restart stages here are serial, as in the paper (monolithic images);",
+		"under Config.Store the streamed restore pipeline overlaps the remote-fetch and",
+		"memory/threads stages (restart TOTAL < their sum) — see BENCH_restore.json",
+	)
 	return t
 }

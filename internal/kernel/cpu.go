@@ -65,6 +65,23 @@ func (cs *CPUSched) Runnable() int {
 	return n
 }
 
+// IdleCores returns how many of the node's cores are not claimed by a
+// runnable compute job right now, never reporting below one: even a
+// fully loaded node can run one worker (it just shares).  This is the
+// signal adaptive worker sizing reads — a checkpoint or restore pool
+// sized from it uses every core of an idle node and stays out of the
+// way of a busy one.  With core accounting disabled it returns 1.
+func (cs *CPUSched) IdleCores() int {
+	if cs.cores <= 0 {
+		return 1
+	}
+	idle := cs.cores - cs.Runnable()
+	if idle < 1 {
+		idle = 1
+	}
+	return idle
+}
+
 // rate returns the per-job service rate in core-seconds per second.
 func (cs *CPUSched) rate() float64 {
 	k := cs.Runnable()

@@ -101,6 +101,47 @@ func TestCPUSuspendedTaskReleasesCore(t *testing.T) {
 	})
 }
 
+// TestCPUIdleCores pins the adaptive-sizing signal: an idle node
+// reports every core free, load eats into the count one core per
+// runnable job, and a fully loaded (or oversubscribed) node still
+// reports one — a pool sized from it always makes progress.
+func TestCPUIdleCores(t *testing.T) {
+	te := newEnv(t, 1)
+	te.run(t, func(task *Task) {
+		cpu := task.P.Node.CPU()
+		if got := cpu.IdleCores(); got != 4 {
+			t.Errorf("idle node IdleCores = %d, want 4", got)
+		}
+		wait := spawnComputers(task, 2, time.Second)
+		task.Idle(time.Millisecond) // let the burners enter Compute
+		if got := cpu.IdleCores(); got != 2 {
+			t.Errorf("IdleCores beside 2 burners = %d, want 2", got)
+		}
+		wait()
+		wait8 := spawnComputers(task, 8, time.Second)
+		task.Idle(time.Millisecond)
+		if got := cpu.IdleCores(); got != 1 {
+			t.Errorf("IdleCores on an oversubscribed node = %d, want 1", got)
+		}
+		// Suspending the burners frees their shares again — the state a
+		// checkpoint writer sizes itself in (user threads frozen).
+		for _, bt := range task.P.Tasks() {
+			if bt.Role == "burn" {
+				bt.T.Suspend()
+			}
+		}
+		if got := cpu.IdleCores(); got != 4 {
+			t.Errorf("IdleCores with all burners suspended = %d, want 4", got)
+		}
+		for _, bt := range task.P.Tasks() {
+			if bt.Role == "burn" {
+				bt.T.Resume()
+			}
+		}
+		wait8()
+	})
+}
+
 // TestCPUKilledTaskReleasesCore pins that killing a process mid-compute
 // frees its core shares for the survivors.
 func TestCPUKilledTaskReleasesCore(t *testing.T) {

@@ -47,6 +47,12 @@ type Params struct {
 	// is what bounds parallel checkpoint-writer speedup and makes the
 	// §5.3 compression slowdown an emergent effect.  0 disables core
 	// accounting.
+	//
+	// The scheduler also exposes the idle-core count
+	// (kernel.CPUSched.IdleCores), which is what dmtcp.Config's
+	// CkptWorkers: 0 ("auto") sizes the store-pipeline write/restore/
+	// fetch worker pools from: all idle cores on a quiet node, fewer
+	// beside busy co-tenants, never oversubscribing.
 	CoresPerNode int
 
 	// ---- MTCP / DMTCP machinery ----
@@ -188,6 +194,13 @@ type Params struct {
 	// JournalRetryDelay is how long the shipper backs off when a
 	// standby's replica daemon is unreachable.
 	JournalRetryDelay time.Duration
+	// JournalSnapshotEntries is the compaction threshold: once the
+	// materialized journal suffix exceeds this many entries at a round
+	// boundary, the coordinator snapshots its state and truncates the
+	// prefix, so a standby's catch-up cost is bounded by
+	// snapshot + suffix instead of growing with session length.
+	// 0 disables compaction.
+	JournalSnapshotEntries int
 	// ElectionTimeout is the extra delay a standby waits after the
 	// failure detector fires before claiming leadership (lets a
 	// higher-priority standby claim first in a real deployment).
@@ -259,14 +272,15 @@ func Default() *Params {
 		ReplicaRPCCost:     25 * time.Microsecond,
 		FailureDetectDelay: 250 * time.Millisecond,
 
-		JournalAppendCost: 3 * time.Microsecond,
-		JournalShipDelay:  2 * time.Millisecond,
-		JournalRetryDelay: 50 * time.Millisecond,
-		ElectionTimeout:   150 * time.Millisecond,
-		CoordRetryBase:    10 * time.Millisecond,
-		CoordRetryCap:     200 * time.Millisecond,
-		CoordRetryWindow:  5 * time.Second,
-		ResyncWindow:      500 * time.Millisecond,
+		JournalAppendCost:      3 * time.Microsecond,
+		JournalShipDelay:       2 * time.Millisecond,
+		JournalRetryDelay:      50 * time.Millisecond,
+		JournalSnapshotEntries: 512,
+		ElectionTimeout:        150 * time.Millisecond,
+		CoordRetryBase:         10 * time.Millisecond,
+		CoordRetryCap:          200 * time.Millisecond,
+		CoordRetryWindow:       5 * time.Second,
+		ResyncWindow:           500 * time.Millisecond,
 	}
 }
 

@@ -388,6 +388,13 @@ func chargeChunkedRestoreN(t *kernel.Task, img *Image, path string, workers int)
 	if !ok {
 		return false
 	}
+	if img.bulkCharged {
+		// The streamed restore pipeline already paid the chunk reads
+		// and decompression; only the per-area install bookkeeping
+		// remains.
+		t.Compute(time.Duration(len(img.Areas)) * p.PerAreaCost)
+		return true
+	}
 	s := store.Open(t.P.Node, store.Config{Root: root})
 	m := img.manifest // decoded by loadChunked for this same image
 	if m == nil {

@@ -84,6 +84,12 @@ type Image struct {
 	// through the chunked path, so the bulk-restore charge does not
 	// decode it a second time.  Never serialized.
 	manifest *store.Manifest
+
+	// bulkCharged marks an image whose bulk restore cost (chunk reads
+	// and decompression) was already paid by the streamed restore
+	// pipeline; the per-process restore charge then covers only the
+	// per-area install bookkeeping.  Never serialized.
+	bulkCharged bool
 }
 
 // Capture snapshots a process into an image.  The caller (the

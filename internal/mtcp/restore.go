@@ -1,0 +1,239 @@
+package mtcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// The streamed restore pipeline: the read-path mirror of the parallel
+// pipelined write.  Restart used to run two serial phases — fetch
+// every missing chunk from a replica daemon, then decompress and
+// install the whole image — paying full network time plus full
+// decompress time back to back.  RestoreStreamed overlaps them: a
+// fetch stage pulls missing chunks from the serving holder while a
+// restore worker pool decompresses and installs each chunk the moment
+// it is available.  Chunks the local store already holds short-circuit
+// the network stage entirely, so a restart on a replica holder is pure
+// parallel decompress and a restart on a cold node hides most of the
+// decompress time inside the transfer.
+
+// ChunkFetcher supplies chunks the local store lacks during a streamed
+// restore — the pull peer of the write path's ChunkStream.  The DMTCP
+// layer implements it over the replica daemon protocol (with holder
+// fallback); MTCP only sees this interface.
+type ChunkFetcher interface {
+	// Fetch pulls refs into the local store, invoking deliver as each
+	// chunk becomes locally durable (any order).  It returns the
+	// stored bytes and chunk count actually transferred.  On error,
+	// chunks delivered so far remain valid; the pipeline aborts and
+	// the caller discards the partially restored image.
+	Fetch(t *kernel.Task, refs []store.ChunkRef, deliver func(store.ChunkRef)) (int64, int, error)
+}
+
+// RestoreOptions controls a streamed restore.
+type RestoreOptions struct {
+	// Workers sizes the install pool (decompression CPU; the node's
+	// core scheduler bounds the real speedup).  <= 1 installs serially
+	// but still overlaps with the fetch stage.
+	Workers int
+	// Fetch supplies chunks the local store lacks; nil requires every
+	// chunk to be local already (the short-circuit-only case).
+	Fetch ChunkFetcher
+}
+
+// RestoreStats reports one streamed restore.
+type RestoreStats struct {
+	// Took is the pipeline wall time: metadata read through the last
+	// installed chunk.
+	Took time.Duration
+	// Fetch is the network stage's active time (zero when every chunk
+	// was local); FetchedBytes/FetchedChunks what actually traveled.
+	Fetch         time.Duration
+	FetchedBytes  int64
+	FetchedChunks int
+	// OverlapBytes is the stored bytes already decompressed/installed
+	// when the fetch stage finished — the work the pipeline hid inside
+	// the transfer, which a fetch-then-install restore would have paid
+	// serially afterwards.
+	OverlapBytes int64
+	// Workers is the install pool size used.
+	Workers int
+}
+
+// RestoreStreamed loads a store manifest into an Image through the
+// streamed restore pipeline.  The manifest itself must already be
+// local (callers fetch it first — it is metadata-sized); chunk
+// payloads may live anywhere opts.Fetch can reach.  The returned image
+// carries its full payloads and has its bulk restore cost paid:
+// ChargeMemoryRestore on it charges only per-area install bookkeeping.
+func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, RestoreStats, error) {
+	p := t.P.Node.Cluster.Params
+	var rs RestoreStats
+	start := t.Now()
+
+	root, ok := store.RootForManifest(path)
+	if !ok {
+		return nil, rs, fmt.Errorf("%w: not a manifest path: %s", ErrBadImage, path)
+	}
+	s := store.Open(t.P.Node, store.Config{Root: root})
+	ino, err := t.P.Node.FS.ReadFile(path)
+	if err != nil {
+		return nil, rs, err
+	}
+	m, err := store.DecodeManifest(ino.Data)
+	if err != nil {
+		return nil, rs, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	img, err := Decode(m.Header)
+	if err != nil {
+		return nil, rs, err
+	}
+	t.Compute(p.RestoreSetup)
+	meta := ino.Size() + 64*1024
+	for _, e := range img.Ext {
+		meta += int64(len(e))
+	}
+	t.P.Node.ReadPipeFor(path).Read(t.T, meta)
+
+	// Deterministic work list with index-addressed payload slots, so
+	// the assembled image is byte-identical at any worker count and
+	// delivery order.
+	type chunkItem struct {
+		area, idx int
+		ref       store.ChunkRef
+	}
+	var items []chunkItem
+	slots := make([][][]byte, len(img.Areas))
+	for _, ac := range m.Areas {
+		if ac.Area < 0 || ac.Area >= len(img.Areas) {
+			return nil, rs, fmt.Errorf("%w: manifest area %d out of range", ErrBadImage, ac.Area)
+		}
+		slots[ac.Area] = make([][]byte, len(ac.Chunks))
+		for i, ref := range ac.Chunks {
+			items = append(items, chunkItem{area: ac.Area, idx: i, ref: ref})
+		}
+	}
+
+	// Partition: already-local chunks short-circuit the network stage;
+	// the rest go to the fetcher (unique by hash — a dedup'd chunk
+	// referenced by several areas travels once and installs everywhere).
+	ready := make([]int, 0, len(items))
+	byHash := make(map[string][]int)
+	var missing []store.ChunkRef
+	for i, it := range items {
+		if _, dup := byHash[it.ref.Hash]; dup {
+			byHash[it.ref.Hash] = append(byHash[it.ref.Hash], i)
+			continue
+		}
+		if s.HasChunk(it.ref.Hash) {
+			ready = append(ready, i)
+		} else {
+			byHash[it.ref.Hash] = append(byHash[it.ref.Hash], i)
+			missing = append(missing, it.ref)
+		}
+	}
+	if len(missing) > 0 && opts.Fetch == nil {
+		return nil, rs, fmt.Errorf("%w: %d chunks missing locally with no fetch source", ErrBadImage, len(missing))
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	rs.Workers = workers
+
+	eng := t.P.Node.Cluster.Eng
+	cond := sim.NewWaitQueue(eng, t.P.Node.Hostname+".restore-ready")
+	join := sim.NewWaitQueue(eng, t.P.Node.Hostname+".restore-join")
+	fetching := len(missing) > 0
+	var fetchErr error
+	var installedStored int64
+
+	if fetching {
+		fStart := t.Now()
+		t.P.SpawnTask("restore-fetch", true, func(ft *kernel.Task) {
+			bytes, chunks, err := opts.Fetch.Fetch(ft, missing, func(ref store.ChunkRef) {
+				ready = append(ready, byHash[ref.Hash]...)
+				cond.WakeAll()
+			})
+			rs.FetchedBytes += bytes
+			rs.FetchedChunks += chunks
+			rs.Fetch = ft.Now().Sub(fStart)
+			if err != nil {
+				fetchErr = err
+			} else {
+				// The network stage just ended: whatever the install
+				// pool finished by now rode inside the transfer.
+				rs.OverlapBytes = installedStored
+			}
+			fetching = false
+			cond.WakeAll()
+			join.WakeAll()
+		})
+	}
+
+	// Install pool: each worker claims ready chunks, charges the read
+	// bandwidth and decompression CPU (the core scheduler meters the
+	// real speedup), and lands the payload in its slot.
+	nWorkers := workers
+	if nWorkers > len(items) {
+		nWorkers = len(items)
+	}
+	joined := 0
+	for w := 0; w < nWorkers; w++ {
+		t.P.SpawnTask("restore-worker", true, func(wt *kernel.Task) {
+			defer func() {
+				joined++
+				join.WakeAll()
+			}()
+			for {
+				for len(ready) == 0 && fetching && fetchErr == nil {
+					cond.Wait(wt.T)
+				}
+				if len(ready) == 0 || fetchErr != nil {
+					return
+				}
+				i := ready[0]
+				ready = ready[1:]
+				it := items[i]
+				s.ChargeRead(wt, []store.ChunkRef{it.ref})
+				data, err := s.ReadChunkData(it.ref.Hash)
+				if err != nil {
+					if fetchErr == nil {
+						fetchErr = fmt.Errorf("%w: chunk %s vanished mid-restore: %v",
+							ErrBadImage, it.ref.Hash, err)
+					}
+					cond.WakeAll()
+					return
+				}
+				slots[it.area][it.idx] = data
+				installedStored += it.ref.StoredBytes
+			}
+		})
+	}
+	for joined < nWorkers || fetching {
+		join.Wait(t.T)
+	}
+	if fetchErr != nil {
+		// Abort: nothing was installed into a live process — the
+		// partially assembled image is discarded whole, so a lost
+		// holder can never corrupt a restore.
+		return nil, rs, fetchErr
+	}
+
+	for ai := range img.Areas {
+		var buf []byte
+		for _, part := range slots[ai] {
+			buf = append(buf, part...)
+		}
+		img.Areas[ai].Payload = buf
+	}
+	img.manifest = m
+	img.bulkCharged = true
+	rs.Took = t.Now().Sub(start)
+	return img, rs, nil
+}

@@ -60,9 +60,25 @@ const (
 	opGetChunk = 'h' // fetch: chunk by hash
 	opJWant    = 'W' // journal: which seq do you have? (epoch-fenced)
 	opJAppend  = 'J' // journal: entries batch → ack with new seq
+	opJSnap    = 'S' // journal: state snapshot (compaction catch-up)
 	opAck      = 'k'
 	opErr      = 'e'
 )
+
+// HolderLostError reports that a restore's serving holder became
+// unreachable mid-fetch.  The restart layer raises it only after every
+// fallback holder it knew of failed too; Hosts lists them in the order
+// tried.
+type HolderLostError struct {
+	Hosts []string
+	Err   error
+}
+
+func (e *HolderLostError) Error() string {
+	return fmt.Sprintf("replica: fetch holders %v lost mid-restore: %v", e.Hosts, e.Err)
+}
+
+func (e *HolderLostError) Unwrap() error { return e.Err }
 
 // Config selects replication behavior.
 type Config struct {
@@ -102,9 +118,12 @@ type Stats struct {
 	FetchChunks int
 	FetchBytes  int64
 	// JournalEntries and JournalBytes count coordinator journal
-	// records shipped to standby coordinators.
-	JournalEntries int
-	JournalBytes   int64
+	// records shipped to standby coordinators; JournalSnapshots counts
+	// compaction snapshots shipped wholesale to peers that predate a
+	// compaction.
+	JournalEntries   int
+	JournalBytes     int64
+	JournalSnapshots int
 }
 
 // FetchStats reports one EnsureLocal call.
@@ -313,6 +332,34 @@ func (sv *Service) PushJournal(t *kernel.Task, peerHost string, m *coordstate.Ma
 	from := have
 	if fence := m.FenceFor(peerEpoch); fence < from {
 		from = fence
+	}
+	if from < m.Base() {
+		// The peer predates a journal compaction: the prefix it needs
+		// no longer exists as entries.  Ship the state snapshot
+		// wholesale (it rewinds the peer past any divergence too), then
+		// continue with the materialized suffix.
+		base, snap := m.Snapshot()
+		var se bin.Encoder
+		se.B = append(se.B, opJSnap)
+		se.I64(m.Epoch())
+		se.I64(base)
+		se.Bytes(snap)
+		t.Compute(p.JournalAppendCost)
+		t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, int64(len(snap))))
+		if err := t.SendFrame(fd, se.B); err != nil {
+			return have, err
+		}
+		sack, err := t.RecvFrame(fd)
+		if err != nil {
+			return have, err
+		}
+		if len(sack) == 0 || sack[0] != opAck {
+			return have, fmt.Errorf("replica: %s rejected journal snapshot", peerHost)
+		}
+		have = (&bin.Decoder{B: sack[1:]}).I64()
+		from = base
+		sv.Stats.JournalSnapshots++
+		sv.Stats.JournalBytes += int64(len(snap))
 	}
 	entries := m.EntriesSince(from)
 	if len(entries) == 0 && from == have {
@@ -707,6 +754,29 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			e.I64(mach.Epoch())
 			e.I64(mach.Seq())
 			t.SendFrame(fd, e.B)
+		case opJSnap:
+			mach := sv.sinks[t.P.Node]
+			if mach == nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			d := &bin.Decoder{B: body}
+			epoch, base := d.I64(), d.I64()
+			data := d.Bytes()
+			if d.Err != nil || epoch < mach.Epoch() {
+				// A deposed leader cannot rewind a newer epoch's state.
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			t.Compute(p.JournalAppendCost)
+			if err := mach.InstallSnapshot(base, data); err != nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			var e bin.Encoder
+			e.B = append(e.B, opAck)
+			e.I64(mach.Seq())
+			t.SendFrame(fd, e.B)
 		case opJAppend:
 			mach := sv.sinks[t.P.Node]
 			if mach == nil {
@@ -793,47 +863,12 @@ func (sv *Service) EnsureLocal(t *kernel.Task, manifestPath, fromHost string) (F
 // instead of serializing request/response round trips.
 func (sv *Service) EnsureLocalN(t *kernel.Task, manifestPath, fromHost string, workers int) (FetchStats, error) {
 	var fs FetchStats
+	fetched, err := sv.EnsureManifest(t, manifestPath, fromHost)
+	if err != nil {
+		return fs, err
+	}
+	fs.ManifestFetched = fetched
 	local := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
-
-	var fd = -1
-	dial := func() error {
-		if fd >= 0 {
-			return nil
-		}
-		fd = t.Socket()
-		if of, err := t.P.FD(fd); err == nil {
-			of.Protected = true // infrastructure socket: not checkpointed
-		}
-		return t.Connect(fd, kernel.Addr{Host: fromHost, Port: Port})
-	}
-	defer func() {
-		if fd >= 0 {
-			t.Close(fd)
-		}
-	}()
-
-	if !t.P.Node.FS.Exists(manifestPath) {
-		if err := dial(); err != nil {
-			return fs, fmt.Errorf("replica: fetch %s from %s: %w", manifestPath, fromHost, err)
-		}
-		var e bin.Encoder
-		e.B = append(e.B, opGetMan)
-		e.Str(manifestPath)
-		if err := t.SendFrame(fd, e.B); err != nil {
-			return fs, err
-		}
-		resp, err := t.RecvFrame(fd)
-		if err != nil {
-			return fs, err
-		}
-		if len(resp) == 0 || resp[0] != opAck {
-			return fs, fmt.Errorf("replica: %s has no manifest %s", fromHost, manifestPath)
-		}
-		d := &bin.Decoder{B: resp[1:]}
-		local.PutRawManifest(t, manifestPath, d.Bytes())
-		fs.ManifestFetched = true
-	}
-
 	m, err := local.LoadManifest(manifestPath)
 	if err != nil {
 		return fs, err
@@ -842,6 +877,73 @@ func (sv *Service) EnsureLocalN(t *kernel.Task, manifestPath, fromHost string, w
 	if len(missing) == 0 {
 		return fs, nil
 	}
+	bytes, chunks, err := sv.FetchChunks(t, fromHost, missing, workers, nil)
+	fs.Bytes += bytes
+	fs.Chunks += chunks
+	return fs, err
+}
+
+// EnsureManifest makes one manifest present in the calling node's
+// store, pulling it from fromHost's replica daemon when the local
+// filesystem lacks it.  It reports whether a fetch happened.
+func (sv *Service) EnsureManifest(t *kernel.Task, manifestPath, fromHost string) (bool, error) {
+	if t.P.Node.FS.Exists(manifestPath) {
+		return false, nil
+	}
+	local := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true // infrastructure socket: not checkpointed
+	}
+	defer t.Close(fd)
+	if err := t.Connect(fd, kernel.Addr{Host: fromHost, Port: Port}); err != nil {
+		return false, fmt.Errorf("replica: fetch %s from %s: %w", manifestPath, fromHost, err)
+	}
+	var e bin.Encoder
+	e.B = append(e.B, opGetMan)
+	e.Str(manifestPath)
+	if err := t.SendFrame(fd, e.B); err != nil {
+		return false, err
+	}
+	resp, err := t.RecvFrame(fd)
+	if err != nil {
+		return false, err
+	}
+	if len(resp) == 0 || resp[0] != opAck {
+		return false, fmt.Errorf("replica: %s has no manifest %s", fromHost, manifestPath)
+	}
+	d := &bin.Decoder{B: resp[1:]}
+	local.PutRawManifest(t, manifestPath, d.Bytes())
+	return true, nil
+}
+
+// FetchChunks pulls the given chunks from fromHost's replica daemon
+// into the calling node's store over up to workers connections,
+// invoking deliver (when non-nil) as each chunk lands — the pull-
+// stream peer of the eager-replication Stream, and what the streamed
+// restore pipeline consumes: an install pool decompresses delivered
+// chunks while later ones are still in flight.  Chunks already local
+// are delivered without touching the network.  It returns the stored
+// bytes and chunk count actually transferred; on error, everything
+// delivered so far is durable and the caller may resume against
+// another holder with the still-missing subset.
+func (sv *Service) FetchChunks(t *kernel.Task, fromHost string, refs []store.ChunkRef, workers int, deliver func(store.ChunkRef)) (int64, int, error) {
+	local := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
+	var todo []store.ChunkRef
+	for _, ref := range refs {
+		if local.HasChunk(ref.Hash) {
+			if deliver != nil {
+				deliver(ref)
+			}
+			continue
+		}
+		todo = append(todo, ref)
+	}
+	if len(todo) == 0 {
+		return 0, 0, nil
+	}
+	var bytes int64
+	chunks := 0
 	// fetchOne pulls one chunk over an open connection.
 	fetchOne := func(ft *kernel.Task, cfd int, ref store.ChunkRef) error {
 		var e bin.Encoder
@@ -859,32 +961,27 @@ func (sv *Service) EnsureLocalN(t *kernel.Task, manifestPath, fromHost string, w
 		}
 		d := &bin.Decoder{B: resp[1:]}
 		local.PutReplicaChunk(ft, ref, d.Bytes())
-		fs.Chunks++
-		fs.Bytes += ref.StoredBytes
+		bytes += ref.StoredBytes
+		chunks++
+		if deliver != nil {
+			deliver(ref)
+		}
 		return nil
 	}
-	if workers <= 1 || len(missing) == 1 {
-		if err := dial(); err != nil {
-			return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
-		}
-		for _, ref := range missing {
-			if err := fetchOne(t, fd, ref); err != nil {
-				return fs, err
-			}
-		}
-		return fs, nil
+	// Workers claim chunks through the shared worker pool, each over
+	// its own (lazily dialed) connection to the serving daemon.
+	// Connections live in the calling process's fd table and are
+	// closed after the pool drains.
+	if workers < 1 {
+		workers = 1
 	}
-	// Parallel fetch: workers claim chunks through the shared worker
-	// pool, each over its own (lazily dialed) connection to the
-	// serving daemon.  Connections live in the calling process's fd
-	// table and are closed after the pool drains.
 	conns := map[*kernel.Task]int{}
 	defer func() {
 		for _, cfd := range conns {
 			t.Close(cfd)
 		}
 	}()
-	err = kernel.RunWorkers(t, workers, len(missing), "fetch-worker", func(ft *kernel.Task, i int) error {
+	err := kernel.RunWorkers(t, workers, len(todo), "fetch-worker", func(ft *kernel.Task, i int) error {
 		cfd, ok := conns[ft]
 		if !ok {
 			cfd = ft.Socket()
@@ -896,10 +993,10 @@ func (sv *Service) EnsureLocalN(t *kernel.Task, manifestPath, fromHost string, w
 				return cerr
 			}
 		}
-		return fetchOne(ft, cfd, missing[i])
+		return fetchOne(ft, cfd, todo[i])
 	})
 	if err != nil {
-		return fs, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
+		return bytes, chunks, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
 	}
-	return fs, nil
+	return bytes, chunks, nil
 }

@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"fmt"
 	"reflect"
 	"sort"
 	"testing"
@@ -366,6 +367,126 @@ func TestJournalFenceAfterDoubleTakeover(t *testing.T) {
 		}
 		if ahead.State().ClientByDesc("c/z[3]") != 0 {
 			t.Fatal("orphaned epoch-0 entry kept after rewind")
+		}
+	})
+}
+
+// TestFetchChunksStreamsAndShortCircuits pins the pull-stream
+// contract: every chunk is delivered exactly once, is locally durable
+// at delivery time, and chunks the local store already holds are
+// delivered without touching the network.
+func TestFetchChunksStreamsAndShortCircuits(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 1, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	run(t, eng, c, func(task *kernel.Task) {
+		p1 := commit(task, 0, 0)
+		src := store.Open(c.Node(0), store.Config{Root: root})
+		m, err := src.LoadManifest(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := m.Refs()
+		// Pre-seed a few chunks on node02 so the short-circuit path is
+		// exercised alongside real fetches.
+		local := store.Open(c.Node(2), store.Config{Root: root})
+		preseeded := 3
+		for _, ref := range refs[:preseeded] {
+			ino, _ := c.Node(0).FS.ReadFile(src.ChunkPath(ref.Hash))
+			c.Node(2).FS.WriteFile(local.ChunkPath(ref.Hash), ino.Data, ino.LogicalSize)
+		}
+
+		delivered := map[string]int{}
+		var netBytes int64
+		var nChunks int
+		var ferr error
+		done := false
+		c.RegisterFunc("fetcher2", func(ft *kernel.Task, _ []string) {
+			netBytes, nChunks, ferr = sv.FetchChunks(ft, "node00", refs, 4, func(ref store.ChunkRef) {
+				if !local.HasChunk(ref.Hash) {
+					t.Errorf("chunk %s delivered before it was durable", ref.Hash)
+				}
+				delivered[ref.Hash]++
+			})
+			done = true
+		})
+		if _, err := c.Node(2).Kern.Spawn("fetcher2", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			task.Compute(10 * time.Millisecond)
+		}
+		if ferr != nil {
+			t.Fatalf("fetch: %v", ferr)
+		}
+		if nChunks != len(refs)-preseeded {
+			t.Errorf("network chunks = %d, want %d (preseeded short-circuit)", nChunks, len(refs)-preseeded)
+		}
+		if netBytes <= 0 {
+			t.Error("no bytes accounted for the network fetch")
+		}
+		if len(delivered) != len(refs) {
+			t.Errorf("delivered %d distinct chunks, want %d", len(delivered), len(refs))
+		}
+		for h, n := range delivered {
+			if n != 1 {
+				t.Errorf("chunk %s delivered %d times", h, n)
+			}
+		}
+	})
+}
+
+// TestJournalSnapshotCatchUp pins the compaction ship path: a standby
+// that predates a leader compaction receives the state snapshot plus
+// the materialized suffix (bounded catch-up), converges exactly, and
+// subsequent pushes go back to suffix-only shipping.
+func TestJournalSnapshotCatchUp(t *testing.T) {
+	eng, c := testCluster(t, 3)
+	sv := replica.Install(c, replica.Config{Factor: 1, Root: root})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	leader := coordstate.NewMachine()
+	for i := 0; i < 10; i++ {
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: fmt.Sprintf("h/p[%d]", i)})
+	}
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "post/compaction[1]"})
+
+	standby := coordstate.NewMachine()
+	sv.SetJournalSink(c.Node(1), standby)
+	run(t, eng, c, func(task *kernel.Task) {
+		seq, err := sv.PushJournal(task, "node01", leader)
+		if err != nil {
+			t.Fatalf("push: %v", err)
+		}
+		if seq != leader.Seq() {
+			t.Fatalf("acked seq = %d, want %d", seq, leader.Seq())
+		}
+		if sv.Stats.JournalSnapshots != 1 {
+			t.Fatalf("snapshots shipped = %d, want 1", sv.Stats.JournalSnapshots)
+		}
+		if !reflect.DeepEqual(standby.State(), leader.State()) {
+			t.Fatal("snapshot catch-up diverges")
+		}
+		if standby.Base() != leader.Base() {
+			t.Fatalf("standby base = %d, want %d", standby.Base(), leader.Base())
+		}
+
+		// Caught-up peers keep getting plain suffixes, never snapshots.
+		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "tail/x[2]"})
+		if _, err := sv.PushJournal(task, "node01", leader); err != nil {
+			t.Fatal(err)
+		}
+		if sv.Stats.JournalSnapshots != 1 {
+			t.Errorf("caught-up push re-shipped a snapshot (%d)", sv.Stats.JournalSnapshots)
+		}
+		if !reflect.DeepEqual(standby.State(), leader.State()) {
+			t.Fatal("suffix push after snapshot diverges")
 		}
 	})
 }
