@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	dmtcpsim -scenario quickstart|mpi|migrate|vnc|store|failover|coord-failover|pipeline|restore [-nodes n]
+//	dmtcpsim -scenario <name> [-nodes n] [-trace out.json] [-report]
+//
+// Pass an unknown scenario name to print the catalog.  -trace writes
+// a Chrome trace-event JSON of the whole run (virtual time; load it
+// at https://ui.perfetto.dev), and -report prints the span/counter
+// summary after the scenario output.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	dmtcpsim "repro"
@@ -19,39 +25,90 @@ import (
 	"repro/internal/mpi"
 )
 
+// scenOpts carries the command-line knobs into a scenario.
+type scenOpts struct {
+	nodes  int
+	tracer *dmtcpsim.Tracer
+}
+
+// options assembles per-Sim options with the shared tracer attached;
+// scenarios that build several Sims call it once per Sim, which keeps
+// each simulation a separate process group in the trace.
+func (o scenOpts) options(nodes int, cfg dmtcpsim.Config) dmtcpsim.Options {
+	return dmtcpsim.Options{Nodes: nodes, Checkpoint: cfg, Tracer: o.tracer}
+}
+
+// scenario is one registry entry; the -scenario flag help, the
+// catalog listing, and the dispatch all derive from the registry, so
+// adding a scenario is a one-line change.
+type scenario struct {
+	name string
+	desc string
+	run  func(scenOpts)
+}
+
+var scenarios = []scenario{
+	{"quickstart", "checkpoint and restart a desktop application (matlab)", quickstart},
+	{"mpi", "checkpoint an OpenMPI NAS-LU run across the cluster and restart it", mpiScenario},
+	{"migrate", "checkpoint a cluster job and restart every rank on one node", migrate},
+	{"vnc", "checkpoint a headless VNC session (server + twm + xterm)", vnc},
+	{"store", "incremental checkpoint generations through the chunk store", storeScenario},
+	{"failover", "node failure and recovery from replicated checkpoint storage", failoverScenario},
+	{"coord-failover", "coordinator node failure and journaled standby takeover", coordFailoverScenario},
+	{"pipeline", "parallel pipelined checkpoint writes across worker counts", pipelineScenario},
+	{"restore", "streamed restore pipeline vs serial fetch-then-install", restoreScenario},
+}
+
+func scenarioNames() string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.name
+	}
+	return strings.Join(names, "|")
+}
+
 func main() {
 	var (
-		scenario = flag.String("scenario", "quickstart", "quickstart|mpi|migrate|vnc|store|failover|coord-failover|pipeline|restore")
-		nodes    = flag.Int("nodes", 4, "cluster size")
+		name   = flag.String("scenario", "quickstart", "one of "+scenarioNames())
+		nodes  = flag.Int("nodes", 4, "cluster size")
+		trace  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		report = flag.Bool("report", false, "print the span/counter report after the scenario")
 	)
 	flag.Parse()
-	switch *scenario {
-	case "quickstart":
-		quickstart(*nodes)
-	case "mpi":
-		mpiScenario(*nodes)
-	case "migrate":
-		migrate(*nodes)
-	case "vnc":
-		vnc()
-	case "store":
-		storeScenario()
-	case "failover":
-		failoverScenario(*nodes)
-	case "coord-failover":
-		coordFailoverScenario(*nodes)
-	case "pipeline":
-		pipelineScenario()
-	case "restore":
-		restoreScenario()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+	var run func(scenOpts)
+	for _, s := range scenarios {
+		if s.name == *name {
+			run = s.run
+			break
+		}
+	}
+	if run == nil {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; available:\n", *name)
+		for _, s := range scenarios {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", s.name, s.desc)
+		}
 		os.Exit(2)
+	}
+	o := scenOpts{nodes: *nodes}
+	if *trace != "" || *report {
+		o.tracer = dmtcpsim.NewTracer()
+	}
+	run(o)
+	if *trace != "" {
+		if err := os.WriteFile(*trace, o.tracer.ChromeTrace(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (%d events, %d run(s)) — load it at https://ui.perfetto.dev\n",
+			*trace, len(o.tracer.Events()), o.tracer.Runs())
+	}
+	if *report {
+		fmt.Print(o.tracer.Report())
 	}
 }
 
-func quickstart(nodes int) {
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes, Checkpoint: dmtcpsim.Config{Compress: true}})
+func quickstart(o scenOpts) {
+	s := dmtcpsim.New(o.options(o.nodes, dmtcpsim.Config{Compress: true}))
 	s.Run(func(t *dmtcpsim.Task) {
 		fmt.Println("launching matlab under dmtcp_checkpoint ...")
 		if _, err := s.Launch(0, apps.ProgName("matlab")); err != nil {
@@ -75,8 +132,9 @@ func quickstart(nodes int) {
 	})
 }
 
-func mpiScenario(nodes int) {
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes, Checkpoint: dmtcpsim.Config{Compress: true}})
+func mpiScenario(o scenOpts) {
+	nodes := o.nodes
+	s := dmtcpsim.New(o.options(nodes, dmtcpsim.Config{Compress: true}))
 	s.Run(func(t *dmtcpsim.Task) {
 		np := nodes * 4
 		fmt.Printf("orterun -np %d nas-lu under DMTCP ...\n", np)
@@ -108,9 +166,10 @@ func mpiScenario(nodes int) {
 	})
 }
 
-func migrate(nodes int) {
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
-		Checkpoint: dmtcpsim.Config{Compress: true, CkptDir: "/san/ckpt"}})
+func migrate(o scenOpts) {
+	nodes := o.nodes
+	s := dmtcpsim.New(o.options(nodes,
+		dmtcpsim.Config{Compress: true, CkptDir: "/san/ckpt"}))
 	s.Run(func(t *dmtcpsim.Task) {
 		np := nodes
 		fmt.Printf("running a %d-rank job across the cluster ...\n", np)
@@ -141,9 +200,9 @@ func migrate(nodes int) {
 	})
 }
 
-func storeScenario() {
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: 1,
-		Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2}})
+func storeScenario(o scenOpts) {
+	s := dmtcpsim.New(o.options(1,
+		dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2}))
 	s.Run(func(t *dmtcpsim.Task) {
 		fmt.Println("launching a 256 MB process; checkpoints go through the chunk store ...")
 		if _, err := s.Launch(0, dmtcpsim.DirtyAppName, "256"); err != nil {
@@ -181,12 +240,13 @@ func storeScenario() {
 	})
 }
 
-func failoverScenario(nodes int) {
+func failoverScenario(o scenOpts) {
+	nodes := o.nodes
 	if nodes < 3 {
 		nodes = 3
 	}
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
-		Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 3, ReplicaFactor: 2}})
+	s := dmtcpsim.New(o.options(nodes,
+		dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 3, ReplicaFactor: 2}))
 	s.Run(func(t *dmtcpsim.Task) {
 		fmt.Println("launching a 128 MB process on node01; generations replicate to 2 peers ...")
 		if _, err := s.Launch(1, dmtcpsim.DirtyAppName, "128"); err != nil {
@@ -224,13 +284,14 @@ func failoverScenario(nodes int) {
 	})
 }
 
-func coordFailoverScenario(nodes int) {
+func coordFailoverScenario(o scenOpts) {
+	nodes := o.nodes
 	if nodes < 4 {
 		nodes = 4
 	}
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: nodes,
-		Checkpoint: dmtcpsim.Config{CoordNode: 1, Compress: true, Store: true,
-			StoreKeep: 3, ReplicaFactor: 2, CoordStandbys: 1}})
+	s := dmtcpsim.New(o.options(nodes,
+		dmtcpsim.Config{CoordNode: 1, Compress: true, Store: true,
+			StoreKeep: 3, ReplicaFactor: 2, CoordStandbys: 1}))
 	s.Run(func(t *dmtcpsim.Task) {
 		fmt.Println("coordinator on node01 journals its state machine to a standby on node02 ...")
 		if _, err := s.Launch(3, dmtcpsim.DirtyAppName, "128"); err != nil {
@@ -284,15 +345,15 @@ func coordFailoverScenario(nodes int) {
 	})
 }
 
-func pipelineScenario() {
+func pipelineScenario(o scenOpts) {
 	// One run per worker count: each sweeps a fresh 2-node cluster so
 	// the generations line up (gen 1 cold start, gen 2 at 100% dirty).
 	fmt.Println("parallel pipelined checkpoint write: 256 MB process, 100% dirty, 4-core nodes ...")
 	var serial time.Duration
 	for _, workers := range []int{1, 2, 4, 8} {
-		s := dmtcpsim.New(dmtcpsim.Options{Nodes: 2,
-			Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2,
-				ReplicaFactor: 1, CkptWorkers: workers}})
+		s := dmtcpsim.New(o.options(2,
+			dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2,
+				ReplicaFactor: 1, CkptWorkers: workers}))
 		s.Run(func(t *dmtcpsim.Task) {
 			if _, err := s.Launch(0, dmtcpsim.DirtyAppName, "256"); err != nil {
 				panic(err)
@@ -322,15 +383,15 @@ func pipelineScenario() {
 	fmt.Println("4 cores per node: 8 workers buy nothing over 4 — the core accounting is honest")
 }
 
-func restoreScenario() {
+func restoreScenario(o scenOpts) {
 	// One fresh 3-node cluster per run: the image is written on node01,
 	// the restart lands on cold node00, so every chunk crosses the
 	// network — the node-failure recovery / migration path.
 	fmt.Println("streamed restore pipeline: remote-fetch restart of a 256 MB process, 4-core nodes ...")
 	run := func(workers int, serial bool) *dmtcpsim.RestartStages {
-		s := dmtcpsim.New(dmtcpsim.Options{Nodes: 3,
-			Checkpoint: dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2,
-				ReplicaFactor: 1, CkptWorkers: workers, SerialRestore: serial}})
+		s := dmtcpsim.New(o.options(3,
+			dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2,
+				ReplicaFactor: 1, CkptWorkers: workers, SerialRestore: serial}))
 		var stats *dmtcpsim.RestartStages
 		s.Run(func(t *dmtcpsim.Task) {
 			if _, err := s.Launch(1, dmtcpsim.DirtyAppName, "256"); err != nil {
@@ -362,8 +423,8 @@ func restoreScenario() {
 	fmt.Println("already-local chunks skip the network stage; recovery and migration ride the same pipeline")
 }
 
-func vnc() {
-	s := dmtcpsim.New(dmtcpsim.Options{Nodes: 1, Checkpoint: dmtcpsim.Config{Compress: true}})
+func vnc(o scenOpts) {
+	s := dmtcpsim.New(o.options(1, dmtcpsim.Config{Compress: true}))
 	s.Run(func(t *dmtcpsim.Task) {
 		fmt.Println("checkpointing a headless VNC session (server + twm + xterm) ...")
 		if _, err := s.Launch(0, apps.ProgName("tightvnc+twm")); err != nil {

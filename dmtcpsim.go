@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -82,7 +83,15 @@ type (
 	Table = experiments.Table
 	// Opts controls experiment scale.
 	Opts = experiments.Opts
+
+	// Tracer records virtual-time spans and per-node counters across
+	// every layer; export with ChromeTrace (Perfetto) or Report.
+	Tracer = obs.Tracer
 )
+
+// NewTracer returns an empty tracer; attach it via Options.Tracer (one
+// tracer may observe several Sims — each New call starts a new run).
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Aware returns the dmtcpaware handle for a process (nil when the
 // process does not run under DMTCP).
@@ -116,6 +125,9 @@ type Options struct {
 	// Jitter adds run-to-run variance (fraction, e.g. 0.06); zero
 	// keeps runs bit-identical.
 	Jitter float64
+	// Tracer, when non-nil, records spans/counters from every layer of
+	// this simulation in deterministic virtual time.
+	Tracer *Tracer
 }
 
 // New builds a simulation ready to run scenarios.
@@ -128,6 +140,10 @@ func New(o Options) *Sim {
 	}
 	env := experiments.NewEnv(o.Seed, o.Nodes, o.Checkpoint)
 	env.C.Params.JitterPct = o.Jitter
+	if o.Tracer != nil {
+		o.Tracer.BeginRun()
+		env.C.Trace = o.Tracer
+	}
 	return &Sim{Eng: env.Eng, C: env.C, Sys: env.Sys}
 }
 

@@ -110,6 +110,11 @@ type ImageInfo struct {
 type CkptRound struct {
 	Index    int
 	NumProcs int
+	// Start and End bound the round in virtual time (Start from the
+	// opening broadcast, End from the closing barrier event), so the
+	// observability layer can place the round on a trace timeline.
+	Start    sim.Time
+	End      sim.Time
 	Stages   StageTimes
 	Bytes    int64 // aggregate on-disk
 	RawBytes int64 // aggregate uncompressed

@@ -279,6 +279,8 @@ func startRound(st *State, now sim.Time) []Effect {
 	if len(st.Clients) == 0 {
 		round := &CkptRound{
 			Index:    len(st.Rounds),
+			Start:    now,
+			End:      now,
 			Compress: st.LastCfg.Compress,
 			Forked:   st.LastCfg.Forked,
 			Store:    st.LastCfg.Store,
@@ -323,6 +325,8 @@ func finishRound(st *State, now sim.Time) []Effect {
 	r := st.Round
 	round := &CkptRound{
 		Index:    r.Index,
+		Start:    r.Start,
+		End:      now,
 		NumProcs: len(r.Participants),
 		Stages: StageTimes{
 			Suspend: r.StageMax["suspended"],

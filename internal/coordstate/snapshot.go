@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bin"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -156,6 +157,8 @@ func DecodeState(b []byte) (*State, error) {
 func encodeRound(e *bin.Encoder, r *CkptRound) {
 	e.Int(r.Index)
 	e.Int(r.NumProcs)
+	e.I64(int64(r.Start))
+	e.I64(int64(r.End))
 	e.I64(int64(r.Stages.Suspend))
 	e.I64(int64(r.Stages.Elect))
 	e.I64(int64(r.Stages.Drain))
@@ -184,6 +187,8 @@ func decodeRound(d *bin.Decoder) *CkptRound {
 	r := &CkptRound{}
 	r.Index = d.Int()
 	r.NumProcs = d.Int()
+	r.Start = sim.Time(d.I64())
+	r.End = sim.Time(d.I64())
 	r.Stages.Suspend = time.Duration(d.I64())
 	r.Stages.Elect = time.Duration(d.I64())
 	r.Stages.Drain = time.Duration(d.I64())

@@ -1,6 +1,7 @@
 package dmtcp
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/coordstate"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -423,6 +425,13 @@ func (co *Coordinator) onBarrier(t *kernel.Task, cid int64, body []byte) {
 // store collection, command waiter release, and the durable journal
 // snapshot.
 func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
+	if tr := t.Trace(); tr.Enabled() && round.NumProcs > 0 {
+		tr.Span(t.Host(), "coordinator", "coord.round", "coord", round.Start, round.End,
+			obs.A("index", int64(round.Index)), obs.A("procs", int64(round.NumProcs)),
+			obs.A("bytes", round.Bytes), obs.A("dedup_bytes", round.DedupBytes),
+			obs.A("overlap_bytes", round.OverlapBytes))
+	}
+	gcStart := t.Now()
 	if round.Store && len(round.Images) > 0 {
 		// Forked rounds commit their manifests in background children
 		// after the barrier releases, so their stores are still busy
@@ -438,7 +447,10 @@ func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
 			co.apply(t, coordstate.Event{Kind: coordstate.EvRoundGC, Now: t.Now(),
 				Idxs: []int{round.Index}, GC: *st})
 		}
+		t.Trace().Span(t.Host(), "coordinator", "coord.gc", "coord", gcStart, t.Now(),
+			obs.A("index", int64(round.Index)))
 	}
+	co.snapshotMetrics(t, round)
 	for _, fd := range co.cmdWaiters {
 		t.SendFrame(fd, []byte{'c'})
 	}
@@ -446,6 +458,43 @@ func (co *Coordinator) afterRound(t *kernel.Task, round *CkptRound) {
 	co.Sys.doneW.WakeAll()
 	co.maybeCompact(t)
 	co.writeJournalFile(t)
+}
+
+// snapshotMetrics samples per-node gauges at a round boundary: core
+// utilization from each node's scheduler, the replica service's queue
+// depth, and the journal shipping lag to the slowest standby.
+func (co *Coordinator) snapshotMetrics(t *kernel.Task, round *CkptRound) {
+	tr := t.Trace()
+	if !tr.Enabled() {
+		return
+	}
+	label := fmt.Sprintf("round%d", round.Index)
+	for _, n := range co.Sys.C.Nodes() {
+		if n.Down {
+			continue
+		}
+		tr.RecordSnapshot(label, n.Hostname, t.Now(), []obs.Arg{
+			{Key: "cpu.runnable", Val: int64(n.CPU().Runnable())},
+			{Key: "cpu.cores", Val: int64(n.CPU().Cores())},
+		})
+	}
+	vals := []obs.Arg{{Key: "coord.journal_lag", Val: co.journalLag()}}
+	if co.Sys.Replica != nil {
+		vals = append(vals, obs.Arg{Key: "repl.pending", Val: int64(co.Sys.Replica.Pending())})
+	}
+	tr.RecordSnapshot(label, t.Host(), t.Now(), vals)
+}
+
+// journalLag is the entry count the slowest live standby is behind the
+// leader's journal.
+func (co *Coordinator) journalLag() int64 {
+	var lag int64
+	for _, peer := range co.Sys.coordPeers(co) {
+		if d := co.Mach.Seq() - co.shipped[peer.Hostname]; d > lag {
+			lag = d
+		}
+	}
+	return lag
 }
 
 // maybeCompact snapshots the coordinator state and truncates the
@@ -636,7 +685,10 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 			if co.shipped[peer.Hostname] >= co.Mach.Seq() {
 				continue
 			}
+			shipStart := t.Now()
 			seq, err := co.Sys.Replica.PushJournal(t, peer.Hostname, co.Mach)
+			t.Trace().Span(t.Host(), "coordinator journal", "journal.ship→"+peer.Hostname,
+				"coord", shipStart, t.Now(), obs.A("seq", seq))
 			if err != nil {
 				behind = true
 				continue
@@ -679,6 +731,8 @@ func (s *System) promote(t *kernel.Task, co *Coordinator) {
 	co.Standby = false
 	co.apply(t, coordstate.Event{Kind: coordstate.EvTakeover, Now: t.Now(),
 		Leader: co.Node.Hostname, Epoch: co.Mach.Epoch() + 1})
+	t.Trace().Instant(t.Host(), "coordinator", "coord.takeover", "coord", t.Now(),
+		obs.A("epoch", co.Mach.Epoch()), obs.A("seq", co.Mach.Seq()))
 	s.Coord = co
 	if s.Replica != nil {
 		s.Replica.ClearJournalSink(co.Node)

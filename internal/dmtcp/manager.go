@@ -8,6 +8,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/kernel"
 	"repro/internal/mtcp"
+	"repro/internal/obs"
 )
 
 // drainToken is the flush cookie sent through every socket at drain
@@ -262,6 +263,12 @@ type ckptConfig struct {
 // barriers of a round the takeover aborted, so the manager never
 // wedges mid-algorithm.
 func (m *Manager) barrier(t *kernel.Task, name string, stage time.Duration, extra func(*bin.Encoder)) error {
+	bStart := t.Now()
+	defer func() {
+		// The barrier wait nests inside whichever stage span encloses
+		// it: the coordinator-synchronization share of the stage.
+		t.Trace().Span(t.Host(), m.track(t), "barrier."+name, "coord", bStart, t.Now())
+	}()
 	var e bin.Encoder
 	e.B = append(e.B, msgBarrier)
 	e.Str(name)
@@ -505,6 +512,31 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		Refill:  t.Now().Sub(s6),
 		Total:   t.Now().Sub(start),
 	}
+
+	// Trace the round: five stage spans that exactly partition
+	// [start, end] under one enclosing round span, so exclusive stage
+	// time reconciles with round wall time by construction.
+	if tr := t.Trace(); tr.Enabled() {
+		end, host, trk := t.Now(), t.Host(), m.track(t)
+		tr.Span(host, trk, "ckpt.round", "ckpt", start, end,
+			obs.A("tag", m.curTag), obs.A("bytes", res.Bytes),
+			obs.A("dedup_bytes", res.DedupBytes), obs.A("overlap_bytes", res.OverlapBytes),
+			obs.A("workers", int64(res.Workers)))
+		tr.Span(host, trk, "ckpt.suspend", "ckpt", start, s3)
+		tr.Span(host, trk, "ckpt.elect", "ckpt", s3, s4)
+		tr.Span(host, trk, "ckpt.drain", "ckpt", s4, s5)
+		tr.Span(host, trk, "ckpt.write", "ckpt", s5, s6, obs.A("bytes", res.Bytes))
+		tr.Span(host, trk, "ckpt.refill", "ckpt", s6, end)
+		tr.Add(host, "ckpt.bytes_written", end, res.Bytes)
+		tr.Add(host, "ckpt.dedup_bytes", end, res.DedupBytes)
+		tr.Add(host, "ckpt.overlap_bytes", end, res.OverlapBytes)
+	}
+}
+
+// track names the manager's trace track: the checkpointed program
+// qualified by its virtual pid.
+func (m *Manager) track(t *kernel.Task) string {
+	return fmt.Sprintf("%s[%d]", t.P.ProgName, m.virtPid)
 }
 
 // drainableFDs returns the descriptors participating in election and

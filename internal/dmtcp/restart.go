@@ -8,6 +8,7 @@ import (
 	"repro/internal/bin"
 	"repro/internal/kernel"
 	"repro/internal/mtcp"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -552,6 +553,23 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	st.Refill = refillMax
 	st.Total = t.Now().Sub(start)
 
+	// Trace the restart: four sequential segments that exactly
+	// partition [start, end] under one enclosing span — image loading
+	// (incl. the streamed restore pipelines), file/pty reopen, socket
+	// reconnection, and the forked children's restore/refill/resume.
+	if tr := t.Trace(); tr.Enabled() {
+		end, host, trk := t.Now(), t.Host(), fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid)
+		connsEnd := s2.Add(st.Conns)
+		tr.Span(host, trk, "restart.total", "restart", start, end,
+			obs.A("procs", int64(len(imgs))), obs.A("fetched_bytes", st.FetchedBytes),
+			obs.A("overlap_bytes", st.OverlapBytes), obs.A("workers", int64(st.Workers)))
+		tr.Span(host, trk, "restart.images", "restart", start, filesStart)
+		tr.Span(host, trk, "restart.files", "restart", filesStart, s2)
+		tr.Span(host, trk, "restart.conns", "restart", s2, connsEnd)
+		tr.Span(host, trk, "restart.procs", "restart", connsEnd, end)
+		tr.Add(host, "restart.fetched_bytes", end, st.FetchedBytes)
+	}
+
 	// Report restart stage times; the coordinator aggregates across
 	// hosts (Table 1b).
 	var e bin.Encoder
@@ -700,6 +718,9 @@ func (s *System) restoreProcess(
 		}
 	}
 	refillDur := c.Now().Sub(r6)
+	childTrack := fmt.Sprintf("%s[%d]", img.ProgName, vpid)
+	c.Trace().Span(c.Host(), childTrack, "restore.mem", "restart", m5, m5.Add(memDur))
+	c.Trace().Span(c.Host(), childTrack, "restore.refill", "restart", r6, r6.Add(refillDur))
 	report(memDur, refillDur)
 	s.groupBarrier(c, mgr.coordFD, "r-refill-"+gen, nGlobal)
 

@@ -44,6 +44,7 @@ func RunCoordFailover(o Opts) *Table {
 			"  match the pre-kill cost: the replayed placement/dedup state is complete",
 		},
 	}
+	lastK := standbys[len(standbys)-1]
 	for _, k := range standbys {
 		var journalKB, takeT, preT, postT Sample
 		survived, trials := 0, o.trials()
@@ -52,6 +53,13 @@ func RunCoordFailover(o Opts) *Table {
 				&journalKB, &takeT, &preT, &postT) {
 				survived++
 			}
+		}
+		if k == lastK {
+			prefix := fmt.Sprintf("coordha.s%d", k)
+			t.Metric(prefix+".journal_kb", journalKB.Mean())
+			t.Metric(prefix+".takeover_s", takeT.Mean())
+			t.Metric(prefix+".pre_ckpt_s", preT.Mean())
+			t.Metric(prefix+".post_ckpt_s", postT.Mean())
 		}
 		t.Rows = append(t.Rows, []string{
 			strconv.Itoa(k),

@@ -17,6 +17,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -138,6 +139,19 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Metrics embeds stage-level aggregates (seconds, MB, counts) in
+	// the benchmark's JSON output, so the perf trajectory records
+	// where time went, not only the end-to-end numbers.
+	Metrics map[string]float64 `json:",omitempty"`
+}
+
+// Metric records one named stage-level aggregate on the table.
+func (t *Table) Metric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = make(map[string]float64)
+	}
+	t.Metrics[name] = v
 }
 
 // Render formats the table as aligned text.
@@ -178,7 +192,43 @@ func (t *Table) Render() string {
 	for _, n := range t.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
+	if len(t.Metrics) > 0 {
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "metric: %s = %.4f\n", k, t.Metrics[k])
+		}
+	}
 	return b.String()
+}
+
+// stageSamples accumulates per-stage checkpoint times across trials
+// for a table's embedded metrics block.
+type stageSamples struct {
+	suspend, elect, drain, write, refill, total Sample
+}
+
+func (ss *stageSamples) add(st dmtcp.StageTimes) {
+	ss.suspend.AddDur(st.Suspend)
+	ss.elect.AddDur(st.Elect)
+	ss.drain.AddDur(st.Drain)
+	ss.write.AddDur(st.Write)
+	ss.refill.AddDur(st.Refill)
+	ss.total.AddDur(st.Total)
+}
+
+// metrics records the stage means on t under prefix ("ckpt" →
+// "ckpt.write_s", ...).
+func (ss *stageSamples) metrics(t *Table, prefix string) {
+	t.Metric(prefix+".suspend_s", ss.suspend.Mean())
+	t.Metric(prefix+".elect_s", ss.elect.Mean())
+	t.Metric(prefix+".drain_s", ss.drain.Mean())
+	t.Metric(prefix+".write_s", ss.write.Mean())
+	t.Metric(prefix+".refill_s", ss.refill.Mean())
+	t.Metric(prefix+".total_s", ss.total.Mean())
 }
 
 func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }

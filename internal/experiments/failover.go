@@ -47,6 +47,7 @@ func RunFailover(o Opts) *Table {
 			"  fully-replicated generation; fetched MB is what restart still had to pull from peers",
 		},
 	}
+	lastFactor := factors[len(factors)-1]
 	for _, factor := range factors {
 		var gen1MB, incrMB, recT, fetchMB Sample
 		recovered, trials := 0, o.trials()
@@ -55,6 +56,13 @@ func RunFailover(o Opts) *Table {
 				&gen1MB, &incrMB, &recT, &fetchMB) {
 				recovered++
 			}
+		}
+		if factor == lastFactor {
+			prefix := fmt.Sprintf("recover.r%d", factor)
+			t.Metric(prefix+".recovery_s", recT.Mean())
+			t.Metric(prefix+".fetched_mb", fetchMB.Mean())
+			t.Metric(prefix+".gen1_repl_mb", gen1MB.Mean())
+			t.Metric(prefix+".incr_repl_mb", incrMB.Mean())
 		}
 		t.Rows = append(t.Rows, []string{
 			strconv.Itoa(factor),

@@ -42,14 +42,22 @@ func RunPipeline(o Opts) *Table {
 			"overlap = stored bytes already replicated to peers when the manifest committed",
 		},
 	}
+	// Stage breakdown of the widest-pool, all-dirty incremental round,
+	// for the embedded metrics block.
+	var wideStages stageSamples
+	lastRate, lastWorkers := rates[len(rates)-1], workerSweep[len(workerSweep)-1]
 	for _, rate := range rates {
 		var serial float64
 		for _, workers := range workerSweep {
 			var fullT, incrT, overlap Sample
+			var stages *stageSamples
+			if rate == lastRate && workers == lastWorkers {
+				stages = &wideStages
+			}
 			for trial := 0; trial < o.trials(); trial++ {
 				seed := o.Seed + int64(trial)
-				runPipelineTrial(seed, mb, rate, workers, false, &fullT, nil)
-				runPipelineTrial(seed, mb, rate, workers, true, &incrT, &overlap)
+				runPipelineTrial(seed, mb, rate, workers, false, &fullT, nil, nil)
+				runPipelineTrial(seed, mb, rate, workers, true, &incrT, &overlap, stages)
 			}
 			if workers == workerSweep[0] {
 				serial = incrT.Mean()
@@ -70,6 +78,7 @@ func RunPipeline(o Opts) *Table {
 			})
 		}
 	}
+	wideStages.metrics(t, fmt.Sprintf("ckpt.w%d.dirty%d", lastWorkers, lastRate))
 	return t
 }
 
@@ -79,7 +88,7 @@ func RunPipeline(o Opts) *Table {
 // to one peer, so eager streaming overlap is observable); otherwise
 // the full-rewrite path at the same worker count.
 func runPipelineTrial(seed int64, mb, rate, workers int, useStore bool,
-	tm, overlap *Sample) {
+	tm, overlap *Sample, stages *stageSamples) {
 	cfg := dmtcp.Config{Compress: true, CkptWorkers: workers}
 	if useStore {
 		cfg.Store = true
@@ -106,6 +115,9 @@ func runPipelineTrial(seed int64, mb, rate, workers int, useStore bool,
 		tm.AddDur(round.Stages.Write)
 		if overlap != nil {
 			overlap.Add(float64(round.OverlapBytes) / float64(model.MB))
+		}
+		if stages != nil {
+			stages.add(round.Stages)
 		}
 		if env.Sys.Replica != nil {
 			env.Sys.Replica.WaitIdle(task)

@@ -43,13 +43,21 @@ func RunRestore(o Opts) *Table {
 			"4 cores/node: 8 workers must show no further speedup over 4 (core accounting)",
 		},
 	}
+	// Restart stage breakdown at the widest pool, for the embedded
+	// metrics block.
+	var wide restartSamples
+	lastWorkers := workerSweep[len(workerSweep)-1]
 	var serial1 float64
 	for _, workers := range workerSweep {
 		var serialT, streamT, fetchMB, overlapMB Sample
+		var rs *restartSamples
+		if workers == lastWorkers {
+			rs = &wide
+		}
 		for trial := 0; trial < o.trials(); trial++ {
 			seed := o.Seed + int64(trial)
-			runRestoreTrial(seed, mb, workers, true, &serialT, nil, nil)
-			runRestoreTrial(seed, mb, workers, false, &streamT, &fetchMB, &overlapMB)
+			runRestoreTrial(seed, mb, workers, true, &serialT, nil, nil, nil)
+			runRestoreTrial(seed, mb, workers, false, &streamT, &fetchMB, &overlapMB, rs)
 		}
 		if workers == workerSweep[0] {
 			serial1 = serialT.Mean()
@@ -69,14 +77,45 @@ func RunRestore(o Opts) *Table {
 			fmt.Sprintf("%.1f", overlapMB.Mean()),
 		})
 	}
+	wide.metrics(t, fmt.Sprintf("restart.w%d", lastWorkers))
 	return t
+}
+
+// restartSamples accumulates restart stage times across trials.
+type restartSamples struct {
+	files, conns, memory, refill, fetch, total Sample
+	fetchedMB, overlapMB, workers              Sample
+}
+
+func (rs *restartSamples) add(st *dmtcp.RestartStages) {
+	rs.files.AddDur(st.Files)
+	rs.conns.AddDur(st.Conns)
+	rs.memory.AddDur(st.Memory)
+	rs.refill.AddDur(st.Refill)
+	rs.fetch.AddDur(st.Fetch)
+	rs.total.AddDur(st.Total)
+	rs.fetchedMB.Add(float64(st.FetchedBytes) / float64(model.MB))
+	rs.overlapMB.Add(float64(st.OverlapBytes) / float64(model.MB))
+	rs.workers.Add(float64(st.Workers))
+}
+
+func (rs *restartSamples) metrics(t *Table, prefix string) {
+	t.Metric(prefix+".files_s", rs.files.Mean())
+	t.Metric(prefix+".conns_s", rs.conns.Mean())
+	t.Metric(prefix+".memory_s", rs.memory.Mean())
+	t.Metric(prefix+".refill_s", rs.refill.Mean())
+	t.Metric(prefix+".fetch_s", rs.fetch.Mean())
+	t.Metric(prefix+".total_s", rs.total.Mean())
+	t.Metric(prefix+".fetched_mb", rs.fetchedMB.Mean())
+	t.Metric(prefix+".overlap_mb", rs.overlapMB.Mean())
+	t.Metric(prefix+".effective_workers", rs.workers.Mean())
 }
 
 // runRestoreTrial drives one seed: checkpoint on node1, kill the
 // process, restart on cold node0 pulling every chunk over the network,
 // recording the restart's total latency.
 func runRestoreTrial(seed int64, mb, workers int, serial bool,
-	tm, fetchMB, overlapMB *Sample) {
+	tm, fetchMB, overlapMB *Sample, rs *restartSamples) {
 	cfg := dmtcp.Config{Compress: true, Store: true, StoreKeep: 2, ReplicaFactor: 1,
 		CkptWorkers: workers, SerialRestore: serial}
 	env := NewEnv(seed, 3, cfg)
@@ -101,6 +140,9 @@ func runRestoreTrial(seed int64, mb, workers int, serial bool,
 		}
 		if overlapMB != nil {
 			overlapMB.Add(float64(stats.OverlapBytes) / float64(model.MB))
+		}
+		if rs != nil {
+			rs.add(stats)
 		}
 	})
 }

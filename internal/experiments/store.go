@@ -77,12 +77,20 @@ func RunStore(o Opts) *Table {
 			"~only the manifest and 100% dirty converges on the full rewrite from below",
 		},
 	}
+	// Stage breakdown of the worst-case incremental rate (every page
+	// dirty), for the embedded metrics block.
+	var incrStages stageSamples
+	lastRate := rates[len(rates)-1]
 	for _, rate := range rates {
 		var fullT, incrT, fullMB, incrMB, dedup Sample
+		var stages *stageSamples
+		if rate == lastRate {
+			stages = &incrStages
+		}
 		for trial := 0; trial < o.trials(); trial++ {
 			seed := o.Seed + int64(trial)
-			runStoreTrial(seed, mb, gens, rate, false, &fullT, &fullMB, nil)
-			runStoreTrial(seed, mb, gens, rate, true, &incrT, &incrMB, &dedup)
+			runStoreTrial(seed, mb, gens, rate, false, &fullT, &fullMB, nil, nil)
+			runStoreTrial(seed, mb, gens, rate, true, &incrT, &incrMB, &dedup, stages)
 		}
 		speedup := "-"
 		if incrT.Mean() > 0 {
@@ -98,6 +106,7 @@ func RunStore(o Opts) *Table {
 			fmt.Sprintf("%.1f", dedup.Mean()),
 		})
 	}
+	incrStages.metrics(t, fmt.Sprintf("ckpt.incr.dirty%d", lastRate))
 	return t
 }
 
@@ -105,7 +114,7 @@ func RunStore(o Opts) *Table {
 // the dirty workload with the configured dirty fraction applied
 // between rounds, accumulating per-generation write time and bytes.
 func runStoreTrial(seed int64, mb, gens, rate int, useStore bool,
-	tm, sz, dd *Sample) {
+	tm, sz, dd *Sample, stages *stageSamples) {
 	// CkptWorkers pinned to 1: this experiment isolates the dedup axis
 	// (incremental vs full rewrite at equal parallelism); the pipeline
 	// and restore experiments own the worker axis, and CkptWorkers: 0
@@ -132,6 +141,9 @@ func runStoreTrial(seed int64, mb, gens, rate int, useStore bool,
 				if dd != nil && round.Bytes+round.DedupBytes > 0 {
 					dd.Add(100 * float64(round.DedupBytes) /
 						float64(round.Bytes+round.DedupBytes))
+				}
+				if stages != nil {
+					stages.add(round.Stages)
 				}
 			}
 			for _, p := range env.Sys.ManagedProcesses() {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -52,6 +53,12 @@ type Cluster struct {
 	// them according to their mount table.
 	SAN *flow.Pipe
 	NFS *flow.Pipe
+
+	// Trace, when non-nil, records virtual-time spans and counters
+	// from every layer running on this cluster.  It may be attached at
+	// any point before the simulation runs; a nil tracer disables all
+	// recording (every obs method is nil-safe).
+	Trace *obs.Tracer
 }
 
 // LDPreloadVar is the environment variable that triggers hook

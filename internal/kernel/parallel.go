@@ -1,6 +1,11 @@
 package kernel
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // RunWorkers fans n work items over a pool of worker tasks spawned in
 // the calling task's process, blocking t until every claimed item is
@@ -32,14 +37,20 @@ func RunWorkers(t *Task, workers, n int, role string, fn func(wt *Task, i int) e
 	var firstErr error
 	join := sim.NewWaitQueue(t.P.Node.Cluster.Eng, t.P.Node.Hostname+"."+role+".join")
 	for w := 0; w < workers; w++ {
+		w := w
 		t.P.SpawnTask(role, true, func(wt *Task) {
+			start, items := wt.Now(), 0
 			defer func() {
+				wt.Trace().Span(wt.Host(),
+					fmt.Sprintf("%s[%d] %s.%d", wt.P.ProgName, wt.P.Pid, role, w),
+					role, "pool", start, wt.Now(), obs.A("items", int64(items)))
 				finished++
 				join.WakeAll()
 			}()
 			for next < n && firstErr == nil {
 				i := next
 				next++
+				items++
 				if err := fn(wt, i); err != nil {
 					if firstErr == nil {
 						firstErr = err

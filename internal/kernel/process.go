@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -171,6 +172,14 @@ func (t *Task) Idle(d time.Duration) { t.charge(d) }
 
 // Now returns virtual time.
 func (t *Task) Now() sim.Time { return t.T.Now() }
+
+// Trace returns the cluster's tracer; nil (which every obs method
+// tolerates) when tracing is disabled.
+func (t *Task) Trace() *obs.Tracer { return t.P.Node.Cluster.Trace }
+
+// Host returns the hostname of the node the task runs on — the
+// process-group key every trace event is filed under.
+func (t *Task) Host() string { return t.P.Node.Hostname }
 
 // Getpid returns the process id as seen by the program — the virtual
 // pid when a DMTCP hook interposes (§4.5).

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -245,6 +246,8 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 	if workers < 1 {
 		workers = 1
 	}
+	track := fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid)
+	chunksStart := t.Now()
 	var newBytes, dedupBytes int64
 	newChunks := 0
 	runWorkers(t, workers, len(work), "ckpt-worker", func(wt *kernel.Task, i int) {
@@ -290,6 +293,11 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		}
 	})
 
+	t.Trace().Span(t.Host(), track, "ckpt.write.chunks", "ckpt", chunksStart, t.Now(),
+		obs.A("workers", int64(workers)), obs.A("chunks", int64(len(work))),
+		obs.A("new_bytes", newBytes), obs.A("dedup_bytes", dedupBytes))
+
+	commitStart := t.Now()
 	m := &store.Manifest{
 		Name:       name,
 		Generation: gen,
@@ -322,6 +330,8 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		res.SyncTook = t.Now().Sub(syncStart)
 		res.Took = t.Now().Sub(start)
 	}
+	t.Trace().Span(t.Host(), track, "ckpt.write.commit", "ckpt", commitStart, t.Now(),
+		obs.A("gen", res.Generation), obs.A("overlap_bytes", res.OverlapBytes))
 	return res
 }
 

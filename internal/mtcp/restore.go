@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -140,11 +141,19 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 		return nil, rs, fmt.Errorf("%w: %d chunks missing locally with no fetch source", ErrBadImage, len(missing))
 	}
 
+	// The install pool never spawns more workers than there are chunks;
+	// report that effective size, not the configured one, so an
+	// all-local restart of a small image doesn't claim a pool it never
+	// ran.
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	rs.Workers = workers
+	nWorkers := workers
+	if nWorkers > len(items) {
+		nWorkers = len(items)
+	}
+	rs.Workers = nWorkers
 
 	eng := t.P.Node.Cluster.Eng
 	cond := sim.NewWaitQueue(eng, t.P.Node.Hostname+".restore-ready")
@@ -153,6 +162,7 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 	var fetchErr error
 	var installedStored int64
 
+	track := fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid)
 	if fetching {
 		fStart := t.Now()
 		t.P.SpawnTask("restore-fetch", true, func(ft *kernel.Task) {
@@ -170,6 +180,9 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 				// pool finished by now rode inside the transfer.
 				rs.OverlapBytes = installedStored
 			}
+			ft.Trace().Span(ft.Host(), track+" fetch", "restore.fetch", "restore",
+				fStart, ft.Now(), obs.A("bytes", bytes), obs.A("chunks", int64(chunks)))
+			ft.Trace().Add(ft.Host(), "restore.fetched_bytes", ft.Now(), bytes)
 			fetching = false
 			cond.WakeAll()
 			join.WakeAll()
@@ -179,14 +192,15 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 	// Install pool: each worker claims ready chunks, charges the read
 	// bandwidth and decompression CPU (the core scheduler meters the
 	// real speedup), and lands the payload in its slot.
-	nWorkers := workers
-	if nWorkers > len(items) {
-		nWorkers = len(items)
-	}
 	joined := 0
 	for w := 0; w < nWorkers; w++ {
+		w := w
 		t.P.SpawnTask("restore-worker", true, func(wt *kernel.Task) {
+			wStart, wInstalled := wt.Now(), int64(0)
 			defer func() {
+				wt.Trace().Span(wt.Host(), fmt.Sprintf("%s install.%d", track, w),
+					"restore.install", "restore", wStart, wt.Now(),
+					obs.A("stored_bytes", wInstalled))
 				joined++
 				join.WakeAll()
 			}()
@@ -212,6 +226,7 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 				}
 				slots[it.area][it.idx] = data
 				installedStored += it.ref.StoredBytes
+				wInstalled += it.ref.StoredBytes
 			}
 		})
 	}
@@ -235,5 +250,8 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 	img.manifest = m
 	img.bulkCharged = true
 	rs.Took = t.Now().Sub(start)
+	t.Trace().Span(t.Host(), track, "restore.pipeline", "restore", start, t.Now(),
+		obs.A("workers", int64(rs.Workers)), obs.A("chunks", int64(len(items))),
+		obs.A("fetched_bytes", rs.FetchedBytes), obs.A("overlap_bytes", rs.OverlapBytes))
 	return img, rs, nil
 }

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Chrome trace-event export: the JSON object format understood by
+// Perfetto (ui.perfetto.dev) and chrome://tracing.  The writer builds
+// the document by hand — events in record order, metadata in
+// registration order, integer-only args — so the output is a
+// byte-identical function of the recorded event sequence.
+
+// usec renders a virtual-time value as the trace format's microsecond
+// unit with nanosecond precision preserved ("12.345").
+func usec(t sim.Time) string {
+	ns := int64(t)
+	neg := ""
+	if ns < 0 {
+		neg = "-"
+		ns = -ns
+	}
+	return neg + strconv.FormatInt(ns/1000, 10) + "." + pad3(ns%1000)
+}
+
+func pad3(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+func writeArgs(b *bytes.Buffer, args []Arg) {
+	b.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(a.Key))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(a.Val, 10))
+	}
+	b.WriteByte('}')
+}
+
+// metaEvent emits one process_name/thread_name metadata record.
+func metaEvent(b *bytes.Buffer, kind string, pid, tid int, name string) {
+	b.WriteString(`{"name":"`)
+	b.WriteString(kind)
+	b.WriteString(`","ph":"M","pid":`)
+	b.WriteString(strconv.Itoa(pid))
+	b.WriteString(`,"tid":`)
+	b.WriteString(strconv.Itoa(tid))
+	b.WriteString(`,"args":{"name":`)
+	b.WriteString(strconv.Quote(name))
+	b.WriteString("}}")
+}
+
+// ChromeTrace serializes every recorded event as Chrome trace-event
+// JSON.  Identical event sequences yield identical bytes.
+func (tr *Tracer) ChromeTrace() []byte {
+	var b bytes.Buffer
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+	}
+	if tr != nil {
+		for _, p := range tr.procOrder {
+			sep()
+			metaEvent(&b, "process_name", p.pid, 0, p.name)
+		}
+		for _, t := range tr.trackOrder {
+			sep()
+			metaEvent(&b, "thread_name", t.pid, t.tid, t.name)
+		}
+		for _, ev := range tr.events {
+			sep()
+			b.WriteString(`{"name":`)
+			b.WriteString(strconv.Quote(ev.Name))
+			if ev.Cat != "" {
+				b.WriteString(`,"cat":`)
+				b.WriteString(strconv.Quote(ev.Cat))
+			}
+			b.WriteString(`,"ph":"`)
+			b.WriteByte(ev.Phase)
+			b.WriteString(`","pid":`)
+			b.WriteString(strconv.Itoa(ev.Pid))
+			b.WriteString(`,"tid":`)
+			b.WriteString(strconv.Itoa(ev.Tid))
+			b.WriteString(`,"ts":`)
+			b.WriteString(usec(ev.Ts))
+			switch ev.Phase {
+			case phaseSpan:
+				b.WriteString(`,"dur":`)
+				b.WriteString(usec(ev.Dur))
+			case phaseInstant:
+				b.WriteString(`,"s":"t"`)
+			}
+			if len(ev.Args) > 0 {
+				b.WriteString(`,"args":`)
+				writeArgs(&b, ev.Args)
+			}
+			b.WriteByte('}')
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return b.Bytes()
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func ms(n int64) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+
+func record(tr *Tracer) {
+	tr.Span("node01", "app[1000]", "ckpt.suspend", "ckpt", ms(10), ms(12), A("n", 4))
+	tr.Span("node01", "app[1000]", "ckpt.write", "ckpt", ms(12), ms(40))
+	tr.Instant("node02", "coordinator", "coord.takeover", "coord", ms(25), A("epoch", 2))
+	tr.Add("node01", "ckpt.bytes_written", ms(40), 1<<20)
+	tr.Add("node01", "ckpt.bytes_written", ms(80), 1<<20)
+	tr.Gauge("node02", "cpu.runnable", ms(40), 3)
+	tr.RecordSnapshot("round1", "node02", ms(41), []Arg{{Key: "journal.lag", Val: 0}})
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	record(tr) // must not panic
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := tr.ChromeTrace(); len(got) == 0 {
+		t.Fatal("nil tracer must still render an empty document")
+	}
+	if tr.Report() != "" {
+		t.Fatal("nil tracer must render an empty report")
+	}
+}
+
+func TestNoSpanEndsBeforeItStarts(t *testing.T) {
+	tr := NewTracer()
+	record(tr)
+	for _, ev := range tr.Events() {
+		if ev.Dur < 0 {
+			t.Fatalf("span %q has negative duration %d", ev.Name, ev.Dur)
+		}
+	}
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	tr := NewTracer()
+	record(tr)
+	if got := tr.Counter("node01", "ckpt.bytes_written"); got != 2<<20 {
+		t.Fatalf("counter = %d, want %d", got, 2<<20)
+	}
+	tr.BeginRun()
+	if got := tr.Counter("node01", "ckpt.bytes_written"); got != 0 {
+		t.Fatalf("counter after BeginRun = %d, want 0", got)
+	}
+}
+
+func TestBeginRunSeparatesProcessGroups(t *testing.T) {
+	tr := NewTracer()
+	tr.BeginRun() // before any event: must not burn a run group
+	record(tr)
+	pid1 := tr.Events()[0].Pid
+	tr.BeginRun()
+	record(tr)
+	evs := tr.Events()
+	pid2 := evs[len(evs)-1].Pid
+	if pid1 == pid2 {
+		t.Fatalf("same pid %d across runs; want distinct process groups", pid1)
+	}
+	if tr.Runs() != 2 {
+		t.Fatalf("Runs() = %d, want 2", tr.Runs())
+	}
+}
+
+func TestChromeTraceDeterministicAndWellFormed(t *testing.T) {
+	a, b := NewTracer(), NewTracer()
+	record(a)
+	record(b)
+	ta, tb := a.ChromeTrace(), b.ChromeTrace()
+	if !bytes.Equal(ta, tb) {
+		t.Fatal("identical recordings produced different trace bytes")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ta, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 process_name + 2 thread_name metadata, 2 spans, 1 instant,
+	// 2 + 1 + 1 counter samples.
+	if len(doc.TraceEvents) != 11 {
+		t.Fatalf("traceEvents len = %d, want 11", len(doc.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 2 || phases["i"] != 1 || phases["C"] != 4 || phases["M"] != 4 {
+		t.Fatalf("phase histogram = %v", phases)
+	}
+}
+
+func TestUsecRendering(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1234567, "1234.567"},
+		{-1500, "-1.500"},
+	}
+	for _, c := range cases {
+		if got := usec(sim.Time(c.ns)); got != c.want {
+			t.Errorf("usec(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestReportMentionsSpansAndCounters(t *testing.T) {
+	tr := NewTracer()
+	record(tr)
+	rep := tr.Report()
+	for _, want := range []string{"ckpt/ckpt.suspend", "ckpt.bytes_written", "round1", "journal.lag"} {
+		if !bytes.Contains([]byte(rep), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Report renders a human summary of the trace: per-span-name timing
+// aggregates, final counter values per host, and any round-boundary
+// snapshots.  Aggregation follows first-touch order, so the report is
+// as deterministic as the trace itself.
+func (tr *Tracer) Report() string {
+	if tr == nil {
+		return ""
+	}
+	type agg struct {
+		cat   string
+		name  string
+		count int
+		total sim.Time
+		max   sim.Time
+	}
+	var order []string
+	byName := map[string]*agg{}
+	for _, ev := range tr.events {
+		if ev.Phase != phaseSpan {
+			continue
+		}
+		key := ev.Cat + "/" + ev.Name
+		a := byName[key]
+		if a == nil {
+			a = &agg{cat: ev.Cat, name: ev.Name}
+			byName[key] = a
+			order = append(order, key)
+		}
+		a.count++
+		a.total += ev.Dur
+		if ev.Dur > a.max {
+			a.max = ev.Dur
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("== obs report ==\n")
+	if len(order) > 0 {
+		b.WriteString(fmt.Sprintf("%-28s %6s %12s %12s %12s\n",
+			"span", "count", "total", "mean", "max"))
+		for _, key := range order {
+			a := byName[key]
+			mean := time.Duration(int64(a.total) / int64(a.count))
+			b.WriteString(fmt.Sprintf("%-28s %6d %12s %12s %12s\n",
+				a.cat+"/"+a.name, a.count,
+				fmtDur(a.total.Duration()), fmtDur(mean), fmtDur(a.max.Duration())))
+		}
+	}
+	if len(tr.counterOrder) > 0 {
+		b.WriteString("-- counters (final) --\n")
+		for _, c := range tr.counterOrder {
+			label := c.host
+			if c.run > 0 {
+				label = fmt.Sprintf("run%d %s", c.run, c.host)
+			}
+			b.WriteString(fmt.Sprintf("%-28s %-24s %14d\n", label, c.name, tr.counters[c.key]))
+		}
+	}
+	if len(tr.snapshots) > 0 {
+		b.WriteString("-- snapshots --\n")
+		for _, s := range tr.snapshots {
+			b.WriteString(fmt.Sprintf("%s %s %s:", s.Ts, s.Label, s.Host))
+			for _, v := range s.Vals {
+				b.WriteString(fmt.Sprintf(" %s=%d", v.Key, v.Val))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// fmtDur trims a duration to a stable millisecond-ish rendering.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -633,6 +634,7 @@ func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestP
 // the transfer occupies no core.
 func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []store.ChunkRef) bool {
 	p := t.P.Node.Cluster.Params
+	var sent int64
 	st.ChargeReadRaw(t, refs)
 	for _, ref := range refs {
 		data, err := st.ReadChunkData(ref.Hash)
@@ -653,7 +655,9 @@ func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []st
 		}
 		sv.Stats.ChunksSent++
 		sv.Stats.BytesSent += ref.StoredBytes
+		sent += ref.StoredBytes
 	}
+	t.Trace().Add(t.Host(), "repl.bytes_sent", t.Now(), sent)
 	return true
 }
 
@@ -942,6 +946,7 @@ func (sv *Service) FetchChunks(t *kernel.Task, fromHost string, refs []store.Chu
 	if len(todo) == 0 {
 		return 0, 0, nil
 	}
+	pullStart := t.Now()
 	var bytes int64
 	chunks := 0
 	// fetchOne pulls one chunk over an open connection.
@@ -995,6 +1000,9 @@ func (sv *Service) FetchChunks(t *kernel.Task, fromHost string, refs []store.Chu
 		}
 		return fetchOne(ft, cfd, todo[i])
 	})
+	t.Trace().Span(t.Host(), "replicad pull", "repl.fetch", "repl", pullStart, t.Now(),
+		obs.A("bytes", bytes), obs.A("chunks", int64(chunks)), obs.A("workers", int64(workers)))
+	t.Trace().Add(t.Host(), "repl.bytes_fetched", t.Now(), bytes)
 	if err != nil {
 		return bytes, chunks, fmt.Errorf("replica: fetch chunks from %s: %w", fromHost, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -87,7 +88,15 @@ func (sv *Service) NewStream(src *kernel.Node, writer *kernel.Process, name stri
 	for _, peer := range targets {
 		peer := peer
 		daemon.SpawnTask("repl-stream", true, func(st *kernel.Task) {
+			shipStart := st.Now()
 			ok := s.shipTo(st, peer)
+			var okVal int64
+			if ok {
+				okVal = 1
+			}
+			st.Trace().Span(st.Host(), "replicad stream→"+peer.Hostname,
+				"repl.stream", "repl", shipStart, st.Now(),
+				obs.A("gen", s.gen), obs.A("ok", okVal), obs.A("overlap_bytes", s.overlap))
 			s.finishPeer(st, peer, ok)
 		})
 	}

@@ -216,6 +216,7 @@ func (s *Store) PutChunk(t *kernel.Task, ref *ChunkRef, data []byte) (int64, boo
 		path := s.ChunkPath(ref.Hash)
 		if ino, err := s.Node.FS.ReadFile(path); err == nil {
 			ref.StoredBytes = ino.Size()
+			t.Trace().Add(t.Host(), "store.dedup_bytes", t.Now(), ino.Size())
 			return ino.Size(), false
 		}
 		wq := s.claimPut(ref.Hash)
@@ -235,6 +236,7 @@ func (s *Store) PutChunk(t *kernel.Task, ref *ChunkRef, data []byte) (int64, boo
 	ref.StoredBytes = stored
 	s.Node.WritePipeFor(path).Write(t.T, stored)
 	s.Node.FS.WriteFile(path, data, stored)
+	t.Trace().Add(t.Host(), "store.put_bytes", t.Now(), stored)
 	return stored, true
 }
 
