@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/model"
 )
 
 // loadBenchTable reads one committed BENCH_*.json artifact.
@@ -51,6 +53,17 @@ func ratio(t *testing.T, cell string) float64 {
 	f, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cell), "x"), 64)
 	if err != nil {
 		t.Fatalf("bad ratio cell %q: %v", cell, err)
+	}
+	return f
+}
+
+// mean parses the leading mean out of a "0.220 ±0.004" cell.
+func mean(t *testing.T, cell string) float64 {
+	t.Helper()
+	first, _, _ := strings.Cut(strings.TrimSpace(cell), " ")
+	f, err := strconv.ParseFloat(first, 64)
+	if err != nil {
+		t.Fatalf("bad mean±std cell %q: %v", cell, err)
 	}
 	return f
 }
@@ -139,5 +152,62 @@ func TestBenchPipelineGuard(t *testing.T) {
 	if w8 := d100["8"]; w8 != 0 && w8 > d100["4"]*1.10 {
 		t.Errorf("8 workers on 4 cores sped up %.2fx over 4 workers' %.2fx: core accounting leak",
 			w8, d100["4"])
+	}
+
+	// Straggler response: the health plane's worker hint must beat the
+	// no-telemetry baseline on the slow-node round by a clear margin.
+	slow := speedups["slow3x"]
+	if slow == nil || slow["auto+hint"] == 0 {
+		t.Fatal("no slow3x auto+hint row committed")
+	}
+	if slow["auto+hint"] < 1.5 {
+		t.Errorf("slow3x auto+hint speedup %.2fx over the no-telemetry baseline, want >= 1.5x",
+			slow["auto+hint"])
+	}
+	base, hint := tab.Metrics["straggler.base_write_s"], tab.Metrics["straggler.hint_write_s"]
+	if base == 0 || hint == 0 {
+		t.Fatal("straggler metrics missing from committed artifact")
+	}
+	if hint >= base {
+		t.Errorf("straggler hint write %.3fs >= baseline %.3fs: response path bought nothing", hint, base)
+	}
+}
+
+// TestBenchCoordHAGuard pins the committed BENCH_coordha.json adaptive
+// failure-detector claims:
+//
+//   - adaptive takeover beats the static path on every row, and on a
+//     quiet network it completes strictly inside the static budget of
+//     FailureDetectDelay + ElectionTimeout;
+//   - the loaded-network probe recorded zero false-positive takeovers
+//     (the phi deadline only ever widens under load);
+//   - every trial's workload survived the takeover.
+func TestBenchCoordHAGuard(t *testing.T) {
+	tab := loadBenchTable(t, "BENCH_coordha.json", "coordha")
+	cTake := col(t, tab, "takeover (s)")
+	cStatic := col(t, tab, "static takeover (s)")
+	cFalse := col(t, tab, "false+ (loaded)")
+	cSurvived := col(t, tab, "survived")
+
+	p := model.Default()
+	budget := (p.FailureDetectDelay + p.ElectionTimeout).Seconds()
+	for _, row := range tab.Rows {
+		adaptive, static := mean(t, row[cTake]), mean(t, row[cStatic])
+		if adaptive >= static {
+			t.Errorf("standbys %s: adaptive takeover %.3fs >= static %.3fs", row[0], adaptive, static)
+		}
+		if adaptive >= budget {
+			t.Errorf("standbys %s: adaptive takeover %.3fs >= static budget %.3fs (detect+election)",
+				row[0], adaptive, budget)
+		}
+		if num, _, ok := strings.Cut(row[cFalse], "/"); !ok || num != "0" {
+			t.Errorf("standbys %s: false-positive takeovers %q under load, want 0/N", row[0], row[cFalse])
+		}
+		if num, den, ok := strings.Cut(row[cSurvived], "/"); !ok || num != den {
+			t.Errorf("standbys %s: survived %q, want all trials", row[0], row[cSurvived])
+		}
+	}
+	if fp := tab.Metrics["coordha.false_takeovers"]; fp != 0 {
+		t.Errorf("coordha.false_takeovers metric = %v, want 0", fp)
 	}
 }

@@ -3,10 +3,18 @@
 // Usage:
 //
 //	dmtcp-bench [-run id] [-trials n] [-quick] [-list] [-json]
+//	            [-trace out.json] [-report]
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
 // sync, forked, barrier, dejavu, store, failover, coordha, pipeline,
 // restore, all (default).
+//
+// -json, -trace, and -report all enable tracing: every trial's spans
+// are recorded in virtual time.  With -json each experiment's table
+// embeds a critical_path block (the analyzer's blocking-chain summary
+// over that experiment's rounds and restarts); -trace writes a Chrome
+// trace-event file with the critical path drawn as flow arrows, and
+// -report prints the span/counter/critical-path summary at the end.
 package main
 
 import (
@@ -27,7 +35,9 @@ func main() {
 		quick  = flag.Bool("quick", false, "reduced scale for smoke runs")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
-		asJSON = flag.Bool("json", false, "emit results as a JSON array of tables")
+		asJSON = flag.Bool("json", false, "emit results as a JSON array of tables (with critical_path blocks)")
+		trace  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		report = flag.Bool("report", false, "print the span/counter/critical-path report at the end")
 	)
 	flag.Parse()
 
@@ -60,6 +70,11 @@ func main() {
 		}
 		return
 	}
+	var tracer *dmtcpsim.Tracer
+	if *asJSON || *trace != "" || *report {
+		tracer = dmtcpsim.NewTracer()
+		dmtcpsim.TraceExperiments(tracer)
+	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*run, ",") {
 		want[strings.TrimSpace(id)] = true
@@ -71,7 +86,17 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		// An untouched tracer's first Env stays on run 0; afterwards
+		// every Env gets a fresh run number, so Runs() marks where this
+		// experiment's trials begin.
+		lo := 0
+		if tracer != nil && len(tracer.Events()) > 0 {
+			lo = tracer.Runs()
+		}
 		tab := e.fn()
+		if tracer != nil {
+			tab.CriticalPath = criticalPathSince(tracer, lo)
+		}
 		if *asJSON {
 			tables = append(tables, tab)
 			fmt.Fprintf(os.Stderr, "(%s regenerated in %v wall time)\n", e.id, time.Since(start).Round(time.Millisecond))
@@ -93,4 +118,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *trace != "" {
+		dmtcpsim.AnnotateFlows(tracer)
+		if err := os.WriteFile(*trace, tracer.ChromeTrace(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace: wrote %s (%d events, %d run(s))\n",
+			*trace, len(tracer.Events()), tracer.Runs())
+	}
+	if *report {
+		dmtcpsim.AttachAnalyzer(tracer)
+		fmt.Fprint(os.Stderr, tracer.Report())
+	}
+}
+
+// criticalPathSince analyzes the whole trace and keeps only the rounds
+// and restarts recorded in run lo or later — i.e. the trials of the
+// experiment that just ran (each Env is one tracer run).
+func criticalPathSince(tr *dmtcpsim.Tracer, lo int) *dmtcpsim.CriticalPath {
+	full := dmtcpsim.AnalyzeTrace(tr)
+	out := &dmtcpsim.CriticalPath{}
+	for _, r := range full.Rounds {
+		if r.Run >= lo {
+			out.Rounds = append(out.Rounds, r)
+		}
+	}
+	for _, r := range full.Restarts {
+		if r.Run >= lo {
+			out.Restarts = append(out.Restarts, r)
+		}
+	}
+	if len(out.Rounds) == 0 && len(out.Restarts) == 0 {
+		return nil
+	}
+	return out
 }

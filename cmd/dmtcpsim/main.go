@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -57,6 +58,7 @@ var scenarios = []scenario{
 	{"coord-failover", "coordinator node failure and journaled standby takeover", coordFailoverScenario},
 	{"pipeline", "parallel pipelined checkpoint writes across worker counts", pipelineScenario},
 	{"restore", "streamed restore pipeline vs serial fetch-then-install", restoreScenario},
+	{"straggler", "slow loaded node: straggler scoring and the worker-hint response", stragglerScenario},
 }
 
 func scenarioNames() string {
@@ -95,6 +97,8 @@ func main() {
 	}
 	run(o)
 	if *trace != "" {
+		// Draw the critical path as flow arrows before serializing.
+		dmtcpsim.AnnotateFlows(o.tracer)
 		if err := os.WriteFile(*trace, o.tracer.ChromeTrace(), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
 			os.Exit(1)
@@ -103,6 +107,7 @@ func main() {
 			*trace, len(o.tracer.Events()), o.tracer.Runs())
 	}
 	if *report {
+		dmtcpsim.AttachAnalyzer(o.tracer)
 		fmt.Print(o.tracer.Report())
 	}
 }
@@ -421,6 +426,95 @@ func restoreScenario(o scenOpts) {
 			float64(st.OverlapBytes)/(1<<20), float64(st.FetchedBytes)/(1<<20))
 	}
 	fmt.Println("already-local chunks skip the network stage; recovery and migration ride the same pipeline")
+}
+
+func stragglerScenario(o scenOpts) {
+	// node01 runs at 1/3 speed under three background burners; the
+	// health plane's heartbeats give the coordinator its core count, the
+	// first round's per-host write times score it a straggler, and the
+	// next round's checkpoint frame carries a worker hint that floors
+	// its adaptive pool at the full core count.  The control run
+	// disables the health plane (HeartbeatInterval=0): no registry, no
+	// hints, the loaded straggler keeps its 1-worker adaptive pool.
+	run := func(response bool) (r1, r2 *dmtcpsim.CkptRound) {
+		s := dmtcpsim.New(o.options(3,
+			dmtcpsim.Config{Compress: true, Store: true, StoreKeep: 2, ReplicaFactor: 1}))
+		if !response {
+			s.C.Params.HeartbeatInterval = 0
+		}
+		s.SlowNode("node01", 3)
+		s.Register("burner", dmtcpsim.ProgramFunc(func(t *dmtcpsim.Task, _ []string) {
+			for {
+				t.Compute(2 * time.Millisecond)
+			}
+		}))
+		s.Run(func(t *dmtcpsim.Task) {
+			for n := 0; n < 3; n++ {
+				if _, err := s.Launch(dmtcpsim.NodeID(n), dmtcpsim.DirtyAppName, "96"); err != nil {
+					panic(err)
+				}
+			}
+			for i := 0; i < 3; i++ {
+				if _, err := s.C.Node(1).Kern.Spawn("burner", nil, nil); err != nil {
+					panic(err)
+				}
+			}
+			t.Compute(300 * time.Millisecond)
+			// Touch every chunk once so each process's heap carries its
+			// own write versions: untouched chunks hash under a shared
+			// scope and would dedup against replica copies of the other
+			// nodes' identical heaps, hiding the straggler's write cost.
+			for _, p := range s.Sys.ManagedProcesses() {
+				dmtcpsim.TouchHeap(p, 1.0, 1)
+			}
+			t.Compute(100 * time.Millisecond)
+			var err error
+			if r1, err = s.Checkpoint(t); err != nil {
+				panic(err)
+			}
+			s.Sys.Replica.WaitIdle(t)
+			for _, p := range s.Sys.ManagedProcesses() {
+				dmtcpsim.TouchHeap(p, 1.0, 2)
+			}
+			t.Compute(100 * time.Millisecond)
+			if r2, err = s.Checkpoint(t); err != nil {
+				panic(err)
+			}
+			s.Sys.Replica.WaitIdle(t)
+		})
+		return r1, r2
+	}
+	fmt.Println("straggler: node01 at 1/3 speed under background load; 3x 96 MB processes, adaptive worker pools ...")
+	r1, r2 := run(true)
+	fmt.Println("  with the health plane (heartbeat -> straggler score -> next-round worker hint):")
+	scores := r1.StragglerScores()
+	for _, h := range sortedKeys(r1.WriteByHost) {
+		mark := ""
+		if scores[h] >= dmtcpsim.StragglerThreshold {
+			mark = "  <- straggler"
+		}
+		fmt.Printf("    round 1 write %-7s %8v  score %.2f%s\n",
+			h, r1.WriteByHost[h].Round(time.Millisecond), scores[h], mark)
+	}
+	for _, h := range sortedKeys(r1.WorkerHints) {
+		fmt.Printf("    next-round hint: %s -> %d workers\n", h, r1.WorkerHints[h])
+	}
+	fmt.Printf("    round 2 write: %v\n", r2.Stages.Write.Round(time.Millisecond))
+	_, b2 := run(false)
+	fmt.Printf("  without it (HeartbeatInterval=0): round 2 write %v\n",
+		b2.Stages.Write.Round(time.Millisecond))
+	fmt.Printf("  the hint bought %.2fx on the straggler-bound round\n",
+		float64(b2.Stages.Write)/float64(r2.Stages.Write))
+}
+
+// sortedKeys returns a map's keys in order, for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func vnc(o scenOpts) {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/sim"
 )
 
@@ -87,11 +88,36 @@ type (
 	// Tracer records virtual-time spans and per-node counters across
 	// every layer; export with ChromeTrace (Perfetto) or Report.
 	Tracer = obs.Tracer
+
+	// CriticalPath is the analyzer's blocking-chain summary over a
+	// trace: per checkpoint round and per restart, which node's which
+	// stage bounded each barrier, per-node breakdowns, straggler
+	// scores, and pipeline overlap efficiency.
+	CriticalPath = analyze.Summary
 )
 
 // NewTracer returns an empty tracer; attach it via Options.Tracer (one
 // tracer may observe several Sims — each New call starts a new run).
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// AnalyzeTrace runs the deterministic critical-path pass over
+// everything the tracer has recorded.
+func AnalyzeTrace(tr *Tracer) *CriticalPath { return analyze.Analyze(tr) }
+
+// AttachAnalyzer appends the critical-path section to every subsequent
+// tr.Report().
+func AttachAnalyzer(tr *Tracer) { analyze.Attach(tr) }
+
+// AnnotateFlows appends Perfetto flow arrows linking each round's (and
+// restart's) consecutive blocking stage spans; call it after the
+// simulation, before ChromeTrace.
+func AnnotateFlows(tr *Tracer) { analyze.AnnotateFlows(tr) }
+
+// TraceExperiments attaches tr to every experiment cluster built from
+// now on (each Env becomes its own tracer run); pass nil to detach.
+// The bench driver uses it to record spans across all trials and embed
+// each experiment's critical-path block in its Table.
+func TraceExperiments(tr *Tracer) { experiments.Tracing = tr }
 
 // Aware returns the dmtcpaware handle for a process (nil when the
 // process does not run under DMTCP).
@@ -101,6 +127,11 @@ func Aware(p *Process) *AwareAPI { return dmtcp.Aware(p) }
 // heap and idles; pair it with TouchHeap to drive controlled
 // dirty-page rates against the incremental checkpoint store.
 const DirtyAppName = experiments.DirtyAppName
+
+// StragglerThreshold is the straggler score (node stage time over the
+// round median) above which reports call a node out and the
+// coordinator's response path boosts its next-round worker pool.
+const StragglerThreshold = analyze.StragglerThreshold
 
 // TouchHeap dirties frac of a process's heap chunks (salt rotates the
 // working set deterministically between calls).
@@ -174,6 +205,11 @@ func (s *Sim) Restart(t *Task, round *CkptRound, place Placement) (*RestartStage
 // dies and its local files (checkpoints included) are lost.  It
 // returns the number of processes killed.
 func (s *Sim) KillNode(id NodeID) int { return s.C.KillNode(id) }
+
+// SlowNode dilates a node's per-core compute rate by factor (2 = half
+// speed), modeling a straggler — thermal throttling, a failing disk,
+// or a noisy neighbor.  It reports whether the host exists.
+func (s *Sim) SlowNode(host string, factor float64) bool { return s.C.SlowNode(host, factor) }
 
 // Recover drives node-failure recovery: the coordinator rolls the
 // computation back to the newest fully-replicated checkpoint round and

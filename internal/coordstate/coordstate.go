@@ -135,6 +135,49 @@ type CkptRound struct {
 	// farthest-ahead peer's total — before the manifests committed:
 	// the write/replication pipeline overlap.
 	OverlapBytes int64
+
+	// WriteByHost records each participating host's write-stage time —
+	// the raw material of the straggler analysis.  WorkerHints is the
+	// coordinator's straggler response: per-host write worker counts
+	// for the *next* round (a straggling node is pre-sized to its full
+	// core count, from the health registry, instead of idle cores).
+	WriteByHost map[string]time.Duration
+	WorkerHints map[string]int
+}
+
+// StragglerThreshold is the write-time-over-median ratio beyond which
+// a node is treated as a straggler (matches obs/analyze).
+const StragglerThreshold = 1.25
+
+// StragglerScores returns each host's write time divided by the
+// round's median write time (1.0 = typical; >= StragglerThreshold
+// marks a straggler).  Empty when fewer than two hosts reported.
+func (r *CkptRound) StragglerScores() map[string]float64 {
+	if len(r.WriteByHost) < 2 {
+		return nil
+	}
+	hosts := make([]string, 0, len(r.WriteByHost))
+	ws := make([]time.Duration, 0, len(r.WriteByHost))
+	for h := range r.WriteByHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		ws = append(ws, r.WriteByHost[h])
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	med := ws[len(ws)/2]
+	if len(ws)%2 == 0 {
+		med = (ws[len(ws)/2-1] + ws[len(ws)/2]) / 2
+	}
+	if med <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(hosts))
+	for _, h := range hosts {
+		out[h] = float64(r.WriteByHost[h]) / float64(med)
+	}
+	return out
 }
 
 // Client is one registered checkpoint manager.  The id is assigned by
@@ -178,6 +221,9 @@ type RoundState struct {
 	Dedup        int64
 	Overlap      int64
 	SyncMax      time.Duration
+	// WriteByHost collects per-host write-stage times as checkpointed
+	// arrivals land (max per host, for multi-process hosts).
+	WriteByHost map[string]time.Duration
 }
 
 // ParticipantIDs returns the round's participants in id order.
@@ -250,6 +296,12 @@ type State struct {
 	RestartAgg    []RestartStages
 	RestartErr    string
 	RestartStats  *RestartStages
+
+	// Health is the per-node heartbeat registry (hostname → liveness
+	// and load telemetry).  It rides the journal like everything else,
+	// so a standby inherits the inter-arrival history its adaptive
+	// failure detector is seeded from.
+	Health map[string]*HostHealth
 }
 
 // RoundTag builds the epoch-qualified round identity.
@@ -261,6 +313,7 @@ func NewState() *State {
 		Clients:    make(map[int64]Client),
 		Advertised: make(map[string]kernel.Addr),
 		Placement:  make(map[string]*PlaceInfo),
+		Health:     make(map[string]*HostHealth),
 	}
 }
 

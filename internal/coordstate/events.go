@@ -27,6 +27,7 @@ const (
 	EvRestartEnd                        // one host's restart stage times
 	EvRestartFail                       // a restart program failed fatally
 	EvTakeover                          // a standby claimed leadership
+	EvHeartbeat                         // node liveness/load beat (Host, telemetry)
 )
 
 // Event is one journal record.  Only the fields relevant to Kind are
@@ -62,6 +63,12 @@ type Event struct {
 
 	Leader string // Takeover
 	Epoch  int64  // Takeover
+
+	Host     string // Heartbeat: reporting node
+	Runnable int64  // Heartbeat: runnable tasks on the node's scheduler
+	Cores    int64  // Heartbeat: the node's core count
+	Backlog  int64  // Heartbeat: replica daemon replication backlog
+	Seq      int64  // Heartbeat: newest journal seq applied (coordinators)
 }
 
 // EffectKind discriminates side-effect instructions returned by Apply.
@@ -161,6 +168,12 @@ func apply(st *State, ev Event) []Effect {
 		}
 		if ev.Barrier == BarrierCheckpointed && ev.Image != nil {
 			img := *ev.Image
+			if r.WriteByHost == nil {
+				r.WriteByHost = make(map[string]time.Duration)
+			}
+			if ev.Stage > r.WriteByHost[img.Host] {
+				r.WriteByHost[img.Host] = ev.Stage
+			}
 			r.Images = append(r.Images, img)
 			r.Bytes += img.Bytes
 			r.Raw += img.Raw
@@ -269,6 +282,15 @@ func apply(st *State, ev Event) []Effect {
 		st.Round = nil
 		st.PendingCkpt = 0
 		return nil
+
+	case EvHeartbeat:
+		h := st.Health[ev.Host]
+		if h == nil {
+			h = &HostHealth{}
+			st.Health[ev.Host] = h
+		}
+		h.observe(ev.Now, ev.Runnable, ev.Cores, ev.Backlog, ev.Seq)
+		return nil
 	}
 	return nil
 }
@@ -345,7 +367,9 @@ func finishRound(st *State, now sim.Time) []Effect {
 		Store:        r.Cfg.Store,
 		DedupBytes:   r.Dedup,
 		OverlapBytes: r.Overlap,
+		WriteByHost:  r.WriteByHost,
 	}
+	round.WorkerHints = stragglerHints(st, round)
 	st.Rounds = append(st.Rounds, round)
 	st.Round = nil
 	fx := []Effect{{Kind: FxRoundDone, Round: round}}
@@ -354,6 +378,34 @@ func finishRound(st *State, now sim.Time) []Effect {
 		fx = append(fx, startRound(st, now)...)
 	}
 	return fx
+}
+
+// stragglerHints derives the next round's per-host write worker
+// pre-sizing from this round's write-stage times: a host whose write
+// took >= StragglerThreshold times the median is hinted to its full
+// core count (known from the health registry) instead of the default
+// idle-core sizing.  Pure state-machine arithmetic, so leader and
+// standby replays agree.
+func stragglerHints(st *State, round *CkptRound) map[string]int {
+	scores := round.StragglerScores()
+	if len(scores) == 0 {
+		return nil
+	}
+	var hints map[string]int
+	for host, score := range scores {
+		if score < StragglerThreshold {
+			continue
+		}
+		h := st.Health[host]
+		if h == nil || h.Cores <= 0 {
+			continue
+		}
+		if hints == nil {
+			hints = make(map[string]int)
+		}
+		hints[host] = int(h.Cores)
+	}
+	return hints
 }
 
 func ensurePlace(st *State, name string) *PlaceInfo {
@@ -443,6 +495,12 @@ func (ev Event) Encode() []byte {
 	case EvTakeover:
 		e.Str(ev.Leader)
 		e.I64(ev.Epoch)
+	case EvHeartbeat:
+		e.Str(ev.Host)
+		e.I64(ev.Runnable)
+		e.I64(ev.Cores)
+		e.I64(ev.Backlog)
+		e.I64(ev.Seq)
 	}
 	return e.B
 }
@@ -507,6 +565,12 @@ func DecodeEvent(b []byte) (Event, error) {
 	case EvTakeover:
 		ev.Leader = d.Str()
 		ev.Epoch = d.I64()
+	case EvHeartbeat:
+		ev.Host = d.Str()
+		ev.Runnable = d.I64()
+		ev.Cores = d.I64()
+		ev.Backlog = d.I64()
+		ev.Seq = d.I64()
 	default:
 		return Event{}, fmt.Errorf("coordstate: unknown event kind %d", b[0])
 	}

@@ -1,0 +1,120 @@
+package coordstate
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Health registry: the coordinator's view of per-node liveness and
+// load, fed by the compact heartbeats managers piggyback over the
+// coordinator connection.  Beats are journaled (EvHeartbeat), so a
+// standby that replays the journal inherits the full inter-arrival
+// history and derives the same adaptive failure-detection deadline the
+// dead leader would have used — takeover does not reset the detector.
+//
+// The detector is phi-accrual in spirit: it tracks the running mean
+// and variance of heartbeat inter-arrival times (Welford's algorithm,
+// which is numerically stable and needs O(1) state per host) and
+// declares a node suspect after factor*(mean + 4*sigma) of silence.
+// The deadline is clamped to [floor, cap]: observations can only make
+// detection *faster* than the static FailureDetectDelay, never slower,
+// so a loaded network degrades gracefully to the old fixed-delay
+// behavior instead of producing false positives.
+
+// healthMinSamples is how many inter-arrival observations the detector
+// needs before it trusts its statistics; below it the adaptive
+// deadline falls back to the static cap.
+const healthMinSamples = 4
+
+// HostHealth is one node's entry in the coordinator health registry.
+type HostHealth struct {
+	// LastBeat is the leader-clock time of the newest heartbeat.
+	LastBeat sim.Time
+	// Count is the number of beats received; MeanNS/M2NS are Welford
+	// running statistics over the Count-1 inter-arrival intervals, in
+	// nanoseconds.
+	Count  int64
+	MeanNS float64
+	M2NS   float64
+
+	// Last-reported load telemetry: runnable tasks vs cores on the
+	// node's scheduler, the replica daemon's replication backlog, and
+	// the newest journal seq the node has applied (coordinator hosts).
+	Runnable int64
+	Cores    int64
+	Backlog  int64
+	LastSeq  int64
+}
+
+// observe folds one heartbeat into the registry entry.
+func (h *HostHealth) observe(at sim.Time, runnable, cores, backlog, seq int64) {
+	if h.Count > 0 {
+		delta := float64(at.Sub(h.LastBeat))
+		d1 := delta - h.MeanNS
+		h.MeanNS += d1 / float64(h.Count)
+		h.M2NS += d1 * (delta - h.MeanNS)
+	}
+	h.Count++
+	h.LastBeat = at
+	h.Runnable = runnable
+	h.Cores = cores
+	h.Backlog = backlog
+	if seq > h.LastSeq {
+		h.LastSeq = seq
+	}
+}
+
+// StdNS returns the inter-arrival standard deviation in nanoseconds.
+func (h *HostHealth) StdNS() float64 {
+	if h.Count < 3 {
+		return 0
+	}
+	v := h.M2NS / float64(h.Count-2)
+	if v <= 0 {
+		return 0
+	}
+	// Newton iterations avoid importing math for a single sqrt and
+	// keep the result deterministic across platforms.
+	x := v
+	for i := 0; i < 32; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// Deadline derives the adaptive silence threshold for this host:
+// factor*(mean + 4*sigma) of observed inter-arrivals, clamped to
+// [floor, cap].  With too few samples it returns cap (the static
+// delay), so the detector is never more aggressive than its evidence.
+func (h *HostHealth) Deadline(factor float64, floor, cap time.Duration) time.Duration {
+	if h == nil || h.Count < healthMinSamples || factor <= 0 {
+		return cap
+	}
+	d := time.Duration(factor * (h.MeanNS + 4*h.StdNS()))
+	if d < floor {
+		d = floor
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// HealthHosts returns the registry hostnames in deterministic order.
+func (st *State) HealthHosts() []string {
+	out := make([]string, 0, len(st.Health))
+	for h := range st.Health {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostDeadline is the State-level lookup Recover and the standby
+// election path use: the adaptive deadline for host, or cap when the
+// registry has never heard from it.
+func (st *State) HostDeadline(host string, factor float64, floor, cap time.Duration) time.Duration {
+	return st.Health[host].Deadline(factor, floor, cap)
+}

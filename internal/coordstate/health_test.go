@@ -1,0 +1,156 @@
+package coordstate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// beatAt places beat i of a periodMS-millisecond heartbeat train on
+// the virtual clock (starting at 1s so LastBeat is never the zero
+// time).
+func beatAt(i, periodMS int64) sim.Time {
+	return sim.Time(time.Second).Add(time.Duration(i*periodMS) * time.Millisecond)
+}
+
+// beat is an EvHeartbeat for host at beat i of a periodMS train.
+func beat(host string, i, periodMS int64) Event {
+	return Event{Kind: EvHeartbeat, Now: beatAt(i, periodMS), Host: host,
+		Runnable: 3, Cores: 4, Backlog: i, Seq: i}
+}
+
+// TestHealthObserveWelford pins the registry's statistics: Count is
+// beats received, the mean tracks the inter-arrival period, and a
+// perfectly regular train has zero variance.
+func TestHealthObserveWelford(t *testing.T) {
+	m := NewMachine()
+	for i := int64(0); i < 8; i++ {
+		applyAll(m, []Event{beat("node01", i, 25)})
+	}
+	h := m.State().Health["node01"]
+	if h == nil {
+		t.Fatal("no registry entry after 8 beats")
+	}
+	if h.Count != 8 {
+		t.Errorf("Count = %d, want 8", h.Count)
+	}
+	if want := float64(25 * time.Millisecond); h.MeanNS != want {
+		t.Errorf("MeanNS = %f, want %f", h.MeanNS, want)
+	}
+	if sd := h.StdNS(); sd != 0 {
+		t.Errorf("StdNS = %f for a perfectly regular train, want 0", sd)
+	}
+	if h.LastBeat != beatAt(7, 25) {
+		t.Errorf("LastBeat = %d, want %d", h.LastBeat, beatAt(7, 25))
+	}
+	if h.Backlog != 7 || h.LastSeq != 7 {
+		t.Errorf("telemetry not updated: backlog=%d lastseq=%d", h.Backlog, h.LastSeq)
+	}
+}
+
+// TestHealthDeadline pins the adaptive-deadline clamp semantics: too
+// few samples → the static cap; a quiet train → factor*(mean+4σ)
+// clamped up to the floor; jitter only ever widens it, and nothing
+// exceeds the cap.
+func TestHealthDeadline(t *testing.T) {
+	const (
+		factor = 1.5
+		floor  = 60 * time.Millisecond
+		cap    = 250 * time.Millisecond
+	)
+	var h *HostHealth
+	if d := h.Deadline(factor, floor, cap); d != cap {
+		t.Errorf("nil entry deadline = %v, want static cap %v", d, cap)
+	}
+	h = &HostHealth{}
+	for i := int64(0); i < 3; i++ {
+		h.observe(beatAt(i, 25), 0, 4, 0, 0)
+	}
+	if d := h.Deadline(factor, floor, cap); d != cap {
+		t.Errorf("3-sample deadline = %v, want static cap %v (not enough evidence)", d, cap)
+	}
+	h.observe(beatAt(3, 25), 0, 4, 0, 0)
+	// Quiet 25ms train: 1.5*25ms = 37.5ms, clamped up to the floor.
+	if d := h.Deadline(factor, floor, cap); d != floor {
+		t.Errorf("quiet-train deadline = %v, want floor %v", d, floor)
+	}
+
+	// A jittery train widens the deadline but never past the cap.
+	j := &HostHealth{}
+	at := sim.Time(time.Second)
+	for i, gap := range []time.Duration{25, 25, 80, 25, 120, 25, 90} {
+		at = at.Add(gap * time.Millisecond)
+		j.observe(at, 0, 4, 0, int64(i))
+	}
+	quiet := h.Deadline(factor, floor, cap)
+	loaded := j.Deadline(factor, floor, cap)
+	if loaded <= quiet {
+		t.Errorf("loaded deadline %v <= quiet %v: jitter must widen detection", loaded, quiet)
+	}
+	if loaded > cap {
+		t.Errorf("loaded deadline %v exceeds static cap %v", loaded, cap)
+	}
+}
+
+// TestHeartbeatEventRoundTrip pins the journal encoding of EvHeartbeat.
+func TestHeartbeatEventRoundTrip(t *testing.T) {
+	in := Event{Kind: EvHeartbeat, Now: beatAt(5, 25), Host: "node03",
+		Runnable: 9, Cores: 4, Backlog: 1234, Seq: 42}
+	out, err := DecodeEvent(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverges:\n in %+v\nout %+v", in, out)
+	}
+}
+
+// TestHealthSurvivesReplay is the takeover-inheritance contract: a
+// standby that replays the leader's journal derives the identical
+// adaptive deadline — promotion does not reset the failure detector to
+// the static delay.
+func TestHealthSurvivesReplay(t *testing.T) {
+	const (
+		factor = 1.5
+		floor  = 60 * time.Millisecond
+		cap    = 250 * time.Millisecond
+	)
+	leader := NewMachine()
+	for i := int64(0); i < 10; i++ {
+		applyAll(leader, []Event{beat("node01", i, 25), beat("node02", i, 35)})
+	}
+	want := leader.State().HostDeadline("node01", factor, floor, cap)
+	if want >= cap {
+		t.Fatalf("leader deadline %v not adaptive (cap %v): test premise broken", want, cap)
+	}
+
+	standby := NewMachine()
+	for _, e := range leader.EntriesSince(0) {
+		if _, err := standby.ApplyEntry(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := standby.State().HostDeadline("node01", factor, floor, cap); got != want {
+		t.Errorf("replayed standby deadline %v != leader %v", got, want)
+	}
+	if !reflect.DeepEqual(standby.State().Health, leader.State().Health) {
+		t.Errorf("replayed health registry diverges:\n got %+v\nwant %+v",
+			standby.State().Health, leader.State().Health)
+	}
+
+	// The same inheritance must hold across a snapshot install (the
+	// cold-standby path).
+	if err := leader.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	cold := NewMachine()
+	base, snap := leader.Snapshot()
+	if err := cold.InstallSnapshot(base, snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.State().HostDeadline("node01", factor, floor, cap); got != want {
+		t.Errorf("snapshot-installed standby deadline %v != leader %v", got, want)
+	}
+}

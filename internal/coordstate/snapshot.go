@@ -2,6 +2,7 @@ package coordstate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -96,6 +97,20 @@ func EncodeState(st *State) ([]byte, error) {
 	if st.RestartStats != nil {
 		encodeRestart(&e, *st.RestartStats)
 	}
+	hosts := st.HealthHosts()
+	e.U32(uint32(len(hosts)))
+	for _, host := range hosts {
+		h := st.Health[host]
+		e.Str(host)
+		e.I64(int64(h.LastBeat))
+		e.I64(h.Count)
+		e.I64(int64(math.Float64bits(h.MeanNS)))
+		e.I64(int64(math.Float64bits(h.M2NS)))
+		e.I64(h.Runnable)
+		e.I64(h.Cores)
+		e.I64(h.Backlog)
+		e.I64(h.LastSeq)
+	}
 	return e.B, nil
 }
 
@@ -148,6 +163,19 @@ func DecodeState(b []byte) (*State, error) {
 		rs := decodeRestart(d)
 		st.RestartStats = &rs
 	}
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		host := d.Str()
+		h := &HostHealth{}
+		h.LastBeat = sim.Time(d.I64())
+		h.Count = d.I64()
+		h.MeanNS = math.Float64frombits(uint64(d.I64()))
+		h.M2NS = math.Float64frombits(uint64(d.I64()))
+		h.Runnable = d.I64()
+		h.Cores = d.I64()
+		h.Backlog = d.I64()
+		h.LastSeq = d.I64()
+		st.Health[host] = h
+	}
 	if d.Err != nil {
 		return nil, fmt.Errorf("coordstate: snapshot decode: %w", d.Err)
 	}
@@ -181,6 +209,26 @@ func encodeRound(e *bin.Encoder, r *CkptRound) {
 	if r.GC != nil {
 		encodeGC(e, *r.GC)
 	}
+	whosts := make([]string, 0, len(r.WriteByHost))
+	for h := range r.WriteByHost {
+		whosts = append(whosts, h)
+	}
+	sort.Strings(whosts)
+	e.U32(uint32(len(whosts)))
+	for _, h := range whosts {
+		e.Str(h)
+		e.I64(int64(r.WriteByHost[h]))
+	}
+	hhosts := make([]string, 0, len(r.WorkerHints))
+	for h := range r.WorkerHints {
+		hhosts = append(hhosts, h)
+	}
+	sort.Strings(hhosts)
+	e.U32(uint32(len(hhosts)))
+	for _, h := range hhosts {
+		e.Str(h)
+		e.Int(r.WorkerHints[h])
+	}
 }
 
 func decodeRound(d *bin.Decoder) *CkptRound {
@@ -209,6 +257,20 @@ func decodeRound(d *bin.Decoder) *CkptRound {
 	if d.Bool() {
 		gc := decodeGC(d)
 		r.GC = &gc
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		if r.WriteByHost == nil {
+			r.WriteByHost = make(map[string]time.Duration)
+		}
+		h := d.Str()
+		r.WriteByHost[h] = time.Duration(d.I64())
+	}
+	for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+		if r.WorkerHints == nil {
+			r.WorkerHints = make(map[string]int)
+		}
+		h := d.Str()
+		r.WorkerHints[h] = d.Int()
 	}
 	return r
 }

@@ -36,6 +36,17 @@ func richMachine(t *testing.T) *Machine {
 			Total: time.Second, FetchedBytes: 5, Workers: 4, OverlapBytes: 77}},
 		{Kind: EvTakeover, Leader: "node02", Epoch: 1},
 	})
+	// Heartbeat history: enough beats for the phi detector to trust its
+	// statistics, so the snapshot's Health section carries live Welford
+	// state, not just zeroes.
+	for i := int64(0); i < 6; i++ {
+		applyAll(m, []Event{
+			{Kind: EvHeartbeat, Now: beatAt(i, 25), Host: "node00",
+				Runnable: 2 + i%2, Cores: 4, Backlog: 10 - i, Seq: i},
+			{Kind: EvHeartbeat, Now: beatAt(i, 40), Host: "node01",
+				Runnable: 7, Cores: 4, Backlog: 0, Seq: i},
+		})
+	}
 	return m
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/model"
 )
 
 // Coordinator HA coverage: journaled state machine, standby takeover,
@@ -245,6 +246,164 @@ func TestCheckpointErrorsWhenCoordinatorAndStandbyDie(t *testing.T) {
 			t.Error("checkpoint succeeded with every coordinator dead")
 		}
 	})
+}
+
+// runTakeoverTimed kills the coordinator node after a warm-up long
+// enough for the heartbeat history to be statistically trusted, and
+// returns how long the standby took to promote itself.  adaptive=false
+// turns the health plane off (HeartbeatInterval=0), so the election
+// falls back to the static FailureDetectDelay.
+func runTakeoverTimed(t *testing.T, adaptive bool) time.Duration {
+	t.Helper()
+	e := newEnv(t, 4, haConfig())
+	if !adaptive {
+		e.c.Params.HeartbeatInterval = 0
+	}
+	var elapsed time.Duration
+	e.drive(t, func(task *kernel.Task) {
+		if _, err := e.sys.Launch(3, "counter", "400", "/san/out/timed"); err != nil {
+			t.Error(err)
+			return
+		}
+		// Warm-up: several heartbeat periods plus a checkpoint round, so
+		// the journaled inter-arrival history reaches the standby.
+		task.Compute(300 * time.Millisecond)
+		if _, err := e.sys.Checkpoint(task); err != nil {
+			t.Error(err)
+			return
+		}
+		e.sys.Replica.WaitIdle(task)
+		killAt := task.Now()
+		e.c.KillNode(1)
+		deadline := task.Now().Add(10 * time.Second)
+		for e.sys.Coord.Node.Down && task.Now() < deadline {
+			task.Compute(5 * time.Millisecond)
+		}
+		if e.sys.Coord.Node.Down {
+			t.Error("no standby took over")
+			return
+		}
+		elapsed = task.Now().Sub(killAt)
+	})
+	return elapsed
+}
+
+// TestAdaptiveTakeoverBeatsStaticDelay pins the phi-accrual detector's
+// headline: with journaled heartbeat history, a silent coordinator is
+// declared dead at the adaptive deadline, so the standby promotes
+// itself strictly inside the static FailureDetectDelay+ElectionTimeout
+// budget — and turning the health plane off restores the full static
+// wait.
+func TestAdaptiveTakeoverBeatsStaticDelay(t *testing.T) {
+	p := model.Default()
+	budget := p.FailureDetectDelay + p.ElectionTimeout
+	adaptive := runTakeoverTimed(t, true)
+	static := runTakeoverTimed(t, false)
+	if adaptive >= budget {
+		t.Errorf("adaptive takeover %v >= static budget %v", adaptive, budget)
+	}
+	if adaptive < p.PhiFloor {
+		t.Errorf("adaptive takeover %v beat the phi floor %v: detector too aggressive", adaptive, p.PhiFloor)
+	}
+	if static < budget {
+		t.Errorf("static takeover %v < detect+election %v: static path not actually static", static, budget)
+	}
+	if adaptive >= static {
+		t.Errorf("adaptive takeover %v not faster than static %v", adaptive, static)
+	}
+}
+
+// TestTakeoverInheritsHealthRegistry pins journal inheritance: the
+// promoted standby's replayed state machine carries the dead leader's
+// heartbeat history, so its failure detector keeps its adaptive
+// deadlines instead of resetting to the static delay.
+func TestTakeoverInheritsHealthRegistry(t *testing.T) {
+	e := newEnv(t, 4, haConfig())
+	p := e.c.Params
+	e.drive(t, func(task *kernel.Task) {
+		if _, err := e.sys.Launch(3, "counter", "400", "/san/out/inherit"); err != nil {
+			t.Error(err)
+			return
+		}
+		task.Compute(300 * time.Millisecond)
+		if _, err := e.sys.Checkpoint(task); err != nil {
+			t.Error(err)
+			return
+		}
+		e.sys.Replica.WaitIdle(task)
+		e.c.KillNode(1)
+		waitTakeover(t, task, e)
+		st := e.sys.Coord.st()
+		if len(st.Health) == 0 {
+			t.Fatal("promoted standby has an empty health registry")
+		}
+		// The beating hosts' history survived the takeover with enough
+		// samples to stay adaptive: the manager's node and the dead
+		// leader itself (whose history is what the election consulted).
+		for _, host := range []string{"node01", "node03"} {
+			h := st.Health[host]
+			if h == nil {
+				t.Errorf("no inherited health entry for %s", host)
+				continue
+			}
+			if h.Count < 4 {
+				t.Errorf("%s: inherited %d beats, want >= 4 (adaptive threshold)", host, h.Count)
+			}
+			d := st.HostDeadline(host, p.PhiTimeoutFactor, p.PhiFloor, p.FailureDetectDelay)
+			if d >= p.FailureDetectDelay {
+				t.Errorf("%s: post-takeover deadline %v not adaptive (static %v)",
+					host, d, p.FailureDetectDelay)
+			}
+		}
+	})
+}
+
+// TestRecoverUsesAdaptiveDeadline pins node-death detection on the
+// Recover path: with a warm heartbeat history for the dead node, the
+// pre-recovery silence wait is the adaptive deadline, so recovery
+// completes measurably sooner than with the health plane off — and the
+// gap is at least the detector headroom (static delay minus the
+// adaptive cap's practical range).
+func TestRecoverUsesAdaptiveDeadline(t *testing.T) {
+	recoverTimed := func(adaptive bool) time.Duration {
+		cfg := Config{Compress: true, Store: true, StoreKeep: 3, ReplicaFactor: 2}
+		e := newEnv(t, 3, cfg)
+		if !adaptive {
+			e.c.Params.HeartbeatInterval = 0
+		}
+		var took time.Duration
+		e.drive(t, func(task *kernel.Task) {
+			e.sys.Launch(1, "counter", "60", "/san/out/adaptiverec")
+			// Warm-up so the dead-to-be node's inter-arrival stats are
+			// trusted before it goes silent.
+			task.Compute(300 * time.Millisecond)
+			if _, err := e.sys.Checkpoint(task); err != nil {
+				t.Error(err)
+				return
+			}
+			e.sys.Replica.WaitIdle(task)
+			e.c.KillNode(1)
+			rec, err := e.sys.Recover(task)
+			if err != nil {
+				t.Errorf("recover: %v", err)
+				return
+			}
+			took = rec.Took
+		})
+		return took
+	}
+	p := model.Default()
+	adaptive := recoverTimed(true)
+	static := recoverTimed(false)
+	if adaptive >= static {
+		t.Errorf("adaptive recovery %v not faster than static %v", adaptive, static)
+	}
+	// Both runs do identical rollback/restart work; the difference is
+	// the detection wait, which the adaptive path cuts from
+	// FailureDetectDelay toward PhiFloor.
+	if headroom := static - adaptive; headroom < (p.FailureDetectDelay-p.PhiFloor)/2 {
+		t.Errorf("adaptive recovery saved only %v over static; detection wait not adaptive", headroom)
+	}
 }
 
 // TestTakeoverSurvivesElectedStandbyDying: a double failure — the

@@ -32,6 +32,7 @@ const (
 	msgRestartEnd  = 'T' // restart → coord: restart stage times
 	msgRestartFail = 'F' // restart → coord: restart failed (message)
 	msgQuit        = 'X' // command → coord: shut down
+	msgHeartbeat   = 'H' // manager → coord: node liveness/load beat
 )
 
 // ckptBarriers aliases the state machine's barrier order (§4.3).
@@ -151,10 +152,9 @@ func (co *Coordinator) runEffects(t *kernel.Task, effects []coordstate.Effect) {
 			if r == nil {
 				break // round already gone (cannot happen mid-effects)
 			}
-			frame := co.doCkptFrame(r.Tag)
 			for _, cid := range fx.CIDs {
 				if fd, ok := co.conns[cid]; ok {
-					t.SendFrame(fd, frame)
+					t.SendFrame(fd, co.doCkptFrame(r.Tag, co.hintFor(cid)))
 				}
 			}
 		case coordstate.FxRelease:
@@ -195,6 +195,7 @@ func (co *Coordinator) main(t *kernel.Task, _ []string) {
 	}
 	if !co.Standby {
 		co.startInterval()
+		co.startHealthBeat()
 	}
 	t.P.SpawnTask("journal-ship", true, co.shipLoop)
 	for {
@@ -221,6 +222,35 @@ func (co *Coordinator) startInterval() {
 				return // deposed (should not happen; leaders die with nodes)
 			}
 			co.requestCheckpoint(tick)
+		}
+	})
+}
+
+// startHealthBeat launches the leader's own heartbeat: the active
+// coordinator journals a beat for its host every HeartbeatInterval, so
+// the registry covers the leader node even when no managed process
+// runs there — the standby election wait is derived from exactly these
+// inter-arrival statistics.  The beat is journaled through apply, so
+// it rides the normal shipping path to every standby.
+func (co *Coordinator) startHealthBeat() {
+	iv := co.Sys.C.Params.HeartbeatInterval
+	if iv <= 0 || co.proc == nil {
+		return
+	}
+	co.proc.SpawnTask("health-beat", true, func(t *kernel.Task) {
+		for {
+			t.Idle(iv)
+			if co.Sys.Coord != co {
+				return
+			}
+			n := co.Node
+			var backlog int64
+			if co.Sys.Replica != nil {
+				backlog = int64(co.Sys.Replica.PendingOn(n))
+			}
+			co.apply(t, coordstate.Event{Kind: coordstate.EvHeartbeat, Now: t.Now(),
+				Host: n.Hostname, Runnable: int64(n.CPU().Runnable()),
+				Cores: int64(n.CPU().Cores()), Backlog: backlog, Seq: co.Mach.Seq()})
 		}
 	})
 }
@@ -291,6 +321,17 @@ func (co *Coordinator) serve(t *kernel.Task, fd int) {
 				}
 				delete(co.groups, name)
 			}
+		case msgHeartbeat:
+			d := &bin.Decoder{B: body}
+			ev := coordstate.Event{Kind: coordstate.EvHeartbeat, Now: t.Now()}
+			ev.Host = d.Str()
+			ev.Runnable = d.I64()
+			ev.Cores = d.I64()
+			ev.Backlog = d.I64()
+			ev.Seq = d.I64()
+			if d.Err == nil {
+				co.apply(t, ev)
+			}
 		case msgRestartEnd:
 			co.onRestartEnd(t, body)
 		case msgRestartFail:
@@ -328,7 +369,7 @@ func (co *Coordinator) resync(t *kernel.Task, fd int, desc string) int64 {
 			}
 		}
 		if !arrived {
-			t.SendFrame(fd, co.doCkptFrame(r.Tag))
+			t.SendFrame(fd, co.doCkptFrame(r.Tag, co.hintFor(cid)))
 		}
 	}
 	return cid
@@ -337,8 +378,9 @@ func (co *Coordinator) resync(t *kernel.Task, fd int, desc string) int64 {
 // doCkptFrame encodes the begin-checkpoint request broadcast to
 // managers (round start and resync re-send share it).  The round tag
 // rides along so the manager's barrier arrivals name the round they
-// belong to.
-func (co *Coordinator) doCkptFrame(tag int64) []byte {
+// belong to; hint is the straggler-response worker pre-size for the
+// receiving manager's host (0 = no hint).
+func (co *Coordinator) doCkptFrame(tag int64, hint int) []byte {
 	cfg := co.Sys.Cfg
 	var e bin.Encoder
 	e.B = append(e.B, msgDoCkpt)
@@ -349,7 +391,19 @@ func (co *Coordinator) doCkptFrame(tag int64) []byte {
 	e.Bool(cfg.Store)
 	e.I64(tag)
 	e.Int(cfg.CkptWorkers)
+	e.Int(hint)
 	return e.B
+}
+
+// hintFor looks up the straggler-response worker pre-size for cid's
+// host from the most recent completed round (the state machine
+// computed it when that round closed).
+func (co *Coordinator) hintFor(cid int64) int {
+	last := co.st().LastRound()
+	if last == nil {
+		return 0
+	}
+	return last.WorkerHints[descHost(co.st().Clients[cid].Desc)]
 }
 
 // onDisconnect handles a dropped connection: when it carried a
@@ -712,7 +766,14 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 			}
 		}
 		if caughtUp {
-			co.shipW.Wait(t.T)
+			// Journal pushes double as leader liveness beats: even a
+			// fully caught-up shipper re-runs a heartbeat interval later
+			// so standbys keep hearing from the leader.
+			if p.HeartbeatInterval > 0 {
+				co.shipW.WaitTimeout(t.T, p.HeartbeatInterval)
+			} else {
+				co.shipW.Wait(t.T)
+			}
 			// Batch window: let a barrier storm coalesce into one push.
 			t.Idle(p.JournalShipDelay)
 		}
@@ -754,6 +815,7 @@ func (s *System) promote(t *kernel.Task, co *Coordinator) {
 	}
 	s.pendingEv = nil
 	co.startInterval()
+	co.startHealthBeat()
 	co.writeJournalFile(t)
 	co.shipW.WakeAll()
 	s.doneW.WakeAll()
@@ -789,6 +851,13 @@ func (s *System) promote(t *kernel.Task, co *Coordinator) {
 // takeover already done and stand down.  The staggering means losing
 // the front-runner during its own election wait (a double failure)
 // only delays takeover by one more timeout instead of losing it.
+//
+// The detection component is adaptive: each standby derives the dead
+// leader's silence threshold from its own replayed health registry
+// (phi-accrual over heartbeat inter-arrivals), so a quiet, regular
+// network converges well below the static FailureDetectDelay while a
+// jittery one degrades gracefully back to it — the clamp guarantees
+// detection is never slower than the static path.
 func (s *System) onCoordNodeDown(n *kernel.Node) {
 	if s.Coord == nil || s.Coord.Node != n {
 		return
@@ -801,10 +870,12 @@ func (s *System) onCoordNodeDown(n *kernel.Node) {
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].Node.ID < cands[j].Node.ID })
+	p := s.C.Params
 	for rank, co := range cands {
 		co := co
-		wait := s.C.Params.FailureDetectDelay +
-			time.Duration(rank+1)*s.C.Params.ElectionTimeout
+		detect := co.st().HostDeadline(old.Node.Hostname,
+			p.PhiTimeoutFactor, p.PhiFloor, p.FailureDetectDelay)
+		wait := detect + time.Duration(rank+1)*p.ElectionTimeout
 		co.proc.SpawnTask("coord-takeover", true, func(t *kernel.Task) {
 			t.Idle(wait)
 			if s.Coord != old {

@@ -60,6 +60,10 @@ type Manager struct {
 
 	coordFD int
 	mgrTask *kernel.Task
+	// hbProc is the process whose heartbeat task is live; restore
+	// re-arms the beat on the restored process (the old task died with
+	// its process).
+	hbProc *kernel.Process
 	// desc is the manager's stable identity with the coordinator
 	// ("host/prog[vpid]"); the resync handshake after a coordinator
 	// takeover re-binds the new connection to the replayed client
@@ -119,6 +123,50 @@ func (m *Manager) Start(t *kernel.Task) {
 	m.sys.registerProc(m)
 	m.connectCoordinator(t)
 	m.mgrTask = m.p.SpawnTask("ckpt-mgr", true, m.loop)
+	m.startHeartbeat()
+}
+
+// startHeartbeat launches the health-telemetry beat: every
+// HeartbeatInterval the manager piggybacks a compact frame on its
+// coordinator connection carrying the node's load (runnable vs cores),
+// the local replica daemon's replication backlog, and — when this node
+// hosts a standby coordinator — the journal seq it has applied.  The
+// coordinator journals each beat, so the health registry (and the
+// adaptive failure detector derived from it) survives takeover.
+func (m *Manager) startHeartbeat() {
+	iv := m.sys.C.Params.HeartbeatInterval
+	if iv <= 0 || m.hbProc == m.p {
+		return
+	}
+	m.hbProc = m.p
+	m.p.SpawnTask("heartbeat", true, func(t *kernel.Task) {
+		for {
+			t.Idle(iv)
+			if m.p.Dead || m.p.Zombie {
+				return
+			}
+			if m.coordFD < 0 {
+				continue // reconnect in progress; skip this beat
+			}
+			n := m.p.Node
+			var backlog, seq int64
+			if m.sys.Replica != nil {
+				backlog = int64(m.sys.Replica.PendingOn(n))
+				seq = m.sys.Replica.SinkSeq(n)
+			}
+			var e bin.Encoder
+			e.B = append(e.B, msgHeartbeat)
+			e.Str(n.Hostname)
+			e.I64(int64(n.CPU().Runnable()))
+			e.I64(int64(n.CPU().Cores()))
+			e.I64(backlog)
+			e.I64(seq)
+			// Send errors are left to the manager loop's reconnect
+			// logic; a missed beat is exactly what the detector expects
+			// from a failing node.
+			t.SendFrame(m.coordFD, e.B)
+		}
+	})
 }
 
 func (m *Manager) connectCoordinator(t *kernel.Task) {
@@ -235,6 +283,7 @@ func (m *Manager) loop(t *kernel.Task) {
 			Store:    d.Bool(),
 			Tag:      d.I64(),
 			Workers:  d.Int(),
+			Hint:     d.Int(),
 		}
 		m.doCheckpoint(t, cfg)
 	}
@@ -252,6 +301,10 @@ type ckptConfig struct {
 	Tag int64
 	// Workers sizes the parallel checkpoint writer pool.
 	Workers int
+	// Hint is the coordinator's straggler response: a floor on the
+	// adaptive worker sizing, set when this host's write stage lagged
+	// the cluster median last round (0 = no hint).
+	Hint int
 }
 
 // barrier reports arrival at a named global barrier and blocks until
@@ -389,6 +442,13 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 		// node's other tenants — all 4 cores on an idle node, fewer
 		// under load, never oversubscribing.
 		workers = p.Node.CPU().IdleCores()
+		if cfg.Hint > workers {
+			// Straggler response: last round this host's write bounded
+			// the barrier, so the coordinator pre-sized the pool to the
+			// node's full core count — claim a larger scheduler share
+			// even beside competing tenants.
+			workers = cfg.Hint
+		}
 	}
 	opts := mtcp.WriteOptions{Dir: cfg.Dir, Compress: cfg.Compress, Fsync: cfg.Fsync,
 		Workers: workers}

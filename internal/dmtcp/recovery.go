@@ -55,8 +55,14 @@ func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
 	}
 	start := t.Now()
 	// The failure detector only trusts a silent peer to be dead after
-	// missed heartbeats, not on the first connection reset.
-	t.Idle(s.C.Params.FailureDetectDelay)
+	// missed heartbeats, not on the first connection reset.  With a
+	// live coordinator, the wait is the adaptive (phi-accrual) deadline
+	// the health registry derives for the down nodes — faster than the
+	// static FailureDetectDelay when their heartbeats were regular,
+	// never slower; with the coordinator itself among the dead, the
+	// static delay stands (its registry is on the standby about to take
+	// over).
+	t.Idle(s.detectDelay())
 	// The coordinator may be among the dead: wait for the standby
 	// takeover before reading any coordinator state.
 	if s.Coord.Node.Down {
@@ -113,6 +119,33 @@ func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
 		Stats:     stats,
 		Took:      t.Now().Sub(start),
 	}, nil
+}
+
+// detectDelay is the node-death detection wait Recover pays before
+// trusting liveness: the maximum adaptive heartbeat deadline over the
+// currently down nodes, read from the live coordinator's health
+// registry, clamped to [PhiFloor, FailureDetectDelay].  Nodes the
+// registry never heard from — and a down coordinator — fall back to
+// the static delay.
+func (s *System) detectDelay() time.Duration {
+	p := s.C.Params
+	if s.Coord == nil || s.Coord.Node.Down {
+		return p.FailureDetectDelay
+	}
+	st := s.Coord.st()
+	var wait time.Duration
+	for _, n := range s.C.Nodes() {
+		if !n.Down {
+			continue
+		}
+		if d := st.HostDeadline(n.Hostname, p.PhiTimeoutFactor, p.PhiFloor, p.FailureDetectDelay); d > wait {
+			wait = d
+		}
+	}
+	if wait == 0 {
+		wait = p.FailureDetectDelay
+	}
+	return wait
 }
 
 // deadHosts lists the down nodes that hold placement entries, in

@@ -727,6 +727,7 @@ func (s *System) restoreProcess(
 	// ---- Step 7: resume user threads -----------------------------------
 	// Manager thread resumes its wait-for-checkpoint loop.
 	mgr.mgrTask = p.SpawnTask("ckpt-mgr", true, mgr.loop)
+	mgr.startHeartbeat()
 	// Complete interrupted sends so streams stay byte-exact.
 	for _, tr := range img.Threads {
 		if tr.ContFD >= 0 && len(tr.ContData) > 0 {

@@ -21,6 +21,15 @@ import (
 // failure-detection + election time, and the first post-takeover
 // checkpoint costs the same as one under the original leader — the
 // standby's replayed dedup/placement state is complete.
+//
+// The adaptive column pair compares the health plane's phi-accrual
+// failure detector against the static FailureDetectDelay: the leader's
+// journaled heartbeats give every standby the inter-arrival stats to
+// derive a tighter detection deadline on a quiet network, so takeover
+// is strictly faster; the loaded column counts false-positive
+// takeovers under heavy background load and replication traffic (the
+// detector only widens under load, and promotion keys off real node
+// death, so the count must be zero).
 func RunCoordFailover(o Opts) *Table {
 	standbys := []int{1, 2}
 	nodes := 5
@@ -35,38 +44,54 @@ func RunCoordFailover(o Opts) *Table {
 		Title: fmt.Sprintf(
 			"Coordinator HA: %d MB process, coordinator node killed between rounds; standbys replay the journal and take over",
 			mb),
-		Columns: []string{"standbys", "journal KB", "takeover (s)",
-			"pre-kill ckpt (s)", "post-takeover ckpt (s)", "survived"},
+		Columns: []string{"standbys", "journal KB", "takeover (s)", "static takeover (s)",
+			"pre-kill ckpt (s)", "post-takeover ckpt (s)", "false+ (loaded)", "survived"},
 		Notes: []string{
 			"journal KB = coordinator state-machine records shipped to standbys (control plane only,",
-			"  independent of image size); takeover = node kill -> promoted standby answering;",
+			"  independent of image size); takeover = node kill -> promoted standby answering, under",
+			"  the adaptive (phi-accrual) detector seeded from journaled heartbeat stats; static",
+			"  takeover = the same kill with the health plane off (HeartbeatInterval=0), paying the",
+			"  full FailureDetectDelay; false+ = takeovers that fired with the leader alive under",
+			"  heavy load (must be 0/N: the detector widens under load, never fires early);",
 			"post-takeover ckpt is driven by the promoted standby over the resynced manager and must",
 			"  match the pre-kill cost: the replayed placement/dedup state is complete",
 		},
 	}
 	lastK := standbys[len(standbys)-1]
 	for _, k := range standbys {
-		var journalKB, takeT, preT, postT Sample
+		var journalKB, takeT, staticT, preT, postT Sample
+		var scratchKB, scratchPre, scratchPost Sample
 		survived, trials := 0, o.trials()
+		falsePos := 0
 		for trial := 0; trial < trials; trial++ {
-			if runCoordFailoverTrial(o.Seed+int64(trial), nodes, mb, k,
+			seed := o.Seed + int64(trial)
+			if runCoordFailoverTrial(seed, nodes, mb, k, true,
 				&journalKB, &takeT, &preT, &postT) {
 				survived++
+			}
+			runCoordFailoverTrial(seed, nodes, mb, k, false,
+				&scratchKB, &staticT, &scratchPre, &scratchPost)
+			if !runCoordLoadedTrial(seed, nodes, mb, k) {
+				falsePos++
 			}
 		}
 		if k == lastK {
 			prefix := fmt.Sprintf("coordha.s%d", k)
 			t.Metric(prefix+".journal_kb", journalKB.Mean())
 			t.Metric(prefix+".takeover_s", takeT.Mean())
+			t.Metric(prefix+".takeover_static_s", staticT.Mean())
 			t.Metric(prefix+".pre_ckpt_s", preT.Mean())
 			t.Metric(prefix+".post_ckpt_s", postT.Mean())
+			t.Metric("coordha.false_takeovers", float64(falsePos))
 		}
 		t.Rows = append(t.Rows, []string{
 			strconv.Itoa(k),
 			fmt.Sprintf("%.1f", journalKB.Mean()),
 			meanStd(&takeT),
+			meanStd(&staticT),
 			fmt.Sprintf("%.3f", preT.Mean()),
 			fmt.Sprintf("%.3f", postT.Mean()),
+			fmt.Sprintf("%d/%d", falsePos, trials),
 			fmt.Sprintf("%d/%d", survived, trials),
 		})
 	}
@@ -75,9 +100,11 @@ func RunCoordFailover(o Opts) *Table {
 
 // runCoordFailoverTrial drives one seed: two checkpoint rounds, kill
 // the coordinator node, wait for the standby takeover, then a third
-// round through the promoted standby.  It reports whether the
-// workload was still checkpointable and running afterwards.
-func runCoordFailoverTrial(seed int64, nodes, mb, standbys int,
+// round through the promoted standby.  adaptive selects the health
+// plane's phi-accrual failure detector; false disables heartbeats so
+// the election pays the static FailureDetectDelay.  It reports whether
+// the workload was still checkpointable and running afterwards.
+func runCoordFailoverTrial(seed int64, nodes, mb, standbys int, adaptive bool,
 	journalKB, takeT, preT, postT *Sample) bool {
 	cfg := dmtcp.Config{
 		CoordNode:     1, // the driver runs on node 0 and must survive
@@ -88,6 +115,9 @@ func runCoordFailoverTrial(seed int64, nodes, mb, standbys int,
 		CoordStandbys: standbys,
 	}
 	env := NewEnv(seed, nodes, cfg)
+	if !adaptive {
+		env.C.Params.HeartbeatInterval = 0
+	}
 	ok := false
 	env.Drive(func(task *kernel.Task) {
 		if _, err := env.Sys.Launch(0, DirtyAppName, strconv.Itoa(mb)); err != nil {
@@ -129,6 +159,62 @@ func runCoordFailoverTrial(seed int64, nodes, mb, standbys int,
 		}
 		postT.AddDur(r.Stages.Total)
 		ok = r.NumProcs == 1 && len(env.Sys.ManagedProcesses()) == 1
+	})
+	return ok
+}
+
+// runCoordLoadedTrial is the false-positive probe: the same HA cluster
+// under heavy load — background burners contending for the
+// coordinator's and standbys' cores, plus full-heap checkpoint rounds
+// saturating the network with replication traffic — with no failure at
+// all.  Delayed heartbeats must only widen the adaptive deadline; a
+// takeover while the leader is alive is a false positive.  Returns
+// true when the original coordinator is still in charge at the end.
+func runCoordLoadedTrial(seed int64, nodes, mb, standbys int) bool {
+	cfg := dmtcp.Config{
+		CoordNode:     1,
+		Compress:      true,
+		Store:         true,
+		StoreKeep:     3,
+		ReplicaFactor: 2,
+		CoordStandbys: standbys,
+	}
+	env := NewEnv(seed, nodes, cfg)
+	env.C.RegisterFunc("burner", func(t *kernel.Task, _ []string) {
+		for {
+			t.Compute(2 * time.Millisecond)
+		}
+	})
+	ok := true
+	env.Drive(func(task *kernel.Task) {
+		if _, err := env.Sys.Launch(3, DirtyAppName, strconv.Itoa(mb)); err != nil {
+			panic(err)
+		}
+		// Load the coordinator's node, the first standby's, and the
+		// workload's: heartbeat emission and handling now contend for
+		// cores, so inter-arrival jitter is real.
+		for _, n := range []kernel.NodeID{1, 2, 3} {
+			for i := 0; i < 3; i++ {
+				if _, err := env.C.Node(n).Kern.Spawn("burner", nil, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+		task.Compute(200 * time.Millisecond)
+		for g := 0; g < 3; g++ {
+			for _, p := range env.Sys.ManagedProcesses() {
+				TouchHeap(p, 1.0, uint64(g+1))
+			}
+			task.Compute(50 * time.Millisecond)
+			if _, err := env.Sys.Checkpoint(task); err != nil {
+				ok = false
+				return
+			}
+		}
+		env.Sys.Replica.WaitIdle(task)
+		if env.Sys.Coord.Node.ID != 1 || env.Sys.Coord.Node.Down {
+			ok = false
+		}
 	})
 	return ok
 }

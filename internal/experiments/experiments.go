@@ -28,9 +28,17 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/npb"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/sim"
 	"repro/internal/topc"
 )
+
+// Tracing, when non-nil, is attached to every cluster NewEnv builds
+// (each Env as a separate tracer run), so a bench driver can record
+// spans across all trials of an experiment and attribute them back by
+// run number afterwards.
+var Tracing *obs.Tracer
 
 // Opts controls experiment scale.
 type Opts struct {
@@ -67,6 +75,10 @@ func NewEnv(seed int64, nodes int, cfg dmtcp.Config) *Env {
 	params := model.Default()
 	params.JitterPct = 0.06
 	c := kernel.NewCluster(eng, params, nodes)
+	if Tracing != nil {
+		Tracing.BeginRun()
+		c.Trace = Tracing
+	}
 	kernel.StartInfra(c)
 	sys := dmtcp.Install(c, cfg)
 	mpi.RegisterPrograms(c)
@@ -144,6 +156,11 @@ type Table struct {
 	// the benchmark's JSON output, so the perf trajectory records
 	// where time went, not only the end-to-end numbers.
 	Metrics map[string]float64 `json:",omitempty"`
+
+	// CriticalPath is the blocking-chain analysis of every checkpoint
+	// round and restart this experiment's trials recorded (present when
+	// the bench driver ran with tracing enabled, e.g. -json).
+	CriticalPath *analyze.Summary `json:"critical_path,omitempty"`
 }
 
 // Metric records one named stage-level aggregate on the table.

@@ -39,7 +39,11 @@ func RunPipeline(o Opts) *Table {
 			"speedup = serial (1-worker) incremental time / this row's incremental time;",
 			"vs full = full-rewrite time at the same worker count / incremental time;",
 			"4 cores/node: 8 workers must show no further speedup over 4 (core accounting);",
-			"overlap = stored bytes already replicated to peers when the manifest committed",
+			"overlap = stored bytes already replicated to peers when the manifest committed;",
+			"slow3x rows: one node at 1/3 speed under background load, adaptive (CkptWorkers=0)",
+			"  pools — 'auto+hint' adds the health plane, whose straggler scores pre-size the",
+			"  slow node's next-round pool to its full core count; its speedup cell is the",
+			"  straggler-bound round-2 write vs the no-telemetry baseline",
 		},
 	}
 	// Stage breakdown of the widest-pool, all-dirty incremental round,
@@ -79,7 +83,81 @@ func RunPipeline(o Opts) *Table {
 		}
 	}
 	wideStages.metrics(t, fmt.Sprintf("ckpt.w%d.dirty%d", lastWorkers, lastRate))
+
+	// Straggler response: the same steady-state round with one slow
+	// loaded node, with and without the health telemetry plane.
+	var baseT, hintT Sample
+	for trial := 0; trial < o.trials(); trial++ {
+		seed := o.Seed + int64(trial)
+		runStragglerTrial(seed, mb, false, &baseT)
+		runStragglerTrial(seed, mb, true, &hintT)
+	}
+	gain := "-"
+	if hintT.Mean() > 0 {
+		gain = fmt.Sprintf("%.2fx", baseT.Mean()/hintT.Mean())
+	}
+	t.Rows = append(t.Rows,
+		[]string{"slow3x", "auto", "-", meanStd(&baseT), "1.00x", "-", "-"},
+		[]string{"slow3x", "auto+hint", "-", meanStd(&hintT), gain, "-", "-"})
+	t.Metric("straggler.base_write_s", baseT.Mean())
+	t.Metric("straggler.hint_write_s", hintT.Mean())
 	return t
+}
+
+// runStragglerTrial measures the straggler-bound steady-state write:
+// two processes checkpoint through adaptive worker pools while node01
+// runs at 1/3 speed under three background burners.  With the health
+// plane on, round 1's write times score node01 a straggler and the
+// coordinator pre-sizes its round-2 pool to the node's full core
+// count; with HeartbeatInterval=0 there is no registry and no hint, so
+// the loaded node keeps its 1-worker adaptive pool.  Round 2's write
+// stage is recorded.
+func runStragglerTrial(seed int64, mb int, response bool, tm *Sample) {
+	cfg := dmtcp.Config{Compress: true, Store: true, StoreKeep: 2, ReplicaFactor: 1}
+	env := NewEnv(seed, 3, cfg)
+	if !response {
+		env.C.Params.HeartbeatInterval = 0
+	}
+	env.C.SlowNode("node01", 3)
+	env.C.RegisterFunc("burner", func(t *kernel.Task, _ []string) {
+		for {
+			t.Compute(2 * time.Millisecond)
+		}
+	})
+	env.Drive(func(task *kernel.Task) {
+		for _, n := range []int{0, 1} {
+			if _, err := env.Sys.Launch(kernel.NodeID(n), DirtyAppName, strconv.Itoa(mb)); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := env.C.Node(1).Kern.Spawn("burner", nil, nil); err != nil {
+				panic(err)
+			}
+		}
+		task.Compute(200 * time.Millisecond)
+		// Version every chunk so the two identical heaps stop sharing
+		// chunk hashes: otherwise replica copies of the fast node's
+		// chunks dedup the straggler's write away.
+		for _, p := range env.Sys.ManagedProcesses() {
+			TouchHeap(p, 1.0, 1)
+		}
+		task.Compute(50 * time.Millisecond)
+		if _, err := env.Sys.Checkpoint(task); err != nil {
+			panic(err)
+		}
+		env.Sys.Replica.WaitIdle(task)
+		for _, p := range env.Sys.ManagedProcesses() {
+			TouchHeap(p, 1.0, 2)
+		}
+		task.Compute(50 * time.Millisecond)
+		round, err := env.Sys.Checkpoint(task)
+		if err != nil {
+			panic(err)
+		}
+		tm.AddDur(round.Stages.Write)
+		env.Sys.Replica.WaitIdle(task)
+	})
 }
 
 // runPipelineTrial measures one steady-state checkpoint: generation 1

@@ -172,6 +172,26 @@ func (c *Cluster) AddNodeDownHook(fn func(n *Node)) {
 	c.nodeDownHooks = append(c.nodeDownHooks, fn)
 }
 
+// SlowNode is straggler fault injection: it dilates the named node's
+// core rate by factor (2 means every compute charge takes twice as
+// long), modeling a machine running slow rather than dead — thermal
+// throttling, a failing disk controller eating CPU in retries, an
+// unaccounted co-tenant.  In-flight compute charges slow down from the
+// current instant; work already done is kept.  A factor <= 1 restores
+// nominal speed.  It returns false if the host is unknown.
+func (c *Cluster) SlowNode(host string, factor float64) bool {
+	n := c.LookupHost(host)
+	if n == nil {
+		return false
+	}
+	speed := 1.0
+	if factor > 1 {
+		speed = 1 / factor
+	}
+	n.cpu.SetSpeed(speed)
+	return true
+}
+
 // Node is a single machine: a kernel, local disks, and a filesystem.
 type Node struct {
 	ID       NodeID

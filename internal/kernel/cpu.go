@@ -32,6 +32,11 @@ const cpuEpsilon = 1e-9
 type CPUSched struct {
 	node  *Node
 	cores int
+	// speed scales every core's service rate: 1 is nominal, 0.5 is a
+	// node running at half clock (thermal throttling, a failing DIMM
+	// forcing ECC retries, a noisy co-tenant outside the simulation).
+	// Cluster.SlowNode sets it for straggler fault injection.
+	speed float64
 
 	jobs   []*cpuJob
 	lastAt sim.Time
@@ -46,7 +51,24 @@ type cpuJob struct {
 }
 
 func newCPUSched(n *Node, cores int) *CPUSched {
-	return &CPUSched{node: n, cores: cores}
+	return &CPUSched{node: n, cores: cores, speed: 1}
+}
+
+// Speed returns the node's current core-rate factor (1 is nominal).
+func (cs *CPUSched) Speed() float64 { return cs.speed }
+
+// SetSpeed changes the node's core-rate factor.  Progress accrued at
+// the old rate is integrated first, then the single pending completion
+// event is re-armed at the new rate, so in-flight compute charges
+// dilate (or contract) from this instant without losing work already
+// done.
+func (cs *CPUSched) SetSpeed(factor float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	cs.advance()
+	cs.speed = factor
+	cs.reschedule()
 }
 
 // Cores returns the number of cores the scheduler models (0 means
@@ -82,16 +104,17 @@ func (cs *CPUSched) IdleCores() int {
 	return idle
 }
 
-// rate returns the per-job service rate in core-seconds per second.
+// rate returns the per-job service rate in core-seconds per second,
+// scaled by the node's speed factor.
 func (cs *CPUSched) rate() float64 {
 	k := cs.Runnable()
 	if k == 0 {
 		return 0
 	}
 	if k <= cs.cores {
-		return 1
+		return cs.speed
 	}
-	return float64(cs.cores) / float64(k)
+	return cs.speed * float64(cs.cores) / float64(k)
 }
 
 // advance integrates job progress from lastAt to now.  Callers must
@@ -184,6 +207,9 @@ func (cs *CPUSched) Run(th *sim.Thread, d time.Duration) {
 		return
 	}
 	if cs.cores <= 0 {
+		if cs.speed > 0 && cs.speed != 1 {
+			d = time.Duration(float64(d) / cs.speed)
+		}
 		th.Sleep(d)
 		return
 	}

@@ -142,6 +142,58 @@ func TestCPUIdleCores(t *testing.T) {
 	})
 }
 
+// TestCPUSlowNode pins the straggler fault injection: SlowNode(h, 2)
+// halves the node's core rate, so identical compute charges take twice
+// as long — including charges already in flight, which keep the work
+// done at full speed and dilate only the remainder.
+func TestCPUSlowNode(t *testing.T) {
+	te := newEnv(t, 2)
+	te.run(t, func(task *Task) {
+		c := task.P.Node.Cluster
+		start := task.Now()
+		task.Compute(time.Second)
+		base := task.Now().Sub(start)
+
+		if !c.SlowNode(task.P.Node.Hostname, 2) {
+			t.Fatalf("SlowNode rejected a known host")
+		}
+		start = task.Now()
+		task.Compute(time.Second)
+		slowed := task.Now().Sub(start)
+		if slowed < 2*base-50*time.Millisecond || slowed > 2*base+50*time.Millisecond {
+			t.Errorf("slowed compute took %v, want ~2x baseline %v", slowed, base)
+		}
+
+		// The factor applies mid-charge: start at half speed, restore
+		// nominal speed halfway through, and total wall time is
+		// 1s (half the work at 0.5x) + 0.5s (the rest at 1x).
+		start = task.Now()
+		done := false
+		join := sim.NewWaitQueue(c.Eng, "slow-join")
+		task.P.SpawnTask("burn", false, func(bt *Task) {
+			bt.Compute(time.Second)
+			done = true
+			join.WakeAll()
+		})
+		task.Idle(time.Second) // burner completes 500ms of work at 0.5x
+		c.SlowNode(task.P.Node.Hostname, 1)
+		for !done {
+			join.Wait(task.T)
+		}
+		took := task.Now().Sub(start)
+		if took < 1450*time.Millisecond || took > 1550*time.Millisecond {
+			t.Errorf("mid-charge speed change: took %v, want ~1.5s", took)
+		}
+
+		if !c.SlowNode("node01", 3) || c.SlowNode("no-such-host", 2) {
+			t.Errorf("SlowNode host lookup misbehaved")
+		}
+		if got := c.LookupHost("node01").CPU().Speed(); got < 0.33 || got > 0.34 {
+			t.Errorf("node01 speed = %v, want 1/3", got)
+		}
+	})
+}
+
 // TestCPUKilledTaskReleasesCore pins that killing a process mid-compute
 // frees its core shares for the survivors.
 func TestCPUKilledTaskReleasesCore(t *testing.T) {

@@ -218,6 +218,27 @@ type Params struct {
 	// processes died while no coordinator was watching).
 	ResyncWindow time.Duration
 
+	// ---- Health telemetry plane ----
+
+	// HeartbeatInterval is the period on which every checkpoint manager
+	// piggybacks a compact health frame (queue depths, core
+	// utilization, replication backlog, last journal seq) to the
+	// coordinator, and on which the leader's journal shipper pushes
+	// even when caught up (so journal traffic doubles as a leader
+	// heartbeat for standbys).  0 disables the telemetry plane.
+	HeartbeatInterval time.Duration
+	// PhiTimeoutFactor scales the adaptive failure-detector deadline:
+	// a peer is suspected after factor × (mean + 4σ) of its observed
+	// heartbeat inter-arrival distribution has elapsed in silence —
+	// the phi-accrual idea collapsed to a deterministic deadline.
+	PhiTimeoutFactor float64
+	// PhiFloor is the minimum adaptive detection deadline, so a
+	// perfectly quiet network can never declare death faster than a
+	// couple of heartbeat periods.  The adaptive deadline is clamped
+	// to [PhiFloor, FailureDetectDelay]: observations only ever make
+	// detection FASTER than the static detector, never slower.
+	PhiFloor time.Duration
+
 	// JitterPct adds bounded uniform noise to the big time charges
 	// (suspend quantum, compression, storage) so repeated trials show
 	// the run-to-run variance the paper reports as error bars.  Zero
@@ -281,6 +302,10 @@ func Default() *Params {
 		CoordRetryCap:          200 * time.Millisecond,
 		CoordRetryWindow:       5 * time.Second,
 		ResyncWindow:           500 * time.Millisecond,
+
+		HeartbeatInterval: 25 * time.Millisecond,
+		PhiTimeoutFactor:  1.5,
+		PhiFloor:          60 * time.Millisecond,
 	}
 }
 

@@ -102,6 +102,13 @@ func (tr *Tracer) ChromeTrace() []byte {
 				b.WriteString(usec(ev.Dur))
 			case phaseInstant:
 				b.WriteString(`,"s":"t"`)
+			case phaseFlowStart:
+				b.WriteString(`,"id":`)
+				b.WriteString(strconv.FormatInt(ev.ID, 10))
+			case phaseFlowEnd:
+				b.WriteString(`,"id":`)
+				b.WriteString(strconv.FormatInt(ev.ID, 10))
+				b.WriteString(`,"bp":"e"`)
 			}
 			if len(ev.Args) > 0 {
 				b.WriteString(`,"args":`)

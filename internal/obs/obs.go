@@ -37,9 +37,11 @@ func A(key string, val int64) Arg { return Arg{Key: key, Val: val} }
 
 // Event phases, mirroring the Chrome trace-event format.
 const (
-	phaseSpan    = 'X' // complete event: ts + dur
-	phaseInstant = 'i' // instant event
-	phaseCounter = 'C' // counter sample
+	phaseSpan      = 'X' // complete event: ts + dur
+	phaseInstant   = 'i' // instant event
+	phaseCounter   = 'C' // counter sample
+	phaseFlowStart = 's' // flow arrow origin
+	phaseFlowEnd   = 'f' // flow arrow destination (binding point "e")
 )
 
 // Event is one recorded trace event.  Pid/Tid are the lazily assigned
@@ -52,7 +54,10 @@ type Event struct {
 	Tid   int
 	Ts    sim.Time
 	Dur   sim.Time // span length; 0 for instants and counters
-	Args  []Arg
+	// ID binds the two ends of a flow arrow ('s'/'f' phases); 0
+	// elsewhere.
+	ID   int64
+	Args []Arg
 }
 
 // trackRef names one registered Perfetto thread track.
@@ -102,6 +107,11 @@ type Tracer struct {
 	counterOrder []counterRef
 
 	snapshots []Snapshot
+
+	// reportHooks render extra Report sections from the recorded
+	// events (the critical-path analyzer registers one); they run in
+	// registration order after the built-in sections.
+	reportHooks []func(*Tracer) string
 }
 
 type counterRef struct {
@@ -196,6 +206,60 @@ func (tr *Tracer) Span(host, track, name, cat string, start, end sim.Time, args 
 	})
 }
 
+// FlowStart records the origin of a Perfetto flow arrow on (host,
+// track) at ts; the matching FlowEnd with the same id draws the arrow.
+func (tr *Tracer) FlowStart(host, track, name, cat string, id int64, ts sim.Time) {
+	if tr == nil {
+		return
+	}
+	pid, tid := tr.tidFor(host, track)
+	tr.events = append(tr.events, Event{
+		Phase: phaseFlowStart, Name: name, Cat: cat,
+		Pid: pid, Tid: tid, Ts: ts, ID: id,
+	})
+}
+
+// FlowEnd records the destination of a Perfetto flow arrow (binding
+// point "enclosing slice": the arrow lands on whatever span encloses
+// ts on the target track).
+func (tr *Tracer) FlowEnd(host, track, name, cat string, id int64, ts sim.Time) {
+	if tr == nil {
+		return
+	}
+	pid, tid := tr.tidFor(host, track)
+	tr.events = append(tr.events, Event{
+		Phase: phaseFlowEnd, Name: name, Cat: cat,
+		Pid: pid, Tid: tid, Ts: ts, ID: id,
+	})
+}
+
+// FlowArrow appends a complete flow arrow between two already
+// recorded spans, addressed by their Perfetto (pid, tid) coordinates —
+// the form a post-hoc analysis pass uses, since re-registering host
+// names after the fact would mint fresh ids under the current run.
+func (tr *Tracer) FlowArrow(name, cat string, id int64,
+	fromPid, fromTid int, fromTs sim.Time,
+	toPid, toTid int, toTs sim.Time) {
+	if tr == nil {
+		return
+	}
+	tr.events = append(tr.events,
+		Event{Phase: phaseFlowStart, Name: name, Cat: cat,
+			Pid: fromPid, Tid: fromTid, Ts: fromTs, ID: id},
+		Event{Phase: phaseFlowEnd, Name: name, Cat: cat,
+			Pid: toPid, Tid: toTid, Ts: toTs, ID: id})
+}
+
+// AddReportHook registers fn to render an extra Report section; the
+// analyzer in obs/analyze attaches itself this way, keeping obs free
+// of upward dependencies.
+func (tr *Tracer) AddReportHook(fn func(*Tracer) string) {
+	if tr == nil {
+		return
+	}
+	tr.reportHooks = append(tr.reportHooks, fn)
+}
+
 // Instant records a point event on (host, track).
 func (tr *Tracer) Instant(host, track, name, cat string, ts sim.Time, args ...Arg) {
 	if tr == nil {
@@ -283,4 +347,32 @@ func (tr *Tracer) Snapshots() []Snapshot {
 		return nil
 	}
 	return tr.snapshots
+}
+
+// ProcName resolves a Perfetto pid back to its registered process
+// (host) name, "" if unknown.
+func (tr *Tracer) ProcName(pid int) string {
+	if tr == nil {
+		return ""
+	}
+	for _, p := range tr.procOrder {
+		if p.pid == pid {
+			return p.name
+		}
+	}
+	return ""
+}
+
+// TrackName resolves a Perfetto (pid, tid) back to its registered
+// track name, "" if unknown.
+func (tr *Tracer) TrackName(pid, tid int) string {
+	if tr == nil {
+		return ""
+	}
+	for _, t := range tr.trackOrder {
+		if t.pid == pid && t.tid == tid {
+			return t.name
+		}
+	}
+	return ""
 }

@@ -120,6 +120,97 @@ func TestUsecRendering(t *testing.T) {
 	}
 }
 
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0s"},
+		{340 * time.Nanosecond, "340ns"},
+		{12345 * time.Nanosecond, "12.345µs"},
+		{999999 * time.Nanosecond, "999.999µs"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{2*time.Second + 125*time.Millisecond, "2.125s"},
+		{90 * time.Minute, "1h30m00s"},
+		{3*time.Hour + 2*time.Minute + 1*time.Second, "3h02m01s"},
+		{-42 * time.Nanosecond, "-42ns"},
+	}
+	for _, c := range cases {
+		if got := fmtDur(c.d); got != c.want {
+			t.Errorf("fmtDur(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestReportGolden pins the full report rendering — duration
+// formatting across magnitudes and sorted counter ordering — against
+// an exact golden string, so any formatting drift is a visible diff.
+func TestReportGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("node01", "app[1]", "tiny", "x", 0, sim.Time(500))                     // 500ns
+	tr.Span("node01", "app[1]", "huge", "x", 0, sim.Time(3920*int64(time.Second))) // 1h05m20s
+	tr.Span("node01", "app[1]", "mid", "x", ms(0), ms(1500))
+	// Counters recorded in non-sorted first-touch order on purpose.
+	tr.Add("node02", "z.last", ms(1), 7)
+	tr.Add("node02", "a.first", ms(2), 3)
+	tr.Add("node01", "m.mid", ms(3), 5)
+	got := tr.Report()
+	want := "== obs report ==\n" +
+		"span                          count        total         mean          max\n" +
+		"x/tiny                            1        500ns        500ns        500ns\n" +
+		"x/huge                            1     1h05m20s     1h05m20s     1h05m20s\n" +
+		"x/mid                             1         1.5s         1.5s         1.5s\n" +
+		"-- counters (final) --\n" +
+		"node01                       m.mid                                 5\n" +
+		"node02                       a.first                               3\n" +
+		"node02                       z.last                                7\n"
+	if got != want {
+		t.Errorf("report golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestFlowEventsRender(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("node01", "a", "s1", "x", ms(0), ms(10))
+	tr.Span("node02", "b", "s2", "x", ms(10), ms(20))
+	tr.FlowStart("node01", "a", "crit", "cp", 42, ms(5))
+	tr.FlowEnd("node02", "b", "crit", "cp", 42, ms(15))
+	raw := tr.ChromeTrace()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace with flows is not valid JSON: %v", err)
+	}
+	var starts, ends int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "s":
+			starts++
+			if ev["id"].(float64) != 42 {
+				t.Errorf("flow start id = %v, want 42", ev["id"])
+			}
+		case "f":
+			ends++
+			if ev["bp"] != "e" {
+				t.Errorf(`flow end missing "bp":"e": %v`, ev)
+			}
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Errorf("flow events rendered = %d starts, %d ends; want 1 each", starts, ends)
+	}
+}
+
+func TestReportHookRuns(t *testing.T) {
+	tr := NewTracer()
+	record(tr)
+	tr.AddReportHook(func(*Tracer) string { return "-- extra --\nhello\n" })
+	if rep := tr.Report(); !bytes.Contains([]byte(rep), []byte("-- extra --\nhello\n")) {
+		t.Errorf("report hook output missing:\n%s", rep)
+	}
+}
+
 func TestReportMentionsSpansAndCounters(t *testing.T) {
 	tr := NewTracer()
 	record(tr)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -58,7 +59,21 @@ func (tr *Tracer) Report() string {
 	}
 	if len(tr.counterOrder) > 0 {
 		b.WriteString("-- counters (final) --\n")
-		for _, c := range tr.counterOrder {
+		// Sorted by (run, host, name): first-touch order depends on
+		// scheduling accidents of the instrumented layers; the report
+		// promises a stable ordering regardless.
+		sorted := append([]counterRef(nil), tr.counterOrder...)
+		sort.Slice(sorted, func(i, j int) bool {
+			a, c := sorted[i], sorted[j]
+			if a.run != c.run {
+				return a.run < c.run
+			}
+			if a.host != c.host {
+				return a.host < c.host
+			}
+			return a.name < c.name
+		})
+		for _, c := range sorted {
 			label := c.host
 			if c.run > 0 {
 				label = fmt.Sprintf("run%d %s", c.run, c.host)
@@ -76,10 +91,39 @@ func (tr *Tracer) Report() string {
 			b.WriteByte('\n')
 		}
 	}
+	for _, hook := range tr.reportHooks {
+		if s := hook(tr); s != "" {
+			b.WriteString(s)
+		}
+	}
 	return b.String()
 }
 
-// fmtDur trims a duration to a stable millisecond-ish rendering.
+// fmtDur renders a duration at a precision matched to its magnitude,
+// stable across the whole range the tracer can record: nanosecond
+// spans no longer collapse to "0s" (the old microsecond rounding) and
+// hour-scale spans render as h/m/s instead of dragging six decimal
+// places behind the seconds field.
 func fmtDur(d time.Duration) string {
-	return d.Round(time.Microsecond).String()
+	neg := ""
+	if d < 0 {
+		neg = "-"
+		d = -d
+	}
+	switch {
+	case d == 0:
+		return "0s"
+	case d < time.Millisecond:
+		// Sub-millisecond values are exact at nanosecond grain
+		// ("340ns", "12.345µs").
+		return neg + d.String()
+	case d >= time.Hour:
+		d = d.Round(time.Second)
+		h := d / time.Hour
+		m := (d % time.Hour) / time.Minute
+		s := (d % time.Minute) / time.Second
+		return fmt.Sprintf("%s%dh%02dm%02ds", neg, h, m, s)
+	default:
+		return neg + d.Round(time.Microsecond).String()
+	}
 }

@@ -275,6 +275,36 @@ func (sv *Service) Pending() int {
 	return n
 }
 
+// PendingOn returns the replication backlog attributable to node n
+// alone: queued jobs, the in-service job, in-flight commits, and open
+// eager streams.  Heartbeats report it as per-node load telemetry.
+func (sv *Service) PendingOn(n *kernel.Node) int {
+	c := 0
+	if q := sv.queues[n]; q != nil {
+		c += len(q.jobs)
+		if q.busy {
+			c++
+		}
+	}
+	c += sv.inflight[n]
+	for _, s := range sv.streams[n] {
+		if !s.aborted {
+			c++
+		}
+	}
+	return c
+}
+
+// SinkSeq returns the last journal seq the standby coordinator sink on
+// node n has applied (0 when n hosts no sink) — the replication-lag
+// figure heartbeats carry.
+func (sv *Service) SinkSeq(n *kernel.Node) int64 {
+	if m := sv.sinks[n]; m != nil {
+		return m.Seq()
+	}
+	return 0
+}
+
 // WaitIdle blocks the calling task until every live node's replication
 // queue has drained.
 func (sv *Service) WaitIdle(t *kernel.Task) {

@@ -198,6 +198,79 @@ func TestRoundAndRestartInvariants(t *testing.T) {
 	})
 }
 
+// TestCriticalPathReconciliation is the analyzer-side round guard: the
+// blocking chain's stage walls must sum to each round's (and each
+// restart's) global wall within 1%, every round the scenario ran must
+// be analyzed, and straggler scores must be positive where defined.
+func TestCriticalPathReconciliation(t *testing.T) {
+	rounds, _, tr := driveTraced(19, 4, "48")
+	sum := dmtcpsim.AnalyzeTrace(tr)
+	if len(sum.Rounds) != len(rounds) {
+		t.Fatalf("analyzer found %d rounds, scenario ran %d", len(sum.Rounds), len(rounds))
+	}
+	if len(sum.Restarts) != 1 {
+		t.Fatalf("analyzer found %d restarts, scenario ran 1", len(sum.Restarts))
+	}
+	for i, r := range sum.Rounds {
+		var chain int64
+		for _, s := range r.Stages {
+			if s.WallNS < 0 {
+				t.Errorf("round %d stage %s: negative wall %d", i, s.Stage, s.WallNS)
+			}
+			if s.Host == "" {
+				t.Errorf("round %d stage %s: no blocking host attributed", i, s.Stage)
+			}
+			chain += s.WallNS
+		}
+		if !within1pct(chain, r.WallNS) {
+			t.Errorf("round %d: blocking chain %d ns != round wall %d ns (>1%% off)",
+				i, chain, r.WallNS)
+		}
+		for _, n := range r.Nodes {
+			if n.Straggler < 0 {
+				t.Errorf("round %d node %s: negative straggler score %f", i, n.Host, n.Straggler)
+			}
+		}
+	}
+	for i, r := range sum.Restarts {
+		var chain int64
+		for _, s := range r.Stages {
+			chain += s.WallNS
+		}
+		if !within1pct(chain, r.WallNS) {
+			t.Errorf("restart %d: blocking chain %d ns != restart wall %d ns (>1%% off)",
+				i, chain, r.WallNS)
+		}
+	}
+}
+
+// TestCriticalPathDeterministic pins the analyzer's byte-determinism:
+// the same seed must analyze to the same JSON, and annotating flow
+// arrows must leave the span analysis unchanged.
+func TestCriticalPathDeterministic(t *testing.T) {
+	_, _, tr1 := driveTraced(23, 4, "48")
+	_, _, tr2 := driveTraced(23, 4, "48")
+	j1, err := json.Marshal(dmtcpsim.AnalyzeTrace(tr1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(dmtcpsim.AnalyzeTrace(tr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("same seed analyzed differently:\n%s\nvs\n%s", j1, j2)
+	}
+	dmtcpsim.AnnotateFlows(tr2)
+	j3, err := json.Marshal(dmtcpsim.AnalyzeTrace(tr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j3) {
+		t.Fatalf("flow annotation changed the analysis")
+	}
+}
+
 // TestEffectiveRestoreWorkers pins the satellite fix: when the image
 // has fewer chunks than the configured pool, RestartStages.Workers
 // must report the pool that actually ran, not the config value — and
