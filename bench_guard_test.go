@@ -173,6 +173,61 @@ func TestBenchPipelineGuard(t *testing.T) {
 	}
 }
 
+// TestBenchRestoreLazyGuard pins the committed lazy post-copy curve in
+// BENCH_restore.json:
+//
+//   - the resume pause is near-constant in image size: the largest
+//     image's pause is <= 1.5x the smallest's, while the full-install
+//     MTTR keeps scaling with the image;
+//   - at 256 MB the skeleton resume costs <= 10% of the full-install
+//     restart (the headline acceptance criterion);
+//   - the drain striped across all four complete holders beats the
+//     single-holder pull by >= 1.8x at every size.
+func TestBenchRestoreLazyGuard(t *testing.T) {
+	tab := loadBenchTable(t, "BENCH_restore.json", "restore_lazy")
+	cMB := col(t, tab, "image MB")
+	cFull := col(t, tab, "streamed MTTR (s)")
+	cPause := col(t, tab, "resume pause (s)")
+	cStripe := col(t, tab, "stripe speedup")
+
+	if len(tab.Rows) < 2 {
+		t.Fatalf("restore_lazy table has %d rows, want a size sweep", len(tab.Rows))
+	}
+	var pauses, fulls []float64
+	for _, row := range tab.Rows {
+		if sp := ratio(t, row[cStripe]); sp < 1.8 {
+			t.Errorf("%s MB: striped drain %.2fx vs single holder, want >= 1.8x", row[cMB], sp)
+		}
+		pauses = append(pauses, mean(t, row[cPause]))
+		fulls = append(fulls, mean(t, row[cFull]))
+	}
+	first, last := pauses[0], pauses[len(pauses)-1]
+	if first <= 0 || last > first*1.5 {
+		t.Errorf("resume pause grew %.3fs -> %.3fs across the size sweep, want <= 1.5x", first, last)
+	}
+	if fulls[len(fulls)-1] < fulls[0]*2 {
+		t.Errorf("full-install MTTR %.3fs -> %.3fs does not scale with image size: lazy has nothing to buy",
+			fulls[0], fulls[len(fulls)-1])
+	}
+	saw256 := false
+	for i, row := range tab.Rows {
+		if row[cMB] != "256" {
+			continue
+		}
+		saw256 = true
+		if frac := pauses[i] / fulls[i]; frac > 0.10 {
+			t.Errorf("256 MB resume pause %.3fs is %.1f%% of the %.3fs full-install MTTR, want <= 10%%",
+				pauses[i], frac*100, fulls[i])
+		}
+	}
+	if !saw256 {
+		t.Error("no 256 MB row committed; the <=10%% pause criterion is unverified")
+	}
+	if g := tab.Metrics["lazy.pause_growth"]; g == 0 || g > 1.5 {
+		t.Errorf("lazy.pause_growth metric = %v, want in (0, 1.5]", g)
+	}
+}
+
 // TestBenchCoordHAGuard pins the committed BENCH_coordha.json adaptive
 // failure-detector claims:
 //

@@ -63,6 +63,7 @@ func main() {
 		{"coordha", "coordinator HA: journaled state machine + standby takeover", func() *dmtcpsim.Table { return dmtcpsim.RunCoordFailover(o) }},
 		{"pipeline", "parallel pipelined checkpoint write (workers x dirty%)", func() *dmtcpsim.Table { return dmtcpsim.RunPipeline(o) }},
 		{"restore", "streamed restore pipeline (remote-fetch restart x workers)", func() *dmtcpsim.Table { return dmtcpsim.RunRestore(o) }},
+		{"restorelazy", "lazy post-copy restore (skeleton resume + striped prefetch x size)", func() *dmtcpsim.Table { return dmtcpsim.RunRestoreLazy(o) }},
 	}
 	if *list {
 		for _, e := range exps {

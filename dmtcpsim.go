@@ -128,6 +128,12 @@ func Aware(p *Process) *AwareAPI { return dmtcp.Aware(p) }
 // dirty-page rates against the incremental checkpoint store.
 const DirtyAppName = experiments.DirtyAppName
 
+// LazyAppName is the registered synthetic workload for post-copy
+// restores: like DirtyAppName, but its Restore performs strided
+// first-touch heap accesses that demand-fault against a lazy restart's
+// background prefetch.
+const LazyAppName = experiments.LazyAppName
+
 // StragglerThreshold is the straggler score (node stage time over the
 // round median) above which reports call a node out and the
 // coordinator's response path boosts its next-round worker pool.
@@ -256,5 +262,6 @@ var (
 	RunCoordFailover = experiments.RunCoordFailover
 	RunPipeline      = experiments.RunPipeline
 	RunRestore       = experiments.RunRestore
+	RunRestoreLazy   = experiments.RunRestoreLazy
 	RunAll           = experiments.All
 )

@@ -83,6 +83,21 @@ type RestartStages struct {
 	// Total can be less than the sum of the stages.
 	Workers      int
 	OverlapBytes int64
+
+	// Lazy (post-copy) restore statistics, zero on the eager paths.
+	// ResumePause is the wall time until the restored processes were
+	// running again (skeleton + files + conns + fork/resume, max
+	// across hosts) — the paper's user-visible restart pause.
+	// PrefetchDrain is the post-resume tail until every absent chunk
+	// was pulled and installed.  Total covers both.  DemandBytes /
+	// DemandFaults account the chunks a blocked fault waited on;
+	// PrefetchBytes the chunks the background prefetcher landed first.
+	// Skeleton, demand, and prefetch bytes sum to FetchedBytes.
+	ResumePause   time.Duration
+	PrefetchDrain time.Duration
+	DemandBytes   int64
+	PrefetchBytes int64
+	DemandFaults  int
 }
 
 // ImageInfo describes one per-process checkpoint file (a monolithic

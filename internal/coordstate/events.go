@@ -258,6 +258,15 @@ func apply(st *State, ev Event) []Effect {
 				agg.Workers = s.Workers
 			}
 			agg.OverlapBytes += s.OverlapBytes
+			if s.ResumePause > agg.ResumePause {
+				agg.ResumePause = s.ResumePause
+			}
+			if s.PrefetchDrain > agg.PrefetchDrain {
+				agg.PrefetchDrain = s.PrefetchDrain
+			}
+			agg.DemandBytes += s.DemandBytes
+			agg.PrefetchBytes += s.PrefetchBytes
+			agg.DemandFaults += s.DemandFaults
 		}
 		n := time.Duration(len(st.RestartAgg))
 		agg.Files /= n

@@ -340,6 +340,11 @@ func encodeRestart(e *bin.Encoder, r RestartStages) {
 	e.Int(r.FetchedChunks)
 	e.Int(r.Workers)
 	e.I64(r.OverlapBytes)
+	e.I64(int64(r.ResumePause))
+	e.I64(int64(r.PrefetchDrain))
+	e.I64(r.DemandBytes)
+	e.I64(r.PrefetchBytes)
+	e.Int(r.DemandFaults)
 }
 
 func decodeRestart(d *bin.Decoder) RestartStages {
@@ -354,5 +359,10 @@ func decodeRestart(d *bin.Decoder) RestartStages {
 	r.FetchedChunks = d.Int()
 	r.Workers = d.Int()
 	r.OverlapBytes = d.I64()
+	r.ResumePause = time.Duration(d.I64())
+	r.PrefetchDrain = time.Duration(d.I64())
+	r.DemandBytes = d.I64()
+	r.PrefetchBytes = d.I64()
+	r.DemandFaults = d.Int()
 	return r
 }

@@ -58,6 +58,22 @@ type Config struct {
 	// it false to overlap fetch and install.
 	SerialRestore bool
 
+	// LazyRestore flips store-mode restarts from pre-copy to
+	// post-copy: dmtcp_restart installs only a minimal skeleton (the
+	// manifest header, files, conns, and the hottest few chunks) and
+	// resumes the processes immediately; a first-touch access to a
+	// not-yet-installed chunk blocks just that thread while the chunk
+	// is pulled on demand, and a background prefetcher drains the
+	// remainder hottest-first, striped across every placement-verified
+	// complete holder.  RestartStages then reports ResumePause (the
+	// user-visible pause) separately from the PrefetchDrain tail;
+	// Total covers both.  Ignored with SerialRestore.
+	LazyRestore bool
+	// LazyHolders caps how many holders the lazy prefetcher stripes
+	// across (0 = all placement-verified complete holders).  The
+	// restore benchmark's single-holder column sets 1.
+	LazyHolders int
+
 	// Store routes checkpoint images through the content-addressed
 	// chunk store under CkptDir/store: each generation writes only
 	// chunks not already present (incremental checkpointing), and the

@@ -714,6 +714,12 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 		FetchedChunks: d.Int(),
 		Workers:       d.Int(),
 		OverlapBytes:  d.I64(),
+
+		ResumePause:   time.Duration(d.I64()),
+		PrefetchDrain: time.Duration(d.I64()),
+		DemandBytes:   d.I64(),
+		PrefetchBytes: d.I64(),
+		DemandFaults:  d.Int(),
 	}
 	co.apply(t, ev)
 	co.retryDeferredGC(t)

@@ -1,0 +1,251 @@
+package dmtcp
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/mtcp"
+	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// lazyCtrl drives one image's post-copy tail after a skeleton restore:
+// it owns the striped pull-stream that fetches pending chunks from the
+// holders, a background installer that decompresses and lands each
+// delivered chunk, and the first-touch fault hook the kernel invokes
+// when the resumed process reaches a chunk that has not landed yet.
+//
+// Chunk installs race the fork on purpose: chunks landed before
+// InstallMemory copies the image buffers ride into the process for
+// free; chunks landing after go through the live area's presence map
+// (wire switches the install target).  Demand faults preempt the
+// prefetch queue via PullStream.Demand, and the faulting thread
+// installs its own chunk unless the installer already claimed it —
+// whoever gets there first, exactly once.
+type lazyCtrl struct {
+	sys   *System
+	local *store.Store
+	img   *mtcp.Image
+	ps    *replica.PullStream
+	w     *sim.WaitQueue
+
+	pending []mtcp.LazyChunk
+	refOf   map[[2]int]store.ChunkRef // (area, chunk) → ref
+	byHash  map[string][][2]int       // hash → coords sharing it
+
+	installed  map[[2]int]bool
+	installing map[[2]int]bool
+	remaining  int
+
+	wired   bool
+	proc    *kernel.Process
+	areas   map[int]*kernel.VMArea
+	areaIdx map[*kernel.VMArea]int
+
+	delivered []store.ChunkRef
+	faults    int
+	aborted   bool
+	err       error
+}
+
+// newLazyCtrl arms the post-copy tail for one skeleton-restored image
+// and starts pulling immediately, so the prefetch overlaps the
+// files/conns/fork stages that still separate us from resume.
+func newLazyCtrl(s *System, t *kernel.Task, img *mtcp.Image, lz *mtcp.LazyState, holders []string) *lazyCtrl {
+	lc := &lazyCtrl{
+		sys:        s,
+		local:      store.Open(t.P.Node, store.Config{Root: s.StoreRoot()}),
+		img:        img,
+		w:          sim.NewWaitQueue(t.P.Node.Cluster.Eng, "lazy.install"),
+		pending:    lz.Pending,
+		refOf:      make(map[[2]int]store.ChunkRef, len(lz.Pending)),
+		byHash:     make(map[string][][2]int, len(lz.Pending)),
+		installed:  map[[2]int]bool{},
+		installing: map[[2]int]bool{},
+		areas:      map[int]*kernel.VMArea{},
+		areaIdx:    map[*kernel.VMArea]int{},
+	}
+	var refs []store.ChunkRef
+	for _, pc := range lz.Pending {
+		key := [2]int{pc.Area, pc.Idx}
+		lc.refOf[key] = pc.Ref
+		if len(lc.byHash[pc.Ref.Hash]) == 0 {
+			refs = append(refs, pc.Ref) // hottest-first, unique by hash
+		}
+		lc.byHash[pc.Ref.Hash] = append(lc.byHash[pc.Ref.Hash], key)
+		lc.remaining++
+	}
+	lc.ps = replica.NewPullStream(t, s.Replica, holders, refs, lc.onDeliver)
+	t.P.SpawnTask("lazy-install", true, lc.installer)
+	// The pull stream wakes its own waiters on failure; relay that to
+	// ours so the installer, drain, and blocked faulters all observe a
+	// holders-exhausted stream instead of sleeping forever.
+	t.P.SpawnTask("lazy-watch", true, func(wt *kernel.Task) {
+		if err := lc.ps.Wait(wt); err != nil && lc.err == nil && !lc.aborted {
+			lc.err = err
+		}
+		lc.w.WakeAll()
+	})
+	return lc
+}
+
+// onDeliver runs on a puller task as each chunk becomes locally
+// durable: queue it for the installer.
+func (lc *lazyCtrl) onDeliver(ref store.ChunkRef) {
+	lc.delivered = append(lc.delivered, ref)
+	lc.w.WakeAll()
+}
+
+// installer is the background install loop: it charges the read and
+// decompression for each delivered chunk and lands it — into the image
+// buffers before the fork, into the live areas (marking presence)
+// after.  It aborts if the restored process dies mid-drain.
+func (lc *lazyCtrl) installer(t *kernel.Task) {
+	for {
+		if lc.err != nil || lc.aborted || lc.remaining == 0 {
+			lc.w.WakeAll()
+			return
+		}
+		if lc.proc != nil && (lc.proc.Dead || lc.proc.Zombie) {
+			lc.abort()
+			return
+		}
+		if len(lc.delivered) == 0 {
+			lc.w.Wait(t.T)
+			continue
+		}
+		ref := lc.delivered[0]
+		lc.delivered = lc.delivered[1:]
+		for _, key := range lc.byHash[ref.Hash] {
+			if lc.installed[key] || lc.installing[key] {
+				continue
+			}
+			lc.installing[key] = true
+			lc.install(t, key, ref)
+		}
+	}
+}
+
+// install pays one chunk's read/decompress and lands it at its
+// coordinate.  Runs on the installer or on a faulting thread.
+func (lc *lazyCtrl) install(t *kernel.Task, key [2]int, ref store.ChunkRef) {
+	lc.local.ChargeRead(t, []store.ChunkRef{ref})
+	data, _ := lc.local.ReadChunkData(ref.Hash)
+	if lc.wired {
+		if a := lc.areas[key[0]]; a != nil {
+			a.InstallChunk(key[1], data)
+		}
+	} else {
+		off := int64(key[1]) * kernel.CkptChunkBytes
+		if buf := lc.img.Areas[key[0]].Payload; off < int64(len(buf)) {
+			copy(buf[off:], data)
+		}
+	}
+	lc.installed[key] = true
+	lc.remaining--
+	lc.w.WakeAll()
+}
+
+// wire switches the install target to the forked process's live
+// areas: every pending chunk not yet installed becomes absent in its
+// area's presence map, with fault as the first-touch hook.  Called by
+// restoreProcess right after InstallMemory (which copied the image
+// buffers, carrying everything installed so far).
+func (lc *lazyCtrl) wire(p *kernel.Process) {
+	lc.proc = p
+	areas := p.Mem.Areas()
+	absent := map[int][]int{}
+	var order []int
+	for _, pc := range lc.pending {
+		if lc.installed[[2]int{pc.Area, pc.Idx}] {
+			continue
+		}
+		if pc.Area < 0 || pc.Area >= len(areas) {
+			continue
+		}
+		if len(absent[pc.Area]) == 0 {
+			order = append(order, pc.Area)
+		}
+		absent[pc.Area] = append(absent[pc.Area], pc.Idx)
+	}
+	for _, ai := range order {
+		a := areas[ai]
+		a.SetLazy(absent[ai], lc.fault)
+		lc.areas[ai] = a
+		lc.areaIdx[a] = ai
+	}
+	lc.wired = true
+}
+
+// fault is the kernel's first-touch hook: charge the trap, preempt the
+// prefetch queue, and block this thread until the chunk is resident.
+func (lc *lazyCtrl) fault(t *kernel.Task, a *kernel.VMArea, chunk int) error {
+	ai, ok := lc.areaIdx[a]
+	if !ok {
+		return fmt.Errorf("dmtcp: lazy fault on unwired area %s", a.Name)
+	}
+	p := lc.sys.C.Params
+	t.Compute(p.FaultTrapCost)
+	key := [2]int{ai, chunk}
+	ref, ok := lc.refOf[key]
+	if !ok || lc.installed[key] {
+		a.MarkPresent(chunk)
+		return nil
+	}
+	lc.faults++
+	fStart := t.Now()
+	if err := lc.ps.Demand(t, ref); err != nil {
+		lc.err = err
+		lc.w.WakeAll()
+		return err
+	}
+	// Locally durable now.  Install it ourselves unless the installer
+	// already claimed this coordinate; either way, wait for residency.
+	if !lc.installed[key] && !lc.installing[key] {
+		lc.installing[key] = true
+		lc.install(t, key, ref)
+	}
+	for !lc.installed[key] {
+		if lc.err != nil {
+			return lc.err
+		}
+		if lc.aborted {
+			return fmt.Errorf("dmtcp: lazy pull aborted")
+		}
+		lc.w.Wait(t.T)
+	}
+	t.Trace().Span(t.Host(), fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid),
+		"lazy.fault", "restart", fStart, t.Now(),
+		obs.A("area", int64(ai)), obs.A("chunk", int64(chunk)),
+		obs.A("stored_bytes", ref.StoredBytes))
+	return nil
+}
+
+// abort stops the tail (the restored process died): pullers wind down
+// and whatever landed stays durable in the local store.
+func (lc *lazyCtrl) abort() {
+	if lc.aborted {
+		return
+	}
+	lc.aborted = true
+	lc.ps.Abort()
+	lc.w.WakeAll()
+}
+
+// drain blocks until every pending chunk is installed, the stream
+// failed, or the restored process died (which aborts cleanly).
+func (lc *lazyCtrl) drain(t *kernel.Task) error {
+	for lc.remaining > 0 && lc.err == nil && !lc.aborted {
+		if lc.proc != nil && (lc.proc.Dead || lc.proc.Zombie) {
+			lc.abort()
+			break
+		}
+		lc.w.Wait(t.T)
+	}
+	if lc.err != nil {
+		return lc.err
+	}
+	return nil
+}

@@ -198,7 +198,16 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 			}
 			st.Fetch = t.Now().Sub(fStart)
 		}
-	} else {
+	}
+	// Lazy (post-copy) restore: the pipeline installs only a skeleton —
+	// manifest, metadata, and the hottest few chunks — and the rest is
+	// pulled in the background after resume, striped across all
+	// placement-verified complete holders, with demand faults jumping
+	// the queue.  Incompatible with the serial baseline by construction.
+	lazy := s.Cfg.LazyRestore && !s.Cfg.SerialRestore
+	lazies := make([]*mtcp.LazyState, len(paths))
+	ctrls := make([]*lazyCtrl, len(paths))
+	if !s.Cfg.SerialRestore {
 		stats := make([]mtcp.RestoreStats, len(paths))
 		errs := make([]error, len(paths))
 		pending := 0
@@ -224,8 +233,14 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 					}
 					fetch = hf
 				}
-				images[i], stats[i], errs[i] = mtcp.RestoreStreamed(pt, path,
-					mtcp.RestoreOptions{Workers: workers, Fetch: fetch})
+				if lazy {
+					images[i], lazies[i], stats[i], errs[i] = mtcp.RestoreLazy(pt, path,
+						mtcp.RestoreOptions{Workers: workers, Fetch: fetch},
+						t.P.Node.Cluster.Params.LazySkeletonChunks)
+				} else {
+					images[i], stats[i], errs[i] = mtcp.RestoreStreamed(pt, path,
+						mtcp.RestoreOptions{Workers: workers, Fetch: fetch})
+				}
 			})
 		}
 		for pending > 0 {
@@ -252,6 +267,20 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 				maxPipe = rs.Took
 			}
 		}
+		// Arm the post-copy tails now, before files/conns/fork: the
+		// striped prefetch overlaps everything between here and resume.
+		for i, lz := range lazies {
+			if lz == nil || len(lz.Pending) == 0 {
+				continue
+			}
+			hf := &holderFetcher{sys: s, path: paths[i], primary: from,
+				workers: workers, target: t.P.Node}
+			holders := hf.candidates()
+			if n := s.Cfg.LazyHolders; n > 0 && len(holders) > n {
+				holders = holders[:n]
+			}
+			ctrls[i] = newLazyCtrl(s, t, images[i], lz, holders)
+		}
 	}
 
 	// Load images (headers + metadata tables); streamed manifests are
@@ -263,6 +292,7 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 		conns []ConnRec
 		vpid  kernel.Pid
 		table map[kernel.Pid]kernel.Pid
+		lazy  *lazyCtrl
 	}
 	var imgs []*procImage
 	for i, path := range paths {
@@ -274,7 +304,7 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 				fail("%s: %v", path, err)
 			}
 		}
-		pi := &procImage{path: path, img: img}
+		pi := &procImage{path: path, img: img, lazy: ctrls[i]}
 		if b, ok := img.Ext["dmtcp.fdtable"]; ok {
 			var err error
 			pi.fds, err = decodeFDTable(b)
@@ -518,7 +548,8 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 			// to the program's Restore; when Restore returns, this
 			// main task ends and the process exits normally.
 			s.restoreProcess(c, pi.path, pi.img, pi.fds, pi.conns,
-				pi.vpid, pi.table, objects, ptyNames, vpidToProc, nGlobal, gen, report)
+				pi.vpid, pi.table, objects, ptyNames, vpidToProc, nGlobal, gen,
+				pi.lazy, report)
 		})
 		proc, _ := t.P.Kern.Process(pid)
 		vpidToProc[pi.vpid] = proc
@@ -551,22 +582,54 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 		st.Memory = maxPipe
 	}
 	st.Refill = refillMax
+
+	// Post-copy tail: the processes are already running on their
+	// skeletons; block here only for the background drain, then fold
+	// the pull-stream's bytes into the fetch accounting.  ResumePause
+	// is the availability metric (start → last process resumed);
+	// Total still covers the drain, matching full-install MTTR.
+	resumeEnd := t.Now()
+	anyLazy := false
+	for _, lc := range ctrls {
+		if lc == nil {
+			continue
+		}
+		anyLazy = true
+		if err := lc.drain(t); err != nil {
+			fail("lazy drain: %v", err)
+		}
+		st.FetchedBytes += lc.ps.Bytes()
+		st.FetchedChunks += lc.ps.Chunks()
+		st.DemandBytes += lc.ps.DemandBytes()
+		st.PrefetchBytes += lc.ps.PrefetchBytes()
+		st.DemandFaults += lc.faults
+	}
+	if anyLazy {
+		st.ResumePause = resumeEnd.Sub(start)
+		st.PrefetchDrain = t.Now().Sub(resumeEnd)
+	}
 	st.Total = t.Now().Sub(start)
 
-	// Trace the restart: four sequential segments that exactly
-	// partition [start, end] under one enclosing span — image loading
-	// (incl. the streamed restore pipelines), file/pty reopen, socket
-	// reconnection, and the forked children's restore/refill/resume.
+	// Trace the restart: sequential segments that exactly partition
+	// [start, end] under one enclosing span — image loading (incl. the
+	// streamed restore pipelines), file/pty reopen, socket
+	// reconnection, the forked children's restore/refill/resume, and
+	// (lazy only) the post-resume prefetch drain.
 	if tr := t.Trace(); tr.Enabled() {
 		end, host, trk := t.Now(), t.Host(), fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid)
 		connsEnd := s2.Add(st.Conns)
 		tr.Span(host, trk, "restart.total", "restart", start, end,
 			obs.A("procs", int64(len(imgs))), obs.A("fetched_bytes", st.FetchedBytes),
-			obs.A("overlap_bytes", st.OverlapBytes), obs.A("workers", int64(st.Workers)))
+			obs.A("overlap_bytes", st.OverlapBytes), obs.A("workers", int64(st.Workers)),
+			obs.A("demand_bytes", st.DemandBytes), obs.A("prefetch_bytes", st.PrefetchBytes))
 		tr.Span(host, trk, "restart.images", "restart", start, filesStart)
 		tr.Span(host, trk, "restart.files", "restart", filesStart, s2)
 		tr.Span(host, trk, "restart.conns", "restart", s2, connsEnd)
-		tr.Span(host, trk, "restart.procs", "restart", connsEnd, end)
+		tr.Span(host, trk, "restart.procs", "restart", connsEnd, resumeEnd)
+		if anyLazy {
+			tr.Span(host, trk, "restart.prefetch", "restart", resumeEnd, end,
+				obs.A("demand_faults", int64(st.DemandFaults)))
+		}
 		tr.Add(host, "restart.fetched_bytes", end, st.FetchedBytes)
 	}
 
@@ -585,6 +648,11 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	e.Int(st.FetchedChunks)
 	e.Int(st.Workers)
 	e.I64(st.OverlapBytes)
+	e.I64(int64(st.ResumePause))
+	e.I64(int64(st.PrefetchDrain))
+	e.I64(st.DemandBytes)
+	e.I64(st.PrefetchBytes)
+	e.Int(st.DemandFaults)
 	t.SendFrame(cfd, e.B)
 
 	// Remain as the parent of the restored processes (the paper's
@@ -614,6 +682,7 @@ func (s *System) restoreProcess(
 	vpidToProc map[kernel.Pid]*kernel.Process,
 	nGlobal int,
 	gen string,
+	lazy *lazyCtrl,
 	report func(mem, refill time.Duration),
 ) {
 	p := c.P
@@ -649,6 +718,12 @@ func (s *System) restoreProcess(
 		}
 		return seg
 	})
+	if lazy != nil {
+		// Post-copy: InstallMemory copied whatever the background pull
+		// had landed in the image buffers; arm presence maps and the
+		// first-touch fault hook for the chunks still in flight.
+		lazy.wire(p)
+	}
 	p.Env = make(map[string]string, len(img.Env))
 	for k, v := range img.Env {
 		p.Env[k] = v

@@ -87,6 +87,7 @@ func NewEnv(seed int64, nodes int, cfg dmtcp.Config) *Env {
 	ipython.Register(c)
 	apps.Register(c)
 	c.Register(DirtyAppName, dirtyProg{})
+	c.Register(LazyAppName, lazyProg{})
 	if err := sys.SpawnCoordinator(); err != nil {
 		panic(err)
 	}

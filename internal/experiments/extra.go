@@ -186,6 +186,7 @@ func All(o Opts) []*Table {
 		RunFailover(o),
 		RunPipeline(o),
 		RunRestore(o),
+		RunRestoreLazy(o),
 	}
 }
 

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dmtcp"
+	"repro/internal/kernel"
+	"repro/internal/model"
+)
+
+// LazyAppName is the registered program name of the synthetic
+// post-copy workload: like dirtyapp, but its Restore performs strided
+// first-touch heap accesses, so a lazy restart takes demand faults
+// while the background prefetch is still draining.
+const LazyAppName = "lazyapp"
+
+// lazyProg maps a library and a large heap, then idles.  Checkpoints
+// are written uncompressed in the lazy experiment: a post-copy restore
+// cannot afford decompression on the demand-fault path (CRIU's
+// lazy-pages ships raw pages for the same reason), so the trade the
+// experiment measures is bytes-over-the-wire vs time-to-resume, not
+// compression ratios.
+type lazyProg struct{}
+
+func (lazyProg) Main(t *kernel.Task, args []string) {
+	mb := 256
+	if len(args) > 0 {
+		if v, err := strconv.Atoi(args[0]); err == nil && v > 0 {
+			mb = v
+		}
+	}
+	t.MapLib("/lib/libc.so", 8*model.MB)
+	t.MapAnon("[heap]", int64(mb)*model.MB, model.ClassData)
+	t.P.SaveState([]byte{1})
+	lazyIdle(t)
+}
+
+// Restore models a restarted worker resuming real work: a handful of
+// strided probes across the heap (hash-table lookups, queue scans),
+// most of which land ahead of the ascending background prefetch and
+// fault.  Under a full-install restore the probes are free (the fast
+// path of EnsureRange), so streamed and lazy runs stay comparable.
+func (lazyProg) Restore(t *kernel.Task, _ []byte) {
+	if h := t.P.Mem.Area("[heap]"); h != nil && h.Bytes > 0 {
+		stride := h.Bytes / 8
+		for i := 0; i < 8; i++ {
+			off := int64(i)*stride + int64(i%3)*kernel.CkptChunkBytes
+			if off >= h.Bytes {
+				off = h.Bytes - 1
+			}
+			if err := h.EnsureRange(t, off, 64*model.KB); err != nil {
+				panic(err)
+			}
+			t.Compute(10 * time.Millisecond)
+		}
+	}
+	lazyIdle(t)
+}
+
+func lazyIdle(t *kernel.Task) {
+	for {
+		t.Compute(50 * time.Millisecond)
+	}
+}
+
+// RunRestoreLazy measures the lazy post-copy restart against the
+// full-install streamed pipeline across image sizes: the process
+// resumes on a skeleton (manifest, files, conns, hottest chunks) in
+// near-constant time while the full-install MTTR scales with the
+// image, and the background drain striped across all ReplicaFactor+1
+// complete holders beats the single-holder pull by the aggregate
+// bandwidth the placement bought.
+//
+// Each trial checkpoints an uncompressed process on node1 (replicated
+// to three more holders), kills it, and restarts on cold node0 three
+// ways: streamed full-install, lazy pulling from one holder, and lazy
+// striped across every holder.
+func RunRestoreLazy(o Opts) *Table {
+	sizes := []int{64, 128, 256, 512}
+	if o.Quick {
+		sizes = []int{32, 64}
+	}
+	t := &Table{
+		ID: "restore_lazy",
+		Title: "Lazy post-copy restore: skeleton resume + striped heat-ordered prefetch" +
+			" vs full-install streamed restart (uncompressed, ReplicaFactor 3)",
+		Columns: []string{"image MB", "streamed MTTR (s)", "resume pause (s)", "pause frac",
+			"drain 1-holder (s)", "drain striped (s)", "stripe speedup", "demand MB", "prefetch MB", "faults"},
+		Notes: []string{
+			"streamed MTTR = full-install restart total (fetch/decompress/install overlapped);",
+			"resume pause = restart start -> every process resumed on its skeleton (striped run);",
+			"pause frac = resume pause / streamed MTTR at the same size;",
+			"drain = post-resume background prefetch wall time, hottest chunks first,",
+			"  1 holder vs striped across all 4 placement-verified complete holders;",
+			"demand MB landed via first-touch faults (queue-preempting), prefetch MB in background;",
+			"images are uncompressed: post-copy cannot afford gunzip on the demand-fault path",
+		},
+	}
+	var pauses []float64
+	var wide lazySamples
+	last := sizes[len(sizes)-1]
+	for _, mbv := range sizes {
+		var fullT, pauseT, drain1, drainN, demandMB, prefMB, faults Sample
+		var ls *lazySamples
+		if mbv == last {
+			ls = &wide
+		}
+		for trial := 0; trial < o.trials(); trial++ {
+			seed := o.Seed + int64(trial)
+			runLazyTrial(seed, mbv, -1, &fullT, nil, nil, nil, nil, nil)
+			runLazyTrial(seed, mbv, 1, nil, nil, &drain1, nil, nil, nil)
+			runLazyTrial(seed, mbv, 0, nil, &pauseT, &drainN, &demandMB, &prefMB, &faults)
+			if ls != nil {
+				ls.full.Add(fullT.xs[len(fullT.xs)-1])
+				ls.pause.Add(pauseT.xs[len(pauseT.xs)-1])
+				ls.drain.Add(drainN.xs[len(drainN.xs)-1])
+			}
+		}
+		speedup := "-"
+		if drainN.Mean() > 0 {
+			speedup = fmt.Sprintf("%.2fx", drain1.Mean()/drainN.Mean())
+		}
+		frac := "-"
+		if fullT.Mean() > 0 {
+			frac = fmt.Sprintf("%.3f", pauseT.Mean()/fullT.Mean())
+		}
+		pauses = append(pauses, pauseT.Mean())
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(mbv),
+			meanStd(&fullT),
+			meanStd(&pauseT),
+			frac,
+			meanStd(&drain1),
+			meanStd(&drainN),
+			speedup,
+			fmt.Sprintf("%.1f", demandMB.Mean()),
+			fmt.Sprintf("%.1f", prefMB.Mean()),
+			fmt.Sprintf("%.1f", faults.Mean()),
+		})
+	}
+	t.Metric(fmt.Sprintf("lazy.%dmb.streamed_mttr_s", last), wide.full.Mean())
+	t.Metric(fmt.Sprintf("lazy.%dmb.resume_pause_s", last), wide.pause.Mean())
+	t.Metric(fmt.Sprintf("lazy.%dmb.striped_drain_s", last), wide.drain.Mean())
+	if len(pauses) > 1 && pauses[0] > 0 {
+		t.Metric("lazy.pause_growth", pauses[len(pauses)-1]/pauses[0])
+	}
+	return t
+}
+
+// lazySamples holds the largest-size series for the metrics block.
+type lazySamples struct {
+	full, pause, drain Sample
+}
+
+// runLazyTrial drives one seed: checkpoint lazyapp on node1 through
+// the replicated store, kill the process, restart on cold node0.
+// lazyHolders < 0 runs the streamed full-install baseline; otherwise
+// it is Config.LazyHolders (0 = stripe across all complete holders).
+func runLazyTrial(seed int64, mb, lazyHolders int,
+	fullT, pauseT, drainT, demandMB, prefMB, faults *Sample) {
+	cfg := dmtcp.Config{Compress: false, Store: true, StoreKeep: 2, ReplicaFactor: 3,
+		CkptWorkers: 4}
+	if lazyHolders >= 0 {
+		cfg.LazyRestore = true
+		cfg.LazyHolders = lazyHolders
+	}
+	env := NewEnv(seed, 5, cfg)
+	env.Drive(func(task *kernel.Task) {
+		if _, err := env.Sys.Launch(1, LazyAppName, strconv.Itoa(mb)); err != nil {
+			panic(err)
+		}
+		task.Compute(200 * time.Millisecond)
+		round, err := env.Sys.Checkpoint(task)
+		if err != nil {
+			panic(err)
+		}
+		env.Sys.Replica.WaitIdle(task)
+		env.Sys.KillManaged()
+		stats, err := env.Sys.RestartAll(task, round, dmtcp.Placement{"node01": 0})
+		if err != nil {
+			panic(err)
+		}
+		if fullT != nil {
+			fullT.AddDur(stats.Total)
+		}
+		if pauseT != nil {
+			pauseT.AddDur(stats.ResumePause)
+		}
+		if drainT != nil {
+			drainT.AddDur(stats.PrefetchDrain)
+		}
+		if demandMB != nil {
+			demandMB.Add(float64(stats.DemandBytes) / float64(model.MB))
+		}
+		if prefMB != nil {
+			prefMB.Add(float64(stats.PrefetchBytes) / float64(model.MB))
+		}
+		if faults != nil {
+			faults.Add(float64(stats.DemandFaults))
+		}
+	})
+}

@@ -67,6 +67,16 @@ type VMArea struct {
 	// checkpoint store keys chunk identity on it.  Shared mappings
 	// track versions on the segment instead.
 	vers []uint64
+
+	// present tracks per-chunk residency for lazily (post-copy)
+	// restored areas: a false entry is a chunk whose contents have not
+	// been installed yet.  nil means fully resident (the common case —
+	// areas not going through a lazy restore never allocate it).
+	present []bool
+	// absent counts the false entries in present.
+	absent int
+	// fault resolves a first-touch access to an absent chunk.
+	fault FaultHandler
 }
 
 // clone returns a private copy of the area (fork semantics: shared
@@ -78,6 +88,9 @@ func (a *VMArea) clone() *VMArea {
 	}
 	if a.Seg == nil && a.vers != nil {
 		na.vers = append([]uint64(nil), a.vers...)
+	}
+	if a.Seg == nil && a.present != nil {
+		na.present = append([]bool(nil), a.present...)
 	}
 	return &na
 }
@@ -184,6 +197,118 @@ func (a *VMArea) SetVersions(v []uint64) {
 		return
 	}
 	a.vers = append([]uint64(nil), v...)
+}
+
+// --- lazy (post-copy) presence tracking -------------------------------
+
+// FaultHandler resolves a first-touch fault on a lazily-restored area:
+// it must make chunk's contents resident (blocking the calling task
+// while the chunk is pulled on demand) and mark it present before
+// returning nil.  Returning an error propagates to the faulting
+// accessor — the restore source is gone.
+type FaultHandler func(t *Task, a *VMArea, chunk int) error
+
+// SetLazy arms post-copy restore on a private area: the listed chunk
+// indices become absent (their payload bytes are placeholders until
+// installed) and h is invoked on first touch.  Shared mappings are
+// always installed eagerly and ignore the call.
+func (a *VMArea) SetLazy(absent []int, h FaultHandler) {
+	if a.Seg != nil {
+		return
+	}
+	n := ChunkCount(a.Bytes)
+	a.present = make([]bool, n)
+	for i := range a.present {
+		a.present[i] = true
+	}
+	a.absent = 0
+	for _, i := range absent {
+		if i >= 0 && i < n && a.present[i] {
+			a.present[i] = false
+			a.absent++
+		}
+	}
+	a.fault = h
+	if a.absent == 0 {
+		a.present, a.fault = nil, nil
+	}
+}
+
+// Lazy reports whether any chunk of the area is still absent.
+func (a *VMArea) Lazy() bool { return a.absent > 0 }
+
+// ChunkPresent reports whether the given chunk's contents are
+// resident.  Fully-resident areas (and shared mappings) always are.
+func (a *VMArea) ChunkPresent(idx int) bool {
+	if a.present == nil || idx < 0 || idx >= len(a.present) {
+		return true
+	}
+	return a.present[idx]
+}
+
+// MarkPresent records that a chunk's contents arrived.  When the last
+// absent chunk lands, the presence map and fault hook are dropped so a
+// drained area costs nothing.
+func (a *VMArea) MarkPresent(idx int) {
+	if a.present == nil || idx < 0 || idx >= len(a.present) || a.present[idx] {
+		return
+	}
+	a.present[idx] = true
+	a.absent--
+	if a.absent == 0 {
+		a.present, a.fault = nil, nil
+	}
+}
+
+// AbsentChunks lists the chunk indices still awaiting contents, in
+// ascending order.
+func (a *VMArea) AbsentChunks() []int {
+	if a.absent == 0 {
+		return nil
+	}
+	out := make([]int, 0, a.absent)
+	for i, p := range a.present {
+		if !p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InstallChunk copies chunk contents into the payload at the chunk's
+// offset (clipped to the real payload length, matching the checkpoint
+// writer's payload-prefix chunking) and marks it present.
+func (a *VMArea) InstallChunk(idx int, data []byte) {
+	off := int64(idx) * CkptChunkBytes
+	if off < int64(len(a.Payload)) {
+		copy(a.Payload[off:], data)
+	}
+	a.MarkPresent(idx)
+}
+
+// EnsureRange is the fault trap: it makes [off, off+n) resident,
+// invoking the fault hook (which blocks t) for each absent covering
+// chunk.  Present ranges return immediately at zero cost.
+func (a *VMArea) EnsureRange(t *Task, off, n int64) error {
+	if a.absent == 0 || n <= 0 {
+		return nil
+	}
+	lo := off / CkptChunkBytes
+	hi := (off + n - 1) / CkptChunkBytes
+	for i := lo; i <= hi; i++ {
+		idx := int(i)
+		if a.ChunkPresent(idx) {
+			continue
+		}
+		h := a.fault
+		if h == nil {
+			return fmt.Errorf("fault on %s chunk %d: no restore source", a.Name, idx)
+		}
+		if err := h(t, a, idx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AddressSpace is the ordered set of areas mapped by a process.

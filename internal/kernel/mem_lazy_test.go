@@ -1,0 +1,109 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestLazyPresence exercises the presence map: arming, fault-driven
+// residency, and the drop-to-free transition once the last chunk lands.
+func TestLazyPresence(t *testing.T) {
+	a := &VMArea{Name: "[heap]", Kind: AreaHeap, Bytes: 4 * CkptChunkBytes}
+	a.Payload = make([]byte, 4*CkptChunkBytes)
+
+	var faults []int
+	a.SetLazy([]int{1, 3}, func(_ *Task, fa *VMArea, chunk int) error {
+		faults = append(faults, chunk)
+		fa.InstallChunk(chunk, []byte{byte(chunk)})
+		return nil
+	})
+	if !a.Lazy() {
+		t.Fatal("area with absent chunks reports !Lazy")
+	}
+	if got := a.AbsentChunks(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("AbsentChunks = %v, want [1 3]", got)
+	}
+	if !a.ChunkPresent(0) || a.ChunkPresent(1) || !a.ChunkPresent(2) || a.ChunkPresent(3) {
+		t.Fatal("presence map does not match SetLazy list")
+	}
+
+	// Touching a present range must not fault.
+	if err := a.EnsureRange(nil, 0, CkptChunkBytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 0 {
+		t.Fatalf("present range faulted: %v", faults)
+	}
+
+	// A range straddling chunks 1–3 faults exactly the absent two.
+	if err := a.EnsureRange(nil, CkptChunkBytes, 3*CkptChunkBytes); err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 2 || faults[0] != 1 || faults[1] != 3 {
+		t.Fatalf("faulted %v, want [1 3]", faults)
+	}
+	if a.Payload[CkptChunkBytes] != 1 || a.Payload[3*CkptChunkBytes] != 3 {
+		t.Fatal("InstallChunk did not land data at the chunk offset")
+	}
+	if a.Lazy() {
+		t.Fatal("fully-drained area still reports Lazy")
+	}
+	// Presence map and hook must be dropped after the drain.
+	if a.present != nil || a.fault != nil {
+		t.Fatal("drained area still holds presence map or fault hook")
+	}
+	// Re-ensuring is now free and hook-less.
+	if err := a.EnsureRange(nil, 0, a.Bytes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLazyFaultError pins error propagation: a handler failure reaches
+// the accessor and residency is unchanged.
+func TestLazyFaultError(t *testing.T) {
+	a := &VMArea{Name: "[heap]", Kind: AreaHeap, Bytes: 2 * CkptChunkBytes}
+	boom := errors.New("holder lost")
+	a.SetLazy([]int{0}, func(_ *Task, _ *VMArea, _ int) error { return boom })
+	if err := a.EnsureRange(nil, 0, 1); !errors.Is(err, boom) {
+		t.Fatalf("EnsureRange error = %v, want %v", err, boom)
+	}
+	if !a.Lazy() || a.ChunkPresent(0) {
+		t.Fatal("failed fault changed residency")
+	}
+}
+
+// TestLazyCloneIsolation pins fork semantics: a cloned area gets its
+// own presence map, so the child's faults do not mark the parent.
+func TestLazyCloneIsolation(t *testing.T) {
+	a := &VMArea{Name: "[heap]", Kind: AreaHeap, Bytes: 2 * CkptChunkBytes}
+	a.SetLazy([]int{0, 1}, func(_ *Task, fa *VMArea, chunk int) error {
+		fa.MarkPresent(chunk)
+		return nil
+	})
+	c := a.clone()
+	if err := c.EnsureRange(nil, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !c.ChunkPresent(0) {
+		t.Fatal("clone fault did not mark clone present")
+	}
+	if a.ChunkPresent(0) {
+		t.Fatal("clone fault leaked into parent presence map")
+	}
+}
+
+// TestLazySharedIgnored pins that shared mappings never go lazy.
+func TestLazySharedIgnored(t *testing.T) {
+	seg := &ShmSegment{Backing: "/dev/shm/x", Bytes: CkptChunkBytes, Class: model.MemClass{}}
+	as := NewAddressSpace()
+	a := seg.Attach(as, "/dev/shm/x")
+	a.SetLazy([]int{0}, func(_ *Task, _ *VMArea, _ int) error { return errors.New("no") })
+	if a.Lazy() {
+		t.Fatal("shared mapping armed lazy")
+	}
+	if err := a.EnsureRange(nil, 0, seg.Bytes); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -82,6 +82,18 @@ type Params struct {
 	// dynamic libraries make this visible.
 	PerAreaCost time.Duration
 
+	// ---- Lazy (post-copy) restore ----
+
+	// FaultTrapCost is the fixed kernel cost of one first-touch fault
+	// on a lazily-restored chunk (trap, presence lookup, handler
+	// dispatch) — the userfaultfd round a real lazy-pages restore
+	// pays, on top of the demand pull itself.
+	FaultTrapCost time.Duration
+	// LazySkeletonChunks is how many of the hottest chunks the lazy
+	// restore installs eagerly before resuming the process (the
+	// skeleton); everything else arrives by demand fault or prefetch.
+	LazySkeletonChunks int
+
 	// ---- Network (Gigabit Ethernet) ----
 
 	// NetLatency is the one-way small-message latency between nodes.
@@ -264,6 +276,9 @@ func Default() *Params {
 		WriteSetup:       2 * time.Millisecond,
 		RestoreSetup:     4 * time.Millisecond,
 		PerAreaCost:      35 * time.Microsecond,
+
+		FaultTrapCost:      25 * time.Microsecond,
+		LazySkeletonChunks: 4,
 
 		NetLatency:        80 * time.Microsecond,
 		NetBandwidth:      110 * float64(MB),

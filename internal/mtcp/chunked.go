@@ -51,11 +51,14 @@ func chunkScope(img *Image, a *AreaRecord, ver uint64) string {
 
 // headerBytes serializes the image with every payload stripped: the
 // manifest header from which restart rebuilds identity, tables, and
-// area metadata before pulling payload chunks.
+// area metadata before pulling payload chunks.  PayloadBytes records
+// each stripped payload's length so a lazy restore can size the
+// buffers chunk installs land in before any chunk has arrived.
 func headerBytes(img *Image) []byte {
 	hdr := *img
 	hdr.Areas = append([]AreaRecord(nil), img.Areas...)
 	for i := range hdr.Areas {
+		hdr.Areas[i].PayloadBytes = int64(len(hdr.Areas[i].Payload))
 		hdr.Areas[i].Payload = nil
 	}
 	return hdr.Encode()
@@ -259,6 +262,7 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 		if pr, ok := prior.lookup(keys[w.area], w.idx, w.ver, w.span); ok {
 			wt.Compute(p.ChunkLookupCost)
 			if s.HasChunk(pr.Hash) {
+				pr.Heat = int64(w.ver)
 				results[w.area][w.idx] = pr
 				dedupBytes += pr.StoredBytes
 				if opts.Stream != nil {
@@ -279,6 +283,7 @@ func writeChunked(t *kernel.Task, img *Image, opts WriteOptions) WriteResult {
 			LogicalBytes: w.span,
 			Entropy:      a.Entropy,
 			ZeroFrac:     a.ZeroFrac,
+			Heat:         int64(w.ver),
 		}
 		stored, isNew := s.PutChunk(wt, &ref, data)
 		results[w.area][w.idx] = ref

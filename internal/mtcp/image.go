@@ -22,10 +22,11 @@ import (
 )
 
 // Magic and Version identify the image format.  Version 2 added
-// per-area chunk write-versions for the incremental store.
+// per-area chunk write-versions for the incremental store; version 3
+// added the stripped-payload length for lazy (post-copy) restores.
 const (
 	Magic   = "MTCPIMG1"
-	Version = 2
+	Version = 3
 )
 
 // ErrBadImage reports a corrupt or incompatible image.
@@ -40,6 +41,12 @@ type AreaRecord struct {
 	ZeroFrac   float64
 	Payload    []byte
 	ShmBacking string // non-empty for shared mappings
+
+	// PayloadBytes is the length of the payload this record carried
+	// before a manifest header stripped it (headerBytes).  A lazy
+	// restore sizes its install buffers from it; zero for records that
+	// still hold their payload.
+	PayloadBytes int64
 
 	// ChunkVers are the kernel's per-chunk write versions at capture
 	// time (kernel.CkptChunkBytes granularity); the content-addressed
@@ -122,6 +129,7 @@ func Capture(p *kernel.Process, virtPid kernel.Pid) *Image {
 			rec.Payload = append([]byte(nil), a.Payload...)
 		}
 		rec.ChunkVers = a.ChunkVersions()
+		rec.PayloadBytes = int64(len(rec.Payload))
 		img.Areas = append(img.Areas, rec)
 	}
 	for _, task := range p.UserTasks() {
@@ -241,6 +249,7 @@ func (img *Image) Encode() []byte {
 		e.f64(a.ZeroFrac)
 		e.bytes(a.Payload)
 		e.str(a.ShmBacking)
+		e.i64(a.PayloadBytes)
 		e.u32(uint32(len(a.ChunkVers)))
 		for _, v := range a.ChunkVers {
 			e.u64(v)
@@ -299,6 +308,7 @@ func Decode(b []byte) (*Image, error) {
 		a.ZeroFrac = d.f64()
 		a.Payload = d.bytes()
 		a.ShmBacking = d.str()
+		a.PayloadBytes = d.i64()
 		for j, k := 0, int(d.u32()); j < k && d.err == nil; j++ {
 			a.ChunkVers = append(a.ChunkVers, d.u64())
 		}

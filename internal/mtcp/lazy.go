@@ -1,0 +1,161 @@
+package mtcp
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// The lazy (post-copy) restore path: instead of installing every chunk
+// before the process resumes (RestoreStreamed), RestoreLazy installs
+// only a minimal skeleton — the manifest header plus the hottest few
+// chunks — and returns immediately with the rest of the chunk set
+// pending.  The DMTCP layer resumes the process with the pending
+// chunks armed as absent in the kernel's presence map: a first-touch
+// fault pulls its chunk on demand while a background prefetcher
+// drains the remainder hottest-first, striped across every complete
+// holder.
+
+// LazyChunk locates one pending (not yet installed) chunk: the image
+// area index, the chunk index within that area's payload, and the
+// store reference to pull.
+type LazyChunk struct {
+	Area int
+	Idx  int
+	Ref  store.ChunkRef
+}
+
+// LazyState is what RestoreLazy leaves for the post-resume machinery:
+// the decoded manifest and the pending chunks in hottest-first order
+// (the prefetch queue).
+type LazyState struct {
+	Manifest *store.Manifest
+	Pending  []LazyChunk
+}
+
+// RestoreLazy loads a store manifest into a skeleton Image: area
+// buffers are allocated at their recorded payload sizes, but only the
+// skeleton chunks — the hottest skeletonChunks by manifest heat, plus
+// every chunk of shared (shm-backed) areas, which cannot restore
+// lazily — are fetched and installed.  The rest return as
+// LazyState.Pending, hottest-first.  The image reports bulkCharged:
+// the pending chunks' read/decompress cost is paid by whoever installs
+// them (the fault path or the prefetcher), not by the per-process
+// restore charge.
+func RestoreLazy(t *kernel.Task, path string, opts RestoreOptions, skeletonChunks int) (*Image, *LazyState, RestoreStats, error) {
+	p := t.P.Node.Cluster.Params
+	var rs RestoreStats
+	start := t.Now()
+
+	root, ok := store.RootForManifest(path)
+	if !ok {
+		return nil, nil, rs, fmt.Errorf("%w: not a manifest path: %s", ErrBadImage, path)
+	}
+	s := store.Open(t.P.Node, store.Config{Root: root})
+	ino, err := t.P.Node.FS.ReadFile(path)
+	if err != nil {
+		return nil, nil, rs, err
+	}
+	m, err := store.DecodeManifest(ino.Data)
+	if err != nil {
+		return nil, nil, rs, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	img, err := Decode(m.Header)
+	if err != nil {
+		return nil, nil, rs, err
+	}
+	t.Compute(p.RestoreSetup)
+	meta := ino.Size() + 64*1024
+	for _, e := range img.Ext {
+		meta += int64(len(e))
+	}
+	t.P.Node.ReadPipeFor(path).Read(t.T, meta)
+
+	// Size every area's install buffer from the recorded payload length
+	// (the payload was stripped into chunks at checkpoint; installs
+	// land at chunk offsets, clipped to this length).
+	for _, ac := range m.Areas {
+		if ac.Area < 0 || ac.Area >= len(img.Areas) {
+			return nil, nil, rs, fmt.Errorf("%w: manifest area %d out of range", ErrBadImage, ac.Area)
+		}
+		if n := img.Areas[ac.Area].PayloadBytes; n > 0 {
+			img.Areas[ac.Area].Payload = make([]byte, n)
+		}
+	}
+
+	// Partition the hot order into skeleton and pending.  Shared areas
+	// never restore lazily (§4.5: the first attacher writes the segment
+	// back whole), so all their chunks join the skeleton.
+	if skeletonChunks < 0 {
+		skeletonChunks = 0
+	}
+	hot := m.HotOrder()
+	var skeleton, pending []store.ChunkCoord
+	taken := 0
+	for _, c := range hot {
+		shared := img.Areas[m.Areas[c.Area].Area].ShmBacking != ""
+		if shared || taken < skeletonChunks {
+			skeleton = append(skeleton, c)
+			if !shared {
+				taken++
+			}
+			continue
+		}
+		pending = append(pending, c)
+	}
+
+	// Fetch skeleton chunks the local store lacks, then install them.
+	var missing []store.ChunkRef
+	seen := map[string]bool{}
+	for _, c := range skeleton {
+		if seen[c.Ref.Hash] || s.HasChunk(c.Ref.Hash) {
+			continue
+		}
+		seen[c.Ref.Hash] = true
+		missing = append(missing, c.Ref)
+	}
+	if len(missing) > 0 {
+		if opts.Fetch == nil {
+			return nil, nil, rs, fmt.Errorf("%w: %d skeleton chunks missing locally with no fetch source",
+				ErrBadImage, len(missing))
+		}
+		fStart := t.Now()
+		bytes, chunks, err := opts.Fetch.Fetch(t, missing, nil)
+		rs.FetchedBytes += bytes
+		rs.FetchedChunks += chunks
+		rs.Fetch = t.Now().Sub(fStart)
+		if err != nil {
+			return nil, nil, rs, err
+		}
+	}
+	for _, c := range skeleton {
+		ai := m.Areas[c.Area].Area
+		s.ChargeRead(t, []store.ChunkRef{c.Ref})
+		data, err := s.ReadChunkData(c.Ref.Hash)
+		if err != nil {
+			return nil, nil, rs, fmt.Errorf("%w: skeleton chunk %s missing after fetch: %v",
+				ErrBadImage, c.Ref.Hash, err)
+		}
+		off := int64(c.Idx) * kernel.CkptChunkBytes
+		if buf := img.Areas[ai].Payload; off < int64(len(buf)) {
+			copy(buf[off:], data)
+		}
+	}
+
+	lz := &LazyState{Manifest: m}
+	for _, c := range pending {
+		lz.Pending = append(lz.Pending, LazyChunk{Area: m.Areas[c.Area].Area, Idx: c.Idx, Ref: c.Ref})
+	}
+
+	img.manifest = m
+	img.bulkCharged = true
+	rs.Workers = 1
+	rs.Took = t.Now().Sub(start)
+	track := fmt.Sprintf("%s[%d]", t.P.ProgName, t.P.Pid)
+	t.Trace().Span(t.Host(), track, "restore.skeleton", "restore", start, t.Now(),
+		obs.A("chunks", int64(len(skeleton))), obs.A("pending", int64(len(lz.Pending))),
+		obs.A("fetched_bytes", rs.FetchedBytes))
+	return img, lz, rs, nil
+}

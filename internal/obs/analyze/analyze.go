@@ -34,8 +34,10 @@ import (
 // ckptStages are the five checkpoint stage spans in barrier order.
 var ckptStages = []string{"ckpt.suspend", "ckpt.elect", "ckpt.drain", "ckpt.write", "ckpt.refill"}
 
-// restartStages are the four restart segments in order.
-var restartStages = []string{"restart.images", "restart.files", "restart.conns", "restart.procs"}
+// restartStages are the restart segments in order; restart.prefetch
+// only appears on lazy (post-copy) restarts and the chain walker
+// skips absent stages.
+var restartStages = []string{"restart.images", "restart.files", "restart.conns", "restart.procs", "restart.prefetch"}
 
 // StragglerThreshold is the score above which a node is called out as
 // a straggler in reports (and above which the coordinator's response

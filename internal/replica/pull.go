@@ -1,0 +1,263 @@
+package replica
+
+import (
+	"fmt"
+
+	"repro/internal/bin"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// PullStream is the lazy-restore fetch plane: a priority pull of a
+// chunk set striped across every live holder.  One puller task per
+// holder drains a shared hottest-first queue over its own connection,
+// so aggregate fetch bandwidth scales with the holder count (each
+// holder's daemon serializes its sends at the NIC rate).  Demand
+// faults preempt the queue: Demand promotes a chunk to the front and
+// blocks the caller until it is locally durable.  A holder that dies
+// mid-fetch has its in-flight chunk requeued at the front and the
+// survivors keep draining — only when every holder is gone does the
+// stream fail with a HolderLostError.
+type PullStream struct {
+	sv    *Service
+	local *store.Store
+	w     *sim.WaitQueue
+
+	holders []string // live holders, one puller each
+	pullers int      // live puller tasks
+	tried   []string // holders dropped after an error
+
+	queue    []store.ChunkRef // pending, hottest-first; front is next
+	needed   map[string]bool  // hash → part of this stream
+	done     map[string]bool  // hash → locally durable
+	demanded map[string]bool  // hash → a fault is (or was) waiting on it
+
+	remaining int
+	aborted   bool
+	err       error
+	deliver   func(store.ChunkRef)
+
+	bytes, demandBytes, prefetchBytes int64
+	chunks, demandChunks              int
+}
+
+// NewPullStream starts pulling refs (already ordered hottest-first)
+// from holders into the calling node's store.  Chunks already local
+// are delivered immediately without touching the network.  deliver
+// (optional) runs as each chunk becomes locally durable, on whichever
+// task landed it.
+func NewPullStream(t *kernel.Task, sv *Service, holders []string, refs []store.ChunkRef, deliver func(store.ChunkRef)) *PullStream {
+	ps := &PullStream{
+		sv:       sv,
+		local:    store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root}),
+		w:        sim.NewWaitQueue(t.P.Node.Cluster.Eng, "lazy.pull"),
+		needed:   make(map[string]bool, len(refs)),
+		done:     make(map[string]bool, len(refs)),
+		demanded: map[string]bool{},
+		deliver:  deliver,
+	}
+	for _, ref := range refs {
+		if ps.needed[ref.Hash] {
+			continue // duplicate hash: one pull serves every coordinate
+		}
+		ps.needed[ref.Hash] = true
+		if ps.local.HasChunk(ref.Hash) {
+			ps.done[ref.Hash] = true
+			if deliver != nil {
+				deliver(ref)
+			}
+			continue
+		}
+		ps.queue = append(ps.queue, ref)
+		ps.remaining++
+	}
+	if ps.remaining == 0 {
+		return ps
+	}
+	for _, h := range holders {
+		if n := t.P.Node.Cluster.LookupHost(h); n == nil || n.Down || h == t.P.Node.Hostname {
+			continue
+		}
+		ps.holders = append(ps.holders, h)
+	}
+	if len(ps.holders) == 0 {
+		ps.err = &HolderLostError{Hosts: append([]string(nil), holders...)}
+		return ps
+	}
+	for _, h := range ps.holders {
+		h := h
+		ps.pullers++
+		t.P.SpawnTask("lazy-pull", true, func(pt *kernel.Task) { ps.pull(pt, h) })
+	}
+	return ps
+}
+
+// pull is one holder's puller: a single connection draining the shared
+// queue until the stream finishes or the holder fails.
+func (ps *PullStream) pull(t *kernel.Task, holder string) {
+	start := t.Now()
+	var myBytes int64
+	myChunks := 0
+	defer func() {
+		ps.pullers--
+		if ps.pullers == 0 && ps.remaining > 0 && ps.err == nil && !ps.aborted {
+			ps.err = &HolderLostError{Hosts: append([]string(nil), ps.tried...)}
+		}
+		t.Trace().Span(t.Host(), "lazy-pull "+holder, "lazy.pull", "repl", start, t.Now(),
+			obs.A("bytes", myBytes), obs.A("chunks", int64(myChunks)))
+		ps.w.WakeAll()
+	}()
+
+	cfd := t.Socket()
+	if of, err := t.P.FD(cfd); err == nil {
+		of.Protected = true
+	}
+	defer t.Close(cfd)
+	if err := t.Connect(cfd, kernel.Addr{Host: holder, Port: Port}); err != nil {
+		ps.dropHolder(holder)
+		return
+	}
+	for {
+		if ps.aborted || ps.err != nil || ps.remaining == 0 {
+			return
+		}
+		if len(ps.queue) == 0 {
+			ps.w.Wait(t.T)
+			continue
+		}
+		ref := ps.queue[0]
+		ps.queue = ps.queue[1:]
+		if err := ps.fetchOne(t, cfd, holder, ref); err != nil {
+			// Requeue at the front (demand order preserved) and fall
+			// back to the surviving holders.
+			ps.queue = append([]store.ChunkRef{ref}, ps.queue...)
+			ps.dropHolder(holder)
+			return
+		}
+		ps.done[ref.Hash] = true
+		ps.remaining--
+		ps.bytes += ref.StoredBytes
+		ps.chunks++
+		myBytes += ref.StoredBytes
+		myChunks++
+		if ps.demanded[ref.Hash] {
+			ps.demandBytes += ref.StoredBytes
+			ps.demandChunks++
+		} else {
+			ps.prefetchBytes += ref.StoredBytes
+		}
+		if ps.deliver != nil {
+			ps.deliver(ref)
+		}
+		ps.w.WakeAll()
+	}
+}
+
+// fetchOne pulls one chunk over the open connection into the local
+// store.
+func (ps *PullStream) fetchOne(t *kernel.Task, cfd int, holder string, ref store.ChunkRef) error {
+	var e bin.Encoder
+	e.B = append(e.B, opGetChunk)
+	e.Str(ref.Hash)
+	if err := t.SendFrame(cfd, e.B); err != nil {
+		return err
+	}
+	resp, err := t.RecvFrame(cfd)
+	if err != nil {
+		return err
+	}
+	if len(resp) == 0 || resp[0] != opAck {
+		return fmt.Errorf("replica: %s lacks chunk %s", holder, ref.Hash)
+	}
+	d := &bin.Decoder{B: resp[1:]}
+	ps.local.PutReplicaChunk(t, ref, d.Bytes())
+	return nil
+}
+
+// dropHolder removes a failed holder from the stripe set.
+func (ps *PullStream) dropHolder(h string) {
+	ps.tried = append(ps.tried, h)
+	for i, x := range ps.holders {
+		if x == h {
+			ps.holders = append(ps.holders[:i], ps.holders[i+1:]...)
+			break
+		}
+	}
+}
+
+// Demand is the fault path: it promotes the chunk to the front of the
+// queue (preempting the prefetch order) and blocks until it is locally
+// durable.  Chunks already durable return immediately.
+func (ps *PullStream) Demand(t *kernel.Task, ref store.ChunkRef) error {
+	if !ps.needed[ref.Hash] {
+		return fmt.Errorf("replica: chunk %s not part of this pull stream", ref.Hash)
+	}
+	if ps.done[ref.Hash] {
+		return nil
+	}
+	ps.demanded[ref.Hash] = true
+	for i := range ps.queue {
+		if ps.queue[i].Hash == ref.Hash {
+			if i > 0 {
+				r := ps.queue[i]
+				copy(ps.queue[1:i+1], ps.queue[:i])
+				ps.queue[0] = r
+			}
+			break
+		}
+	}
+	ps.w.WakeAll()
+	for !ps.done[ref.Hash] {
+		if ps.err != nil {
+			return ps.err
+		}
+		if ps.aborted {
+			return fmt.Errorf("replica: pull stream aborted")
+		}
+		ps.w.Wait(t.T)
+	}
+	return nil
+}
+
+// Wait blocks until every chunk is locally durable (or the stream
+// failed) and returns the stream error, if any.
+func (ps *PullStream) Wait(t *kernel.Task) error {
+	for ps.remaining > 0 && ps.err == nil && !ps.aborted {
+		ps.w.Wait(t.T)
+	}
+	return ps.err
+}
+
+// Abort stops the stream: pullers exit after their in-flight chunk
+// (which stays durable) and blocked Demand callers unblock with an
+// error.  Used when the restored process dies mid-drain.
+func (ps *PullStream) Abort() {
+	if ps.aborted {
+		return
+	}
+	ps.aborted = true
+	ps.w.WakeAll()
+}
+
+// Done reports whether every chunk is locally durable.
+func (ps *PullStream) Done() bool { return ps.remaining == 0 }
+
+// Holders returns the live stripe width.
+func (ps *PullStream) Holders() int { return len(ps.holders) }
+
+// Bytes returns total stored bytes fetched over the network.
+func (ps *PullStream) Bytes() int64 { return ps.bytes }
+
+// Chunks returns total chunks fetched over the network.
+func (ps *PullStream) Chunks() int { return ps.chunks }
+
+// DemandBytes returns the fetched bytes a fault was waiting on.
+func (ps *PullStream) DemandBytes() int64 { return ps.demandBytes }
+
+// DemandChunks counts the chunks a fault was waiting on.
+func (ps *PullStream) DemandChunks() int { return ps.demandChunks }
+
+// PrefetchBytes returns the fetched bytes no fault waited on.
+func (ps *PullStream) PrefetchBytes() int64 { return ps.prefetchBytes }

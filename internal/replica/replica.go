@@ -679,6 +679,7 @@ func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []st
 		ce.I64(ref.StoredBytes)
 		ce.F64(ref.Entropy)
 		ce.F64(ref.ZeroFrac)
+		ce.I64(ref.Heat)
 		ce.Bytes(data)
 		if err := t.SendFrame(fd, ce.B); err != nil {
 			return false
@@ -732,6 +733,7 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			ref.StoredBytes = d.I64()
 			ref.Entropy = d.F64()
 			ref.ZeroFrac = d.F64()
+			ref.Heat = d.I64()
 			data := d.Bytes()
 			if d.Err == nil {
 				st.PutReplicaChunk(t, ref, data)

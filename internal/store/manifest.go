@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bin"
@@ -53,6 +54,38 @@ func (m *Manifest) NumChunks() int {
 	return n
 }
 
+// ChunkCoord locates one chunk within a manifest: the area-list
+// position and the chunk's index inside that area's chunk list (which
+// is also its payload-offset index, in CkptChunkBytes units).
+type ChunkCoord struct {
+	Area int // index into Manifest.Areas
+	Idx  int // index into that AreaChunks.Chunks
+	Ref  ChunkRef
+}
+
+// HotOrder returns every chunk coordinate sorted hottest-first by the
+// Heat carried in the manifest (last-generation write recency), with
+// ties broken by (area, idx) so the order is deterministic.  The lazy
+// restore skeleton and prefetch queue both consume it.
+func (m *Manifest) HotOrder() []ChunkCoord {
+	out := make([]ChunkCoord, 0, m.NumChunks())
+	for ai, a := range m.Areas {
+		for ci, c := range a.Chunks {
+			out = append(out, ChunkCoord{Area: ai, Idx: ci, Ref: c})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ref.Heat != out[j].Ref.Heat {
+			return out[i].Ref.Heat > out[j].Ref.Heat
+		}
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}
+
 // StoredBytes sums the on-disk sizes of all referenced chunks.
 func (m *Manifest) StoredBytes() int64 {
 	var n int64
@@ -81,6 +114,7 @@ func (m *Manifest) Encode() []byte {
 			e.I64(c.StoredBytes)
 			e.F64(c.Entropy)
 			e.F64(c.ZeroFrac)
+			e.I64(c.Heat)
 		}
 	}
 	return e.B
@@ -105,6 +139,7 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 				StoredBytes:  d.I64(),
 				Entropy:      d.F64(),
 				ZeroFrac:     d.F64(),
+				Heat:         d.I64(),
 			})
 		}
 		m.Areas = append(m.Areas, a)

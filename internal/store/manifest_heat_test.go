@@ -1,0 +1,59 @@
+package store
+
+import "testing"
+
+// TestHotOrder pins the hottest-first prefetch order the lazy restore
+// consumes: descending Heat, ties broken by (area, idx) so the queue
+// is deterministic.
+func TestHotOrder(t *testing.T) {
+	m := &Manifest{
+		Name:       "app",
+		Generation: 3,
+		Areas: []AreaChunks{
+			{Area: 0, Chunks: []ChunkRef{
+				{Hash: "a0", Heat: 1},
+				{Hash: "a1", Heat: 7},
+				{Hash: "a2", Heat: 3},
+			}},
+			{Area: 2, Chunks: []ChunkRef{
+				{Hash: "b0", Heat: 7},
+				{Hash: "b1", Heat: 0},
+			}},
+		},
+	}
+	got := m.HotOrder()
+	want := []string{"a1", "b0", "a2", "a0", "b1"}
+	if len(got) != len(want) {
+		t.Fatalf("HotOrder returned %d coords, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Ref.Hash != w {
+			t.Errorf("HotOrder[%d] = %s (heat %d), want %s", i, got[i].Ref.Hash, got[i].Ref.Heat, w)
+		}
+	}
+	// Coordinates must address back into the manifest.
+	for _, c := range got {
+		if m.Areas[c.Area].Chunks[c.Idx].Hash != c.Ref.Hash {
+			t.Errorf("coord (%d,%d) does not address chunk %s", c.Area, c.Idx, c.Ref.Hash)
+		}
+	}
+}
+
+// TestManifestHeatRoundTrip pins that Heat survives the manifest codec.
+func TestManifestHeatRoundTrip(t *testing.T) {
+	m := &Manifest{
+		Name:       "app",
+		Generation: 1,
+		Header:     []byte("hdr"),
+		Areas: []AreaChunks{{Area: 0, Chunks: []ChunkRef{
+			{Hash: "x", LogicalBytes: 10, StoredBytes: 4, Entropy: 0.3, ZeroFrac: 0.1, Heat: 42},
+		}}},
+	}
+	back, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Areas[0].Chunks[0].Heat; got != 42 {
+		t.Fatalf("Heat after round-trip = %d, want 42", got)
+	}
+}

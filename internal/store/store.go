@@ -85,6 +85,10 @@ type ChunkRef struct {
 	// decompression timing at restore.
 	Entropy  float64
 	ZeroFrac float64
+	// Heat is the chunk's write version at checkpoint time — a
+	// recency proxy the lazy restore prefetcher uses to pull the
+	// hottest (most recently written) chunks first.
+	Heat int64
 }
 
 // Class reconstructs the chunk's compressibility class.
