@@ -237,11 +237,22 @@ func TestBenchRestoreLazyGuard(t *testing.T) {
 //   - the loaded-network probe recorded zero false-positive takeovers
 //     (the phi deadline only ever widens under load);
 //   - every trial's workload survived the takeover.
+//
+// It also pins the zero-loss control-plane claims:
+//
+//   - a mid-round coordinator kill loses zero rounds — the promoted
+//     standby resumes and completes the in-flight round in every trial;
+//   - replica re-fan-out after a holder death completes with a
+//     measured, positive rebalance time;
+//   - a checkpoint round taken while the QoS-paced repair is shipping
+//     costs at most 10% more than the undisturbed baseline.
 func TestBenchCoordHAGuard(t *testing.T) {
 	tab := loadBenchTable(t, "BENCH_coordha.json", "coordha")
 	cTake := col(t, tab, "takeover (s)")
 	cStatic := col(t, tab, "static takeover (s)")
 	cFalse := col(t, tab, "false+ (loaded)")
+	cLost := col(t, tab, "rounds lost")
+	cRebal := col(t, tab, "rebalance (s)")
 	cSurvived := col(t, tab, "survived")
 
 	p := model.Default()
@@ -258,11 +269,26 @@ func TestBenchCoordHAGuard(t *testing.T) {
 		if num, _, ok := strings.Cut(row[cFalse], "/"); !ok || num != "0" {
 			t.Errorf("standbys %s: false-positive takeovers %q under load, want 0/N", row[0], row[cFalse])
 		}
+		if num, _, ok := strings.Cut(row[cLost], "/"); !ok || num != "0" {
+			t.Errorf("standbys %s: rounds lost on takeover %q, want 0/N", row[0], row[cLost])
+		}
+		if rb := mean(t, row[cRebal]); rb <= 0 {
+			t.Errorf("standbys %s: rebalance time %.3fs, want > 0 (re-fan-out never measured)", row[0], rb)
+		}
 		if num, den, ok := strings.Cut(row[cSurvived], "/"); !ok || num != den {
 			t.Errorf("standbys %s: survived %q, want all trials", row[0], row[cSurvived])
 		}
 	}
 	if fp := tab.Metrics["coordha.false_takeovers"]; fp != 0 {
 		t.Errorf("coordha.false_takeovers metric = %v, want 0", fp)
+	}
+	if rl := tab.Metrics["coordha.rounds_lost"]; rl != 0 {
+		t.Errorf("coordha.rounds_lost metric = %v, want 0", rl)
+	}
+	if rb := tab.Metrics["coordha.rebalance_s"]; rb <= 0 {
+		t.Errorf("coordha.rebalance_s metric = %v, want > 0", rb)
+	}
+	if ratio := tab.Metrics["coordha.repair_ckpt_ratio"]; ratio <= 0 || ratio > 1.10 {
+		t.Errorf("coordha.repair_ckpt_ratio metric = %v, want in (0, 1.10]: repair pacing must not cost a concurrent round more than 10%%", ratio)
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,7 @@ var scenarios = []scenario{
 	{"store", "incremental checkpoint generations through the chunk store", storeScenario},
 	{"failover", "node failure and recovery from replicated checkpoint storage", failoverScenario},
 	{"coord-failover", "coordinator node failure and journaled standby takeover", coordFailoverScenario},
+	{"zero-loss", "mid-round coordinator kill resumed by the standby, then replica re-fan-out", zeroLossScenario},
 	{"pipeline", "parallel pipelined checkpoint writes across worker counts", pipelineScenario},
 	{"restore", "streamed restore pipeline vs serial fetch-then-install", restoreScenario},
 	{"lazy-restore", "post-copy restart: skeleton resume, demand faults, striped prefetch", lazyRestoreScenario},
@@ -76,6 +78,7 @@ func main() {
 		nodes  = flag.Int("nodes", 4, "cluster size")
 		trace  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in Perfetto)")
 		report = flag.Bool("report", false, "print the span/counter report after the scenario")
+		cp     = flag.String("cp", "", "write the critical-path analysis as JSON (CI span-partition checks)")
 	)
 	flag.Parse()
 	var run func(scenOpts)
@@ -93,10 +96,20 @@ func main() {
 		os.Exit(2)
 	}
 	o := scenOpts{nodes: *nodes}
-	if *trace != "" || *report {
+	if *trace != "" || *report || *cp != "" {
 		o.tracer = dmtcpsim.NewTracer()
 	}
 	run(o)
+	if *cp != "" {
+		data, err := json.Marshal(dmtcpsim.AnalyzeTrace(o.tracer))
+		if err == nil {
+			err = os.WriteFile(*cp, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write critical path: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *trace != "" {
 		// Draw the critical path as flow arrows before serializing.
 		dmtcpsim.AnnotateFlows(o.tracer)
@@ -348,6 +361,99 @@ func coordFailoverScenario(o scenOpts) {
 		for _, p := range s.Sys.ManagedProcesses() {
 			fmt.Printf("  %-12s now on %s\n", p.ProgName, p.Node.Hostname)
 		}
+	})
+}
+
+func zeroLossScenario(o scenOpts) {
+	nodes := o.nodes
+	if nodes < 5 {
+		nodes = 5
+	}
+	s := dmtcpsim.New(o.options(nodes,
+		dmtcpsim.Config{CoordNode: 1, Compress: true, Store: true,
+			StoreKeep: 3, ReplicaFactor: 2, CoordStandbys: 1}))
+	s.Run(func(t *dmtcpsim.Task) {
+		fmt.Println("zero-loss control plane: synchronous barrier commits, mid-round takeover, replica re-fan-out ...")
+		if _, err := s.Launch(3, dmtcpsim.DirtyAppName, "128"); err != nil {
+			panic(err)
+		}
+		t.Compute(300 * time.Millisecond)
+		if _, err := s.Checkpoint(t); err != nil {
+			panic(err)
+		}
+		s.Sys.Replica.WaitIdle(t)
+
+		// Part 1: kill the leader after the drain barrier commits; the
+		// standby must resume the same round, losing none.
+		co := s.Sys.Coord
+		preRounds := len(co.Rounds())
+		fmt.Println("requesting a checkpoint; killing the coordinator once the drain barrier has committed ...")
+		var round *dmtcpsim.CkptRound
+		var cerr error
+		done := false
+		t.P.SpawnTask("req", false, func(rt *dmtcpsim.Task) {
+			round, cerr = s.Checkpoint(rt)
+			done = true
+		})
+		killTag := int64(-1)
+		for !done {
+			if r := co.Mach.State().Round; r != nil && r.Released["drained"] {
+				killTag = r.Tag
+				break
+			}
+			t.Compute(time.Millisecond)
+		}
+		killAt := t.Now()
+		s.KillNode(1)
+		for s.Sys.Coord.Node.Down {
+			t.Compute(10 * time.Millisecond)
+		}
+		fmt.Printf("standby on %s took over in %v with round tag %d mid-flight\n",
+			s.Sys.Coord.Node.Hostname, t.Now().Sub(killAt).Round(time.Millisecond), killTag)
+		for !done {
+			t.Compute(10 * time.Millisecond)
+		}
+		if cerr != nil {
+			panic(cerr)
+		}
+		lost := preRounds + 1 - len(s.Sys.Coord.Rounds())
+		fmt.Printf("round resumed and completed under the standby: %d process(es), write %v\n",
+			round.NumProcs, round.Stages.Write.Round(time.Millisecond))
+		fmt.Printf("rounds lost on takeover: %d\n", lost)
+
+		// Part 2: kill a replica holder; the promoted coordinator
+		// detects the degraded generations and re-fans-out from
+		// surviving holders until redundancy is back.
+		s.Sys.Replica.WaitIdle(t)
+		co = s.Sys.Coord
+		st := co.Mach.State()
+		victim := ""
+		for _, name := range sortedKeys(st.Placement) {
+			pi := st.Placement[name]
+			for _, h := range pi.HolderHosts() {
+				n := s.C.LookupHost(h)
+				if n == nil || n.Down || h == "node00" || h == co.Node.Hostname || h == pi.Host {
+					continue
+				}
+				victim = h
+			}
+		}
+		if victim == "" {
+			panic("no expendable replica holder found")
+		}
+		fmt.Printf("killing replica holder %s — background re-fan-out restores redundancy ...\n", victim)
+		before := s.Sys.Replica.Stats.RepairPushes
+		s.KillNode(s.C.LookupHost(victim).ID)
+		for co.LastRebalance <= 0 || !co.RepairIdle() {
+			t.Compute(10 * time.Millisecond)
+		}
+		fmt.Printf("rebalance restored %d copies in %v (QoS-paced at %.0f%% of push bandwidth)\n",
+			s.Sys.Replica.Stats.RepairPushes-before, co.LastRebalance.Round(time.Millisecond),
+			100*s.C.Params.RepairQoS)
+		if _, err := s.Checkpoint(t); err != nil {
+			panic(err)
+		}
+		fmt.Println("post-repair checkpoint round clean: the control plane lost nothing")
 	})
 }
 

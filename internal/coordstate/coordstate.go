@@ -219,11 +219,12 @@ type RoundCfg struct {
 type RoundState struct {
 	Index int
 	// Tag identifies the round across leadership changes
-	// (epoch-qualified, see RoundTag): a takeover aborts the in-flight
-	// round and bumps the epoch, so arrivals re-sent by managers still
-	// finishing the aborted round can never be mistaken for arrivals
-	// of a round the new leader started — even when both rounds share
-	// an Index because the aborted one never entered the history.
+	// (epoch-qualified, see RoundTag): a takeover bumps the epoch but
+	// *preserves* the in-flight round, tag and all, so arrivals re-sent
+	// by managers as they resync land in the same round they were
+	// running — while arrivals for a round that truly no longer exists
+	// (every coordinator that knew it died) can never be mistaken for
+	// a round a later epoch's leader started.
 	Tag          int64
 	Start        sim.Time
 	Cfg          RoundCfg
@@ -241,6 +242,33 @@ type RoundState struct {
 	WriteByHost map[string]time.Duration
 }
 
+// RoundPhase names the furthest phase a round in flight has reached:
+// the last released barrier, or "started" when none has fired yet.
+func RoundPhase(r *RoundState) string {
+	phase := "started"
+	for _, name := range Barriers {
+		if r.Released[name] {
+			phase = name
+		}
+	}
+	return phase
+}
+
+// BarriersPassed counts how many barriers (in protocol order) a
+// participant has been released through — the per-stage progress a
+// resyncing manager reports so a promoted leader can heal arrivals
+// lost to a degraded commit.
+func BarriersPassed(r *RoundState, cid int64) int {
+	n := 0
+	for _, name := range Barriers {
+		if !r.Released[name] || !r.Arrived[name][cid] {
+			break
+		}
+		n++
+	}
+	return n
+}
+
 // ParticipantIDs returns the round's participants in id order.
 func (r *RoundState) ParticipantIDs() []int64 {
 	out := make([]int64, 0, len(r.Participants))
@@ -248,6 +276,76 @@ func (r *RoundState) ParticipantIDs() []int64 {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Restart rank stages, in order.  A rank's stage only ever advances,
+// so a promoted leader can seed group barriers from the journaled
+// stages: a rank past "installed" has necessarily joined the memory
+// barrier, a rank past "resumed" the refill barrier.
+const (
+	RestartRankSpawned   = "spawned"   // restart program forked
+	RestartRankFetched   = "fetched"   // remote chunks pulled (or local hit)
+	RestartRankInstalled = "installed" // memory restored, pre-resume
+	RestartRankResumed   = "resumed"   // processes running again
+	RestartRankDone      = "done"      // stage report sent
+)
+
+// restartRankOrder maps a rank stage to its position in the
+// progression (unknown stages sort first).
+func restartRankOrder(stage string) int {
+	switch stage {
+	case RestartRankSpawned:
+		return 1
+	case RestartRankFetched:
+		return 2
+	case RestartRankInstalled:
+		return 3
+	case RestartRankResumed:
+		return 4
+	case RestartRankDone:
+		return 5
+	}
+	return 0
+}
+
+// RestartGroup is a cluster restart in flight, journaled so a
+// coordinator death mid-restart leaves the new leader a resumable
+// group instead of forcing recovery to start over: which ranks exist,
+// and how far each has progressed.
+type RestartGroup struct {
+	Gen    string         // restart generation tag (image set identity)
+	Expect int            // ranks in the group
+	Ranks  map[string]string // host → furthest stage reached
+}
+
+// RankHosts returns the group's rank hosts in deterministic order.
+func (g *RestartGroup) RankHosts() []string {
+	out := make([]string, 0, len(g.Ranks))
+	for h := range g.Ranks {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RanksAtLeast counts ranks whose journaled stage is at or past the
+// given stage — the seed count for a re-armed group barrier.
+func (g *RestartGroup) RanksAtLeast(stage string) int {
+	return len(g.HostsAtLeast(stage))
+}
+
+// HostsAtLeast returns the hosts whose journaled stage is at or past
+// the given stage, in deterministic order — the seed set for a
+// re-armed group barrier after takeover.
+func (g *RestartGroup) HostsAtLeast(stage string) []string {
+	want := restartRankOrder(stage)
+	var out []string
+	for _, h := range g.RankHosts() {
+		if restartRankOrder(g.Ranks[h]) >= want {
+			out = append(out, h)
+		}
+	}
 	return out
 }
 
@@ -311,6 +409,12 @@ type State struct {
 	RestartAgg    []RestartStages
 	RestartErr    string
 	RestartStats  *RestartStages
+
+	// Restart is the journaled restart group in flight, nil outside a
+	// cluster restart.  A promoted leader uses it to *resume* a
+	// half-done restart — re-arming group barriers from the recorded
+	// per-rank stages — instead of re-running recovery from scratch.
+	Restart *RestartGroup
 
 	// Health is the per-node heartbeat registry (hostname → liveness
 	// and load telemetry).  It rides the journal like everything else,

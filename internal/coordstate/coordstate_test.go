@@ -194,20 +194,79 @@ func TestApplyTable(t *testing.T) {
 			},
 		},
 		{
-			name: "takeover aborts the in-flight round and bumps the epoch",
+			name: "takeover preserves the in-flight round and bumps the epoch",
 			events: []Event{
 				evReg("a/x[1]"), evCkpt(0), evCkpt(0),
+				evBar(1, "suspended", time.Millisecond),
 				{Kind: EvTakeover, Leader: "node02", Epoch: 1},
 			},
-			check: func(t *testing.T, st *State, _ []Effect) {
-				if st.Round != nil || st.PendingCkpt != 0 {
-					t.Fatal("takeover left round state behind")
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.Round == nil || st.PendingCkpt != 1 {
+					t.Fatalf("takeover dropped in-flight work: round=%+v pending=%d",
+						st.Round, st.PendingCkpt)
+				}
+				if st.Round.Tag != RoundTag(0, 0) {
+					t.Fatalf("round tag changed across takeover: %d", st.Round.Tag)
 				}
 				if st.Epoch != 1 || st.Leader != "node02" {
 					t.Fatalf("epoch/leader = %d/%s", st.Epoch, st.Leader)
 				}
 				if len(st.Clients) != 1 {
 					t.Fatal("takeover must keep the client table")
+				}
+				last := fx[len(fx)-1]
+				if last.Kind != FxResumeRound || last.Name != "suspended" {
+					t.Fatalf("expected FxResumeRound at phase suspended, got %+v", last)
+				}
+			},
+		},
+		{
+			name: "takeover with a restart group in flight resumes it",
+			events: []Event{
+				{Kind: EvRestartGroup, Name: "g7", Expect: 2, Hosts: []string{"node01", "node02"}},
+				{Kind: EvRestartRank, Name: "g7", Host: "node01", Msg: RestartRankInstalled},
+				{Kind: EvTakeover, Leader: "node02", Epoch: 1},
+			},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.Restart == nil || st.Restart.Gen != "g7" {
+					t.Fatalf("restart group dropped: %+v", st.Restart)
+				}
+				if st.Restart.Ranks["node01"] != RestartRankInstalled ||
+					st.Restart.Ranks["node02"] != RestartRankSpawned {
+					t.Fatalf("ranks = %+v", st.Restart.Ranks)
+				}
+				if st.Restart.RanksAtLeast(RestartRankInstalled) != 1 {
+					t.Fatalf("RanksAtLeast(installed) = %d", st.Restart.RanksAtLeast(RestartRankInstalled))
+				}
+				last := fx[len(fx)-1]
+				if last.Kind != FxResumeRestart || last.Name != "g7" {
+					t.Fatalf("expected FxResumeRestart, got %+v", last)
+				}
+			},
+		},
+		{
+			name: "resync heals arrivals lost to a degraded commit",
+			events: []Event{
+				evReg("a/x[1]"), evReg("b/y[2]"), evCkpt(0),
+				evBar(2, "suspended", time.Millisecond),
+				// Client 1 passed "suspended" under the old leader but
+				// the journal entry never shipped; its resync report
+				// (1 barrier passed) replays the missing arrival and
+				// releases the barrier for everyone.
+				{Kind: EvResync, CID: 1, RoundTag: RoundTag(0, 0), Expect: 1},
+			},
+			check: func(t *testing.T, st *State, fx []Effect) {
+				if st.Round == nil || !st.Round.Released["suspended"] {
+					t.Fatalf("resync did not heal the barrier: %+v", st.Round)
+				}
+				released := false
+				for _, f := range fx {
+					if f.Kind == FxRelease && f.Name == "suspended" {
+						released = true
+					}
+				}
+				if !released {
+					t.Fatalf("no release effect after resync heal: %+v", fx)
 				}
 			},
 		},

@@ -28,6 +28,9 @@ const (
 	EvRestartFail                       // a restart program failed fatally
 	EvTakeover                          // a standby claimed leadership
 	EvHeartbeat                         // node liveness/load beat (Host, telemetry)
+	EvResync                            // manager reattached mid-round with stage progress
+	EvRestartGroup                      // a restart group was armed (gen, expected ranks)
+	EvRestartRank                       // one restart rank advanced a stage
 )
 
 // Event is one journal record.  Only the fields relevant to Kind are
@@ -57,9 +60,10 @@ type Event struct {
 	Idxs []int         // RoundGC: round indices credited
 	GC   store.GCStats // RoundGC
 
-	Expect  int           // RestartEnd
+	Expect  int           // RestartEnd, RestartGroup; Resync: barriers passed
 	Restart RestartStages // RestartEnd
-	Msg     string        // RestartFail
+	Msg     string        // RestartFail; RestartRank: stage reached
+	Hosts   []string      // RestartGroup: ranks by host
 
 	Leader string // Takeover
 	Epoch  int64  // Takeover
@@ -84,6 +88,8 @@ const (
 	FxGuidKnown                           // guid Name resolved: answer pending queries
 	FxRestartDone                         // restart aggregation complete
 	FxRestartFailed                       // restart failed: unblock waiters with the error
+	FxResumeRound                         // takeover inherited a live round (Name=phase, CID=tag)
+	FxResumeRestart                       // takeover inherited a half-done restart group (Name=gen)
 )
 
 // Effect is one side-effect instruction.
@@ -225,6 +231,7 @@ func apply(st *State, ev Event) []Effect {
 		st.RestartStats = nil
 		st.RestartErr = ""
 		st.RestartAgg = nil
+		st.Restart = nil
 		return nil
 
 	case EvRestartEnd:
@@ -273,23 +280,80 @@ func apply(st *State, ev Event) []Effect {
 		agg.Conns /= n
 		st.RestartStats = &agg
 		st.RestartAgg = nil
+		st.Restart = nil
 		return []Effect{{Kind: FxRestartDone}}
 
 	case EvRestartFail:
 		st.RestartErr = ev.Msg
 		st.RestartAgg = nil
+		st.Restart = nil
 		return []Effect{{Kind: FxRestartFailed}}
 
 	case EvTakeover:
 		st.Epoch = ev.Epoch
 		st.Leader = ev.Leader
-		// A round in flight when the leader died is sacrificed: the
-		// new leader cannot know which barrier frames reached which
-		// managers, so it drops the round and releases stragglers as
-		// they resync (their re-sent arrivals hit the FxReleaseOne
-		// path above).  Periodic checkpointing covers the gap.
-		st.Round = nil
-		st.PendingCkpt = 0
+		// A round in flight when the leader died survives the takeover:
+		// barrier releases are synchronous journal commits, so every
+		// arrival the old leader acted on is in the journal the standby
+		// replayed, and the round's exact phase (Arrived/Released per
+		// barrier) is reconstructed here for free.  The promoted leader
+		// resumes it — managers re-attach via resync, re-sent arrivals
+		// land in the same round (the tag is preserved), and the
+		// EvResync path below heals any arrivals lost to a degraded
+		// (timed-out) commit.  FxResumeRound/FxResumeRestart tell the
+		// new leader's effect runner what it inherited mid-flight.
+		var fx []Effect
+		if r := st.Round; r != nil {
+			fx = append(fx, Effect{Kind: FxResumeRound, Name: RoundPhase(r), CID: r.Tag})
+		}
+		if st.Restart != nil {
+			fx = append(fx, Effect{Kind: FxResumeRestart, Name: st.Restart.Gen})
+		}
+		return fx
+
+	case EvResync:
+		r := st.Round
+		if r == nil || !r.Participants[ev.CID] || ev.RoundTag != r.Tag {
+			return nil
+		}
+		// The manager reports how many barriers it has passed.  Any of
+		// them missing from Arrived were lost in a degraded commit (the
+		// old leader released clients after its ack wait timed out and
+		// died before the entry shipped); count them arrived now and
+		// re-evaluate releases in protocol order.
+		n := ev.Expect
+		if n > len(Barriers) {
+			n = len(Barriers)
+		}
+		for _, name := range Barriers[:n] {
+			if r.Arrived[name] == nil {
+				r.Arrived[name] = make(map[int64]bool)
+			}
+			r.Arrived[name][ev.CID] = true
+		}
+		var fx []Effect
+		for _, name := range Barriers {
+			if st.Round != r {
+				break
+			}
+			if !r.Released[name] && len(r.Arrived[name]) >= len(r.Participants) {
+				fx = append(fx, releaseBarrier(st, r, name, ev.Now)...)
+			}
+		}
+		return fx
+
+	case EvRestartGroup:
+		g := &RestartGroup{Gen: ev.Name, Expect: ev.Expect, Ranks: make(map[string]string, len(ev.Hosts))}
+		for _, h := range ev.Hosts {
+			g.Ranks[h] = RestartRankSpawned
+		}
+		st.Restart = g
+		return nil
+
+	case EvRestartRank:
+		if st.Restart != nil && st.Restart.Gen == ev.Name {
+			st.Restart.Ranks[ev.Host] = ev.Msg
+		}
 		return nil
 
 	case EvHeartbeat:
@@ -510,6 +574,21 @@ func (ev Event) Encode() []byte {
 		e.I64(ev.Cores)
 		e.I64(ev.Backlog)
 		e.I64(ev.Seq)
+	case EvResync:
+		e.I64(ev.CID)
+		e.I64(ev.RoundTag)
+		e.Int(ev.Expect)
+	case EvRestartGroup:
+		e.Str(ev.Name)
+		e.Int(ev.Expect)
+		e.U32(uint32(len(ev.Hosts)))
+		for _, h := range ev.Hosts {
+			e.Str(h)
+		}
+	case EvRestartRank:
+		e.Str(ev.Name)
+		e.Str(ev.Host)
+		e.Str(ev.Msg)
 	}
 	return e.B
 }
@@ -580,6 +659,21 @@ func DecodeEvent(b []byte) (Event, error) {
 		ev.Cores = d.I64()
 		ev.Backlog = d.I64()
 		ev.Seq = d.I64()
+	case EvResync:
+		ev.CID = d.I64()
+		ev.RoundTag = d.I64()
+		ev.Expect = d.Int()
+	case EvRestartGroup:
+		ev.Name = d.Str()
+		ev.Expect = d.Int()
+		n := int(d.U32())
+		for i := 0; i < n && d.Err == nil; i++ {
+			ev.Hosts = append(ev.Hosts, d.Str())
+		}
+	case EvRestartRank:
+		ev.Name = d.Str()
+		ev.Host = d.Str()
+		ev.Msg = d.Str()
 	default:
 		return Event{}, fmt.Errorf("coordstate: unknown event kind %d", b[0])
 	}

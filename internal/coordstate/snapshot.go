@@ -111,6 +111,17 @@ func EncodeState(st *State) ([]byte, error) {
 		e.I64(h.Backlog)
 		e.I64(h.LastSeq)
 	}
+	e.Bool(st.Restart != nil)
+	if st.Restart != nil {
+		e.Str(st.Restart.Gen)
+		e.Int(st.Restart.Expect)
+		rhosts := st.Restart.RankHosts()
+		e.U32(uint32(len(rhosts)))
+		for _, h := range rhosts {
+			e.Str(h)
+			e.Str(st.Restart.Ranks[h])
+		}
+	}
 	return e.B, nil
 }
 
@@ -175,6 +186,16 @@ func DecodeState(b []byte) (*State, error) {
 		h.Backlog = d.I64()
 		h.LastSeq = d.I64()
 		st.Health[host] = h
+	}
+	if d.Bool() {
+		g := &RestartGroup{Ranks: make(map[string]string)}
+		g.Gen = d.Str()
+		g.Expect = d.Int()
+		for i, n := 0, int(d.U32()); i < n && d.Err == nil; i++ {
+			h := d.Str()
+			g.Ranks[h] = d.Str()
+		}
+		st.Restart = g
 	}
 	if d.Err != nil {
 		return nil, fmt.Errorf("coordstate: snapshot decode: %w", d.Err)

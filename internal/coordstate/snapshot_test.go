@@ -35,6 +35,10 @@ func richMachine(t *testing.T) *Machine {
 		{Kind: EvRestartEnd, Expect: 1, Restart: RestartStages{
 			Total: time.Second, FetchedBytes: 5, Workers: 4, OverlapBytes: 77}},
 		{Kind: EvTakeover, Leader: "node02", Epoch: 1},
+		// A restart group in flight: the snapshot must carry it so a
+		// standby promoted mid-restart can resume the half-done group.
+		{Kind: EvRestartGroup, Name: "g2", Expect: 2, Hosts: []string{"node00", "node01"}},
+		{Kind: EvRestartRank, Name: "g2", Host: "node00", Msg: RestartRankResumed},
 	})
 	// Heartbeat history: enough beats for the phi detector to trust its
 	// statistics, so the snapshot's Health section carries live Welford

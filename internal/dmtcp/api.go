@@ -194,6 +194,17 @@ func Install(c *kernel.Cluster, cfg Config) *System {
 		delete(sys.storeBusy, n)
 		delete(sys.storeNodes, n)
 	})
+	if cfg.Store && cfg.ReplicaFactor > 0 {
+		c.AddNodeDownHook(func(n *kernel.Node) {
+			// The dead node's replica copies are gone: re-scan the
+			// placement map for degraded generations and restore
+			// redundancy in the background.  A dead coordinator node is
+			// the takeover path's problem — promote() re-arms repair.
+			if sys.Coord != nil && !sys.Coord.Node.Down {
+				sys.Coord.spawnRepair()
+			}
+		})
+	}
 	if len(sys.coords) > 1 {
 		c.AddNodeDownHook(sys.onCoordNodeDown)
 	}
@@ -447,10 +458,46 @@ func (s *System) commandMain(t *kernel.Task, args []string) {
 	}
 }
 
+// RoundLostError reports that an in-flight checkpoint round was
+// genuinely lost: the coordinator died with no live standby to resume
+// it, or every retry against promoted leaders failed.  With a standby
+// available, a mid-round takeover *resumes* the round under the new
+// leader and Checkpoint returns normally — callers see this error
+// only when resume is impossible.
+type RoundLostError struct {
+	// Tag identifies the lost round (-1 when no round had started).
+	Tag int64
+	// Phase is the furthest stage the round had reached ("idle" when
+	// it was still gathering its first arrivals).
+	Phase string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RoundLostError) Error() string {
+	return fmt.Sprintf("dmtcp: round tag=%d lost at phase %q: %v", e.Tag, e.Phase, e.Err)
+}
+
+func (e *RoundLostError) Unwrap() error { return e.Err }
+
+// roundLost wraps err with the identity of the in-flight round (tag
+// and phase) read from the coordinator's replicated state, typed so
+// callers can tell lost work from plain request failures.
+func (s *System) roundLost(err error) error {
+	e := &RoundLostError{Tag: -1, Phase: "idle", Err: err}
+	if r := s.Coord.st().Round; r != nil {
+		e.Tag = r.Tag
+		e.Phase = coordstate.RoundPhase(r)
+	}
+	return e
+}
+
 // Checkpoint requests a cluster-wide checkpoint from driver task t
 // and blocks until the round completes, returning its stats.  With
 // coordinator standbys configured, a request interrupted by the
-// coordinator's death is retried against the promoted standby.
+// coordinator's death waits for the promoted standby to *resume* the
+// inherited round; only when no leader survives (or every retry
+// fails) does it give up, with a typed *RoundLostError.
 func (s *System) Checkpoint(t *kernel.Task) (*CkptRound, error) {
 	want := len(s.Coord.Rounds()) + 1
 	for attempt := 0; ; attempt++ {
@@ -461,29 +508,59 @@ func (s *System) Checkpoint(t *kernel.Task) (*CkptRound, error) {
 			}
 			return nil, fmt.Errorf("dmtcp: round did not complete")
 		}
-		if len(s.coords) <= 1 || attempt >= 3 {
+		if len(s.coords) <= 1 {
 			return nil, err
 		}
+		if attempt >= 3 {
+			return nil, s.roundLost(err)
+		}
 		// The coordinator died under the request: wait for the standby
-		// takeover, then either the replayed history already covers the
-		// round or the request is re-issued against the new leader.
+		// takeover.
 		deadline := t.Now().Add(s.C.Params.CoordRetryWindow)
 		for s.Coord.Node.Down && t.Now() < deadline {
 			s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
 		}
+		if s.Coord.Node.Down {
+			return nil, s.roundLost(fmt.Errorf("dmtcp: coordinator lost with no live standby: %w", err))
+		}
+		// The promoted standby resumes an inherited in-flight round
+		// (and drains queued requests) rather than aborting: wait for
+		// that work to finish before judging the request satisfied.
+		if lerr := s.awaitRound(t); lerr != nil {
+			return nil, lerr
+		}
 		if rounds := s.Coord.Rounds(); len(rounds) >= want {
 			return rounds[want-1], nil
 		}
-		if s.Coord.Node.Down {
-			return nil, fmt.Errorf("dmtcp: coordinator lost with no live standby: %w", err)
-		}
-		// The standby's replayed history may run behind the dead
-		// leader's (events lost in the final ship window): re-anchor
-		// the target on what the new leader actually knows, so the
-		// round the retried request drives satisfies it.
+		// The request died before the old leader journaled it (no round
+		// ever started): re-anchor on what the new leader knows and
+		// re-issue.
 		if rounds := s.Coord.Rounds(); len(rounds)+1 < want {
 			want = len(rounds) + 1
 		}
+	}
+}
+
+// awaitRound blocks while the current leader drives an inherited
+// in-flight round (or a queued request) to completion; it survives
+// further takeovers as long as some leader remains to resume.
+func (s *System) awaitRound(t *kernel.Task) error {
+	for {
+		st := s.Coord.st()
+		if st.Round == nil && st.PendingCkpt == 0 {
+			return nil
+		}
+		if s.Coord.Node.Down {
+			deadline := t.Now().Add(s.C.Params.CoordRetryWindow)
+			for s.Coord.Node.Down && t.Now() < deadline {
+				s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
+			}
+			if s.Coord.Node.Down {
+				return s.roundLost(fmt.Errorf("dmtcp: coordinator lost mid-round with no live standby"))
+			}
+			continue
+		}
+		s.doneW.WaitTimeout(t.T, 20*time.Millisecond)
 	}
 }
 
@@ -581,11 +658,14 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 	}
 	s.restartGen++
 	gen := s.restartGen
-	s.applyCoordEvent(coordstate.Event{Kind: coordstate.EvRestartBegin})
-
-	var spawned []*kernel.Process
+	// Resolve every host's restart target up front: the journaled
+	// restart-group event names each rank by its image path (unique
+	// per process even when every host restarts onto one target node),
+	// so a standby promoted mid-restart can re-arm the group barriers
+	// with the exact membership this restart presents.
+	targets := make(map[string]*kernel.Node, len(hosts))
+	ranks := make([]string, 0, len(round.Images))
 	for _, host := range hosts {
-		imgs := byHost[host]
 		target := s.C.LookupHost(host)
 		if place != nil {
 			if nid, ok := place[host]; ok {
@@ -595,6 +675,30 @@ func (s *System) RestartAll(t *kernel.Task, round *CkptRound, place Placement) (
 		if target == nil {
 			return nil, fmt.Errorf("dmtcp: unknown host %q", host)
 		}
+		targets[host] = target
+		for _, img := range byHost[host] {
+			ranks = append(ranks, img.Path)
+		}
+	}
+	s.applyCoordEvent(coordstate.Event{Kind: coordstate.EvRestartBegin})
+	s.applyCoordEvent(coordstate.Event{
+		Kind:   coordstate.EvRestartGroup,
+		Name:   strconv.FormatInt(gen, 10),
+		Expect: len(round.Images),
+		Hosts:  ranks,
+	})
+	// The group is a synchronous journal commit, like a barrier
+	// release: once restart programs are spawned, a leader death must
+	// leave a standby that knows the group exists, or the half-done
+	// restart could never be resumed.
+	if !s.Coord.Node.Down {
+		s.Coord.commitBarrier(t)
+	}
+
+	var spawned []*kernel.Process
+	for _, host := range hosts {
+		imgs := byHost[host]
+		target := targets[host]
 		// Migration: make the images visible on the target node (the
 		// paper's restart script assumes images are reachable; /san
 		// paths already are).  With the replica service running,

@@ -1,6 +1,7 @@
 package dmtcp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -124,10 +125,12 @@ func TestCoordinatorFailoverMidComputation(t *testing.T) {
 }
 
 // TestKillCoordinatorMidRound kills the coordinator node between the
-// suspended and drained barriers of a round.  The takeover aborts the
-// orphaned round, releases the mid-algorithm managers as they resync
-// (so no user thread stays suspended), and the re-issued request
-// completes a clean round on the standby.
+// suspended and drained barriers of a round.  The takeover resumes the
+// orphaned round: synchronous barrier commits mean the standby's
+// journal replay lands on the exact stage in flight, the resyncing
+// managers re-credit the barriers they already passed, and the same
+// round completes under the promoted standby (see zeroloss_test.go for
+// the full per-stage sweep).
 func TestKillCoordinatorMidRound(t *testing.T) {
 	e := newEnv(t, 4, haConfig())
 	e.drive(t, func(task *kernel.Task) {
@@ -233,8 +236,9 @@ func TestRecoverWithCoordinatorAmongDead(t *testing.T) {
 }
 
 // TestCheckpointErrorsWhenCoordinatorAndStandbyDie: with the whole
-// coordinator set gone, the retry path must give up with an error
-// instead of wedging the session.
+// coordinator set gone, the retry path must give up with a typed
+// RoundLostError instead of wedging the session.  No round ever
+// started, so the error reports the idle phase.
 func TestCheckpointErrorsWhenCoordinatorAndStandbyDie(t *testing.T) {
 	e := newEnv(t, 4, haConfig())
 	e.drive(t, func(task *kernel.Task) {
@@ -242,8 +246,17 @@ func TestCheckpointErrorsWhenCoordinatorAndStandbyDie(t *testing.T) {
 		task.Compute(50 * time.Millisecond)
 		e.c.KillNode(1)
 		e.c.KillNode(2)
-		if _, err := e.sys.Checkpoint(task); err == nil {
-			t.Error("checkpoint succeeded with every coordinator dead")
+		_, err := e.sys.Checkpoint(task)
+		if err == nil {
+			t.Fatal("checkpoint succeeded with every coordinator dead")
+		}
+		var lost *RoundLostError
+		if !errors.As(err, &lost) {
+			t.Fatalf("err = %v (%T), want *RoundLostError", err, err)
+		}
+		if lost.Tag != -1 || lost.Phase != "idle" {
+			t.Errorf("RoundLostError = tag %d phase %q, want tag -1 phase \"idle\" (no round started)",
+				lost.Tag, lost.Phase)
 		}
 	})
 }

@@ -33,14 +33,26 @@ const (
 	msgRestartFail = 'F' // restart → coord: restart failed (message)
 	msgQuit        = 'X' // command → coord: shut down
 	msgHeartbeat   = 'H' // manager → coord: node liveness/load beat
+	msgRestartRank = 'P' // restart → coord: per-rank stage progress
 )
 
 // ckptBarriers aliases the state machine's barrier order (§4.3).
 var ckptBarriers = coordstate.Barriers
 
+// groupBarrier is an in-flight restart group barrier.  Joins are
+// keyed by rank id (the rank's image path) so a rank that reconnects
+// after a coordinator takeover can re-arm its join idempotently (the
+// old fd is simply replaced), and a promoted standby can seed joins
+// for ranks its replayed journal proves are already past the barrier.
 type groupBarrier struct {
-	want    int
-	arrived []int // fds to release
+	want     int
+	joined   map[string]bool // rank id → arrived
+	fds      map[string]int  // rank id → fd to release (seeded joins have none)
+	released bool            // barrier complete: late (re)joins release immediately
+}
+
+func newGroupBarrier(want int) *groupBarrier {
+	return &groupBarrier{want: want, joined: make(map[string]bool), fds: make(map[string]int)}
 }
 
 // Coordinator is one checkpoint coordinator instance: the initial
@@ -84,10 +96,22 @@ type Coordinator struct {
 	// several clients of a dead node disconnect in a burst.
 	recovering bool
 
+	// repairing guards against concurrent re-replication drives when
+	// several node-death observations land in a burst; LastRebalance is
+	// the wall time the most recent completed drive took to restore
+	// full redundancy.
+	repairing     bool
+	LastRebalance time.Duration
+
 	// shipW wakes the journal shipper after every applied event (and
 	// at promotion); shipped tracks the last seq each standby acked.
 	shipW   *sim.WaitQueue
 	shipped map[string]int64
+
+	// commitW wakes barrier-release commits waiting for the shipper to
+	// replicate the release to every live standby (bounded by
+	// Params.BarrierAckTimeout).
+	commitW *sim.WaitQueue
 
 	// journalBuf caches the serialized journal snapshot written to
 	// disk; journaledSeq is the last entry in it, so each write only
@@ -108,6 +132,7 @@ func newCoordinator(sys *System, node *kernel.Node, port int, standby bool) *Coo
 		groups:   make(map[string]*groupBarrier),
 		shipW:    sim.NewWaitQueue(sys.C.Eng, node.Hostname+".coordship"),
 		shipped:  make(map[string]int64),
+		commitW:  sim.NewWaitQueue(sys.C.Eng, node.Hostname+".coordcommit"),
 	}
 }
 
@@ -136,10 +161,67 @@ func (co *Coordinator) RestartStats() *RestartStages { return co.st().RestartSta
 // apply journals one event through the state machine and performs the
 // returned effects.  Only tasks on the active coordinator's process
 // may apply events with protocol side-effects.
+//
+// Effects that release clients past a barrier are synchronous journal
+// commits: the leader first waits (bounded by BarrierAckTimeout) for
+// every live standby to ack the journal entry, so a standby promoted
+// mid-round has seen every release its reconstructed round claims —
+// resuming the round needs no client rollback.  A timeout proceeds
+// degraded; the manager resync handshake heals the gap after takeover.
 func (co *Coordinator) apply(t *kernel.Task, ev coordstate.Event) {
 	t.Compute(co.Sys.C.Params.JournalAppendCost)
-	co.runEffects(t, co.Mach.Apply(ev))
+	fx := co.Mach.Apply(ev)
 	co.shipW.WakeAll()
+	if releaseBearing(fx) {
+		co.commitBarrier(t)
+	}
+	co.runEffects(t, fx)
+}
+
+// releaseBearing reports whether the effect list lets any client past
+// a barrier (round start counts: it releases clients into the round).
+func releaseBearing(effects []coordstate.Effect) bool {
+	for _, fx := range effects {
+		switch fx.Kind {
+		case coordstate.FxStartRound, coordstate.FxRelease,
+			coordstate.FxReleaseOne, coordstate.FxRoundDone:
+			return true
+		}
+	}
+	return false
+}
+
+// commitBarrier blocks until every live standby's journal has caught
+// up to the entry just applied, or BarrierAckTimeout elapses.  The
+// shipper runs concurrently on its own task; this wait just parks the
+// serving task until the acks arrive.
+func (co *Coordinator) commitBarrier(t *kernel.Task) {
+	timeout := co.Sys.C.Params.BarrierAckTimeout
+	if timeout <= 0 || co.Standby {
+		return
+	}
+	seq := co.Mach.Seq()
+	deadline := t.Now().Add(timeout)
+	for {
+		peers := co.Sys.coordPeers(co)
+		committed := true
+		for _, peer := range peers {
+			if co.shipped[peer.Hostname] < seq {
+				committed = false
+				break
+			}
+		}
+		if committed {
+			return
+		}
+		left := deadline.Sub(t.Now())
+		if left <= 0 {
+			t.Trace().Instant(t.Host(), "coordinator", "coord.commit_timeout", "coord",
+				t.Now(), obs.A("seq", seq))
+			return
+		}
+		co.commitW.WaitTimeout(t.T, left)
+	}
 }
 
 // runEffects turns Apply's effect list into protocol frames and
@@ -182,8 +264,52 @@ func (co *Coordinator) runEffects(t *kernel.Task, effects []coordstate.Effect) {
 			delete(co.pendingQ, fx.Name)
 		case coordstate.FxRestartDone, coordstate.FxRestartFailed:
 			co.Sys.doneW.WakeAll()
+		case coordstate.FxResumeRound:
+			// A takeover inherited an in-flight round: the journal holds
+			// its exact phase, the managers re-drive their arrivals
+			// through resync, and the round completes under this leader.
+			t.Trace().Instant(t.Host(), "coordinator", "coord.resume", "coord", t.Now(),
+				obs.A("tag", fx.CID))
+			t.Printf("dmtcp_coordinator: resuming round tag=%d at phase %q\n", fx.CID, fx.Name)
+		case coordstate.FxResumeRestart:
+			co.resumeRestart(t, fx.Name)
 		}
 	}
+}
+
+// resumeRestart re-arms the group barriers of a restart group inherited
+// across a takeover.  Ranks the journal proves are past a barrier (their
+// stage report is committed before any release) are seeded as joined;
+// ranks still waiting re-join idempotently when their reconnect loops
+// find the new leader.
+func (co *Coordinator) resumeRestart(t *kernel.Task, gen string) {
+	rg := co.st().Restart
+	if rg == nil || rg.Gen != gen {
+		return
+	}
+	co.seedGroup("r-mem-"+gen, rg.Expect, rg.HostsAtLeast(coordstate.RestartRankInstalled))
+	co.seedGroup("r-refill-"+gen, rg.Expect, rg.HostsAtLeast(coordstate.RestartRankResumed))
+	t.Trace().Instant(t.Host(), "coordinator", "restart.resume", "coord", t.Now(),
+		obs.A("ranks", int64(len(rg.Ranks))),
+		obs.A("installed", int64(rg.RanksAtLeast(coordstate.RestartRankInstalled))),
+		obs.A("resumed", int64(rg.RanksAtLeast(coordstate.RestartRankResumed))))
+}
+
+// seedGroup installs a group barrier pre-joined by the given rank ids.
+// A fully-seeded barrier is marked released, so a rank the old leader
+// died mid-release-burst on gets its release the moment it re-joins.
+func (co *Coordinator) seedGroup(name string, want int, ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	g := newGroupBarrier(want)
+	for _, id := range ids {
+		g.joined[id] = true
+	}
+	if len(g.joined) >= g.want {
+		g.released = true
+	}
+	co.groups[name] = g
 }
 
 // main is the coordinator program body (leader and standby alike).
@@ -276,8 +402,7 @@ func (co *Coordinator) serve(t *kernel.Task, fd int) {
 			cid = co.st().NextCID
 			co.conns[cid] = fd
 		case msgResync:
-			d := &bin.Decoder{B: body}
-			cid = co.resync(t, fd, d.Str())
+			cid = co.resync(t, fd, body)
 		case msgCheckpoint:
 			co.cmdWaiters = append(co.cmdWaiters, fd)
 			co.requestCheckpoint(t)
@@ -305,22 +430,8 @@ func (co *Coordinator) serve(t *kernel.Task, fd int) {
 			}
 		case msgGroup:
 			d := &bin.Decoder{B: body}
-			name, want := d.Str(), d.Int()
-			g := co.groups[name]
-			if g == nil {
-				g = &groupBarrier{want: want}
-				co.groups[name] = g
-			}
-			g.arrived = append(g.arrived, fd)
-			if len(g.arrived) >= g.want {
-				for _, rfd := range g.arrived {
-					var e bin.Encoder
-					e.B = append(e.B, msgRelease)
-					e.Str(name)
-					t.SendFrame(rfd, e.B)
-				}
-				delete(co.groups, name)
-			}
+			name, want, rank := d.Str(), d.Int(), d.Str()
+			co.onGroupJoin(t, name, want, rank, fd)
 		case msgHeartbeat:
 			d := &bin.Decoder{B: body}
 			ev := coordstate.Event{Kind: coordstate.EvHeartbeat, Now: t.Now()}
@@ -331,6 +442,13 @@ func (co *Coordinator) serve(t *kernel.Task, fd int) {
 			ev.Seq = d.I64()
 			if d.Err == nil {
 				co.apply(t, ev)
+			}
+		case msgRestartRank:
+			d := &bin.Decoder{B: body}
+			gen, rank, stage := d.Str(), d.Str(), d.Str()
+			if d.Err == nil {
+				co.apply(t, coordstate.Event{Kind: coordstate.EvRestartRank, Now: t.Now(),
+					Name: gen, Host: rank, Msg: stage})
 			}
 		case msgRestartEnd:
 			co.onRestartEnd(t, body)
@@ -343,24 +461,83 @@ func (co *Coordinator) serve(t *kernel.Task, fd int) {
 	}
 }
 
+// onGroupJoin handles one rank's arrival at a named restart group
+// barrier.  Joins are idempotent per rank id: a rank that reconnects
+// after a takeover re-joins and merely refreshes its release fd.  The
+// release is a synchronous journal commit (like round barriers): every
+// rank's stage report precedes its join, so committing before the
+// release burst guarantees a promoted standby can reconstruct who is
+// past the barrier.
+func (co *Coordinator) onGroupJoin(t *kernel.Task, name string, want int, rank string, fd int) {
+	g := co.groups[name]
+	if g == nil {
+		g = newGroupBarrier(want)
+		co.groups[name] = g
+	}
+	release := func(rfd int) {
+		var e bin.Encoder
+		e.B = append(e.B, msgRelease)
+		e.Str(name)
+		t.SendFrame(rfd, e.B)
+	}
+	if g.released {
+		// Barrier already complete: the old leader died mid-release
+		// burst and this rank re-joined to collect its release.
+		release(fd)
+		return
+	}
+	g.joined[rank] = true
+	g.fds[rank] = fd
+	if len(g.joined) < g.want {
+		return
+	}
+	co.commitBarrier(t)
+	g.released = true
+	ids := make([]string, 0, len(g.fds))
+	for id := range g.fds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		release(g.fds[id])
+	}
+	g.fds = make(map[string]int)
+}
+
 // resync re-binds a reconnecting manager (its coordinator died and a
 // standby took over) to its replayed client entry, matching on the
 // stable identity string.  A manager the journal never recorded —
 // it registered in the instants before the old leader died — is
 // registered fresh.
-func (co *Coordinator) resync(t *kernel.Task, fd int, desc string) int64 {
+//
+// The frame also carries the manager's own round progress (tag +
+// barriers passed): when the leader died inside the barrier-commit
+// degraded window, the manager may have been released past barriers
+// the replayed journal never saw; the EvResync event heals those
+// arrivals so the resumed round's bookkeeping matches reality.
+func (co *Coordinator) resync(t *kernel.Task, fd int, body []byte) int64 {
+	d := &bin.Decoder{B: body}
+	desc := d.Str()
+	tag := d.I64()
+	passed := d.Int()
+	if d.Err != nil {
+		tag, passed = 0, 0
+	}
 	cid := co.st().ClientByDesc(desc)
 	if cid == 0 {
 		co.apply(t, coordstate.Event{Kind: coordstate.EvRegister, Now: t.Now(), Desc: desc})
 		cid = co.st().NextCID
 	}
 	co.conns[cid] = fd
-	// If a round started after the takeover while this manager was
-	// still reconnecting, it never saw the checkpoint request: re-send
-	// it, but only when the manager has not begun the algorithm (no
-	// recorded arrival) — a mid-algorithm manager re-drives itself by
-	// re-sending its barrier arrival.
 	if r := co.st().Round; r != nil && r.Participants[cid] {
+		if r.Tag == tag && passed > 0 {
+			co.apply(t, coordstate.Event{Kind: coordstate.EvResync, Now: t.Now(),
+				CID: cid, RoundTag: tag, Expect: passed})
+		}
+		// A manager that never saw the checkpoint request (the round
+		// started — or resumed — while it was still reconnecting, and it
+		// reports no progress) gets it re-sent; a mid-algorithm manager
+		// re-drives itself by re-sending its barrier arrival.
 		arrived := false
 		for _, m := range r.Arrived {
 			if m[cid] {
@@ -368,7 +545,7 @@ func (co *Coordinator) resync(t *kernel.Task, fd int, desc string) int64 {
 				break
 			}
 		}
-		if !arrived {
+		if !arrived && (r.Tag != tag || passed == 0) {
 			t.SendFrame(fd, co.doCkptFrame(r.Tag, co.hintFor(cid)))
 		}
 	}
@@ -754,6 +931,7 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 				continue
 			}
 			co.shipped[peer.Hostname] = seq
+			co.commitW.WakeAll()
 			if seq < co.Mach.Seq() {
 				behind = true
 			}
@@ -786,10 +964,13 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 	}
 }
 
-// promote turns a standby into the active coordinator.  The in-flight
-// round (if any) is sacrificed by the takeover event; clients on dead
-// nodes are dropped; live managers re-bind via resync as their
-// reconnect loops find the new address.
+// promote turns a standby into the active coordinator.  An in-flight
+// round (or restart group) survives the takeover: the journal holds its
+// exact phase, so the takeover event re-arms it and the round resumes
+// under the new leader.  Clients on dead nodes are dropped; live
+// managers re-bind via resync — carrying their own barrier progress, so
+// releases lost in the old leader's final instants are healed — as
+// their reconnect loops find the new address.
 func (s *System) promote(t *kernel.Task, co *Coordinator) {
 	if s.Coord == co || co.Node.Down || co.proc == nil {
 		return
@@ -847,6 +1028,10 @@ func (s *System) promote(t *kernel.Task, co *Coordinator) {
 			co.spawnRecovery()
 		}
 	}
+	// The dead leader's node may also have held replica copies (and the
+	// old leader may have died mid-repair): re-scan for degraded
+	// generations and restore redundancy in the background.
+	co.spawnRepair()
 }
 
 // onCoordNodeDown is the standby-side failure detector: when the

@@ -77,6 +77,11 @@ type Manager struct {
 	// curTag is the round identity of the checkpoint in progress,
 	// echoed with every barrier arrival.
 	curTag int64
+	// curPassed counts barriers of the current round this manager has
+	// been released from; resync ships it so a promoted coordinator can
+	// credit arrivals its journal recorded but whose releases were lost
+	// with the old leader.
+	curPassed int
 
 	nextConnSeq int64
 
@@ -170,15 +175,25 @@ func (m *Manager) startHeartbeat() {
 }
 
 func (m *Manager) connectCoordinator(t *kernel.Task) {
+	m.desc = fmt.Sprintf("%s/%s[%d]", m.p.Node.Hostname, m.p.ProgName, m.virtPid)
 	fd := t.Socket()
 	if of, err := t.P.FD(fd); err == nil {
 		of.Protected = true // excluded from checkpointing
 	}
 	addr := m.sys.coordAddr()
 	if err := t.Connect(fd, addr); err != nil {
+		// A restored manager can land in a takeover interregnum (the
+		// leader died mid-restart): with HA, wait out the election via
+		// the resync path, which registers unknown identities too.
+		t.Close(fd)
+		m.coordFD = -1
+		if m.sys.haEnabled() {
+			if rerr := m.reconnectCoordinator(t); rerr == nil {
+				return
+			}
+		}
 		panic(fmt.Sprintf("dmtcp: cannot reach coordinator at %v: %v", addr, err))
 	}
-	m.desc = fmt.Sprintf("%s/%s[%d]", m.p.Node.Hostname, m.p.ProgName, m.virtPid)
 	var e bin.Encoder
 	e.B = append(e.B, msgRegister)
 	e.Str(m.desc)
@@ -233,6 +248,8 @@ func (m *Manager) reconnectCoordinator(t *kernel.Task) error {
 			var e bin.Encoder
 			e.B = append(e.B, msgResync)
 			e.Str(m.desc)
+			e.I64(m.curTag)
+			e.Int(m.curPassed)
 			if err := t.SendFrame(fd, e.B); err != nil {
 				lastErr = err
 				t.Close(fd)
@@ -296,8 +313,8 @@ type ckptConfig struct {
 	Forked   bool
 	Store    bool
 	// Tag is the coordinator's round identity; barrier arrivals echo
-	// it so a post-takeover coordinator can tell live-round arrivals
-	// from stragglers of a round the takeover aborted.
+	// it so a post-takeover coordinator can match arrivals to the
+	// round it resumed and ignore stragglers of an older one.
 	Tag int64
 	// Workers sizes the parallel checkpoint writer pool.
 	Workers int
@@ -312,8 +329,8 @@ type ckptConfig struct {
 // primitive used at checkpoint time is a barrier").  If the
 // coordinator dies mid-wait and a standby takes over, the arrival is
 // re-sent on the resynced connection — the coordinator state machine
-// treats duplicate arrivals as idempotent and immediately re-releases
-// barriers of a round the takeover aborted, so the manager never
+// treats duplicate arrivals as idempotent and re-releases barriers the
+// old leader had already released before dying, so the manager never
 // wedges mid-algorithm.
 func (m *Manager) barrier(t *kernel.Task, name string, stage time.Duration, extra func(*bin.Encoder)) error {
 	bStart := t.Now()
@@ -348,6 +365,7 @@ func (m *Manager) barrier(t *kernel.Task, name string, stage time.Duration, extr
 			if len(frame) > 0 && frame[0] == msgRelease {
 				d := &bin.Decoder{B: frame[1:]}
 				if d.Str() == name {
+					m.curPassed++
 					return nil
 				}
 			}
@@ -367,6 +385,7 @@ func (m *Manager) doCheckpoint(t *kernel.Task, cfg ckptConfig) {
 	params := m.sys.C.Params
 	start := t.Now()
 	m.curTag = cfg.Tag
+	m.curPassed = 0
 
 	// ---- Stage 2: suspend user threads --------------------------------
 	p.CkptPending = true

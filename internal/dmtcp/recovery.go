@@ -78,7 +78,8 @@ func (s *System) Recover(t *kernel.Task) (*Recovery, error) {
 	co := s.Coord
 	// Let a round the node died in the middle of settle first
 	// (disconnect re-checks its barriers, so it will finish; a round
-	// orphaned by the coordinator's own death was aborted at takeover).
+	// inherited through the coordinator's own death is resumed by the
+	// promoted standby, and this wait holds until it completes too).
 	for co.st().Round != nil {
 		s.doneW.Wait(t.T)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bin"
+	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/mtcp"
 	"repro/internal/obs"
@@ -135,12 +136,12 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	start := t.Now()
 	var st RestartStages
 
-	// Coordinator link for discovery and restart barriers.
-	cfd := t.Socket()
-	if of, err := t.P.FD(cfd); err == nil {
-		of.Protected = true
-	}
-	if err := t.Connect(cfd, s.coordAddr()); err != nil {
+	// Coordinator link for discovery and restart barriers.  A restart
+	// spawned into a takeover interregnum (the leader died after the
+	// group was journaled, the standby is still electing itself) waits
+	// out the election instead of dying.
+	cfd, err := s.dialCoord(t)
+	if err != nil {
 		t.Printf("dmtcp_restart: coordinator: %v\n", err)
 		t.Exit(1)
 	}
@@ -327,6 +328,21 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 			}
 		}
 		imgs = append(imgs, pi)
+	}
+
+	// Journal per-rank fetch progress: a coordinator promoted
+	// mid-restart learns which ranks already hold their images.  The
+	// rank identity is the image path — unique per process even when
+	// vpids from different origin hosts collide on one restart target.
+	// Best-effort — a dead leader is healed by the barrier rejoins
+	// below, which re-report each rank's furthest stage.
+	for _, pi := range imgs {
+		var e bin.Encoder
+		e.B = append(e.B, msgRestartRank)
+		e.Str(gen)
+		e.Str(pi.path)
+		e.Str(coordstate.RestartRankFetched)
+		t.SendFrame(cfd, e.B)
 	}
 
 	// ---- Step 1: reopen files and recreate ptys ------------------------
@@ -653,7 +669,18 @@ func (s *System) restartMain(t *kernel.Task, args []string) {
 	e.I64(st.DemandBytes)
 	e.I64(st.PrefetchBytes)
 	e.Int(st.DemandFaults)
-	t.SendFrame(cfd, e.B)
+	// The leader may have died after the last barrier released: redial
+	// the coordinator address (a promoted standby rebinds it) and
+	// re-send, so the blocked RestartAll still gets its stage times.
+	// A failed send was never journaled, so the retry delivers at most
+	// once.
+	for t.SendFrame(cfd, e.B) != nil {
+		nfd, err := s.dialCoord(t)
+		if err != nil {
+			break
+		}
+		cfd = nfd
+	}
 
 	// Remain as the parent of the restored processes (the paper's
 	// restart process stays in the tree after forking).
@@ -755,7 +782,7 @@ func (s *System) restoreProcess(
 
 	// Global barrier: every restored process has its memory back
 	// (the paper's restored processes resume at Barrier 5).
-	s.groupBarrier(c, mgr.coordFD, "r-mem-"+gen, nGlobal)
+	s.groupBarrier(c, mgr, "r-mem-"+gen, nGlobal, gen, path, coordstate.RestartRankInstalled)
 
 	// ---- Step 6: refill kernel buffers ---------------------------------
 	r6 := c.Now()
@@ -797,7 +824,7 @@ func (s *System) restoreProcess(
 	c.Trace().Span(c.Host(), childTrack, "restore.mem", "restart", m5, m5.Add(memDur))
 	c.Trace().Span(c.Host(), childTrack, "restore.refill", "restart", r6, r6.Add(refillDur))
 	report(memDur, refillDur)
-	s.groupBarrier(c, mgr.coordFD, "r-refill-"+gen, nGlobal)
+	s.groupBarrier(c, mgr, "r-refill-"+gen, nGlobal, gen, path, coordstate.RestartRankResumed)
 
 	// ---- Step 7: resume user threads -----------------------------------
 	// Manager thread resumes its wait-for-checkpoint loop.
@@ -828,25 +855,75 @@ func (s *System) restoreProcess(
 	res.Restore(c, p.LoadState())
 }
 
-// groupBarrier joins a named cluster-wide barrier through the
-// coordinator and blocks until released.
-func (s *System) groupBarrier(t *kernel.Task, fd int, name string, total int) {
+// dialCoord connects a protected socket to the (possibly just
+// promoted) coordinator, retrying with capped backoff across a
+// takeover interregnum; it gives up only when the detection +
+// election + retry window closes with no leader answering.
+func (s *System) dialCoord(t *kernel.Task) (int, error) {
+	p := s.C.Params
+	delay := p.CoordRetryBase
+	deadline := t.Now().Add(p.FailureDetectDelay + p.ElectionTimeout + p.CoordRetryWindow)
+	for {
+		fd := t.Socket()
+		if of, err := t.P.FD(fd); err == nil {
+			of.Protected = true
+		}
+		err := t.Connect(fd, s.coordAddr())
+		if err == nil {
+			return fd, nil
+		}
+		t.Close(fd)
+		if t.Now().Add(delay) > deadline {
+			return -1, err
+		}
+		t.Idle(delay)
+		if delay *= 2; delay > p.CoordRetryCap {
+			delay = p.CoordRetryCap
+		}
+	}
+}
+
+// groupBarrier reports this rank's restart progress and joins a named
+// cluster-wide barrier through the coordinator, blocking until
+// released.  Both frames are journaled before any release goes out
+// (synchronous barrier commit), so a standby promoted mid-restart can
+// reconstruct the group's membership; if the leader dies mid-wait the
+// manager resyncs and the rank re-reports and rejoins — both events
+// are idempotent on the coordinator, and a group the old leader had
+// already released re-releases the rank immediately.  id is the
+// rank's image path, the same identity RestartAll journaled in the
+// restart-group event.
+func (s *System) groupBarrier(t *kernel.Task, mgr *Manager, name string, total int, gen, id, stage string) {
+	var re bin.Encoder
+	re.B = append(re.B, msgRestartRank)
+	re.Str(gen)
+	re.Str(id)
+	re.Str(stage)
 	var e bin.Encoder
 	e.B = append(e.B, msgGroup)
 	e.Str(name)
 	e.Int(total)
-	if err := t.SendFrame(fd, e.B); err != nil {
-		return
-	}
+	e.Str(id)
 	for {
-		frame, err := t.RecvFrame(fd)
-		if err != nil {
-			return
-		}
-		if len(frame) > 0 && frame[0] == msgRelease {
-			d := &bin.Decoder{B: frame[1:]}
-			if d.Str() == name {
+		if t.SendFrame(mgr.coordFD, re.B) != nil || t.SendFrame(mgr.coordFD, e.B) != nil {
+			if mgr.coordLost(t) != nil {
 				return
+			}
+			continue // re-report and rejoin on the new connection
+		}
+		for {
+			frame, err := t.RecvFrame(mgr.coordFD)
+			if err != nil {
+				if mgr.coordLost(t) != nil {
+					return
+				}
+				break // resynced: re-report and rejoin
+			}
+			if len(frame) > 0 && frame[0] == msgRelease {
+				d := &bin.Decoder{B: frame[1:]}
+				if d.Str() == name {
+					return
+				}
 			}
 		}
 	}

@@ -192,6 +192,13 @@ type Params struct {
 	// only trusts a silent peer to be dead after missed heartbeats,
 	// not on the first connection reset.
 	FailureDetectDelay time.Duration
+	// RepairQoS is the fraction of a replica daemon's push bandwidth
+	// that background re-replication (repair after a holder died) may
+	// consume: after shipping each chunk a repair push idles for
+	// transfer×(1-q)/q, so app-driven replication and checkpoint
+	// traffic always see at least (1-q) of the link.  Clamped to
+	// (0, 1]; 1 disables pacing.
+	RepairQoS float64
 
 	// ---- Coordinator HA (journaled state machine + standby takeover) ----
 
@@ -229,6 +236,14 @@ type Params struct {
 	// leader drops replayed clients that never reconnected (their
 	// processes died while no coordinator was watching).
 	ResyncWindow time.Duration
+	// BarrierAckTimeout bounds the synchronous barrier commit: before a
+	// release-bearing journal entry lets clients advance, the leader
+	// ships it to every live standby and waits up to this long for the
+	// acks (Raft-style commit).  On timeout the leader proceeds anyway —
+	// the round stays live but its resume guarantee degrades to the
+	// resync repair path — so a dead standby can slow rounds by at most
+	// this much per barrier.  0 disables the wait (old async shipping).
+	BarrierAckTimeout time.Duration
 
 	// ---- Health telemetry plane ----
 
@@ -307,6 +322,7 @@ func Default() *Params {
 
 		ReplicaRPCCost:     25 * time.Microsecond,
 		FailureDetectDelay: 250 * time.Millisecond,
+		RepairQoS:          0.5,
 
 		JournalAppendCost:      3 * time.Microsecond,
 		JournalShipDelay:       2 * time.Millisecond,
@@ -317,6 +333,7 @@ func Default() *Params {
 		CoordRetryCap:          200 * time.Millisecond,
 		CoordRetryWindow:       5 * time.Second,
 		ResyncWindow:           500 * time.Millisecond,
+		BarrierAckTimeout:      25 * time.Millisecond,
 
 		HeartbeatInterval: 25 * time.Millisecond,
 		PhiTimeoutFactor:  1.5,

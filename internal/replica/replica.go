@@ -100,6 +100,21 @@ type Job struct {
 	Name         string
 	Generation   int64
 	ManifestPath string
+
+	// Targets, when non-nil, overrides ring placement for this job —
+	// a repair drive names exactly the under-replicated peers to fill.
+	Targets []*kernel.Node
+	// Repair marks a background re-replication job: its chunk traffic
+	// is paced by Params.RepairQoS so restoring redundancy cannot
+	// starve foreground checkpoint pushes of network bandwidth.
+	Repair bool
+	// Cancel, when set, is polled between pushes; returning true
+	// abandons the rest of the job cleanly (the generation aged out or
+	// was superseded mid-repair).
+	Cancel func() bool
+	// OnDone, when set, is called once when the job finishes;
+	// restored reports whether every target ended holding a full copy.
+	OnDone func(restored bool)
 }
 
 // Stats aggregates replication traffic for the whole service.
@@ -125,6 +140,12 @@ type Stats struct {
 	JournalEntries   int
 	JournalBytes     int64
 	JournalSnapshots int
+	// RepairJobs counts re-replication (repair) jobs that restored
+	// full redundancy; RepairPushes the (generation, peer) copies they
+	// completed; RepairCancels the jobs abandoned via Job.Cancel.
+	RepairJobs    int
+	RepairPushes  int
+	RepairCancels int
 }
 
 // FetchStats reports one EnsureLocal call.
@@ -489,11 +510,36 @@ func (sv *Service) worker(t *kernel.Task) {
 func (sv *Service) replicate(t *kernel.Task, job Job) {
 	src := t.P.Node
 	st := store.Open(src, store.Config{Root: sv.Cfg.Root})
+	restored := false
+	start := t.Now()
+	defer func() {
+		if job.Repair {
+			ok := int64(0)
+			if restored {
+				ok = 1
+			}
+			t.Trace().Span(t.Host(), "replica", "replica.repair", "repl", start, t.Now(),
+				obs.A("gen", job.Generation), obs.A("restored", ok))
+		}
+		if job.OnDone != nil {
+			job.OnDone(restored)
+		}
+	}()
+	if job.Cancel != nil && job.Cancel() {
+		sv.Stats.RepairCancels++
+		return // superseded before its turn came
+	}
 	m, err := st.LoadManifest(job.ManifestPath)
 	if err != nil {
+		if job.Repair {
+			sv.Stats.RepairCancels++
+		}
 		return // generation pruned (or lost) before its turn came
 	}
-	targets := sv.Targets(src)
+	targets := job.Targets
+	if targets == nil {
+		targets = sv.Targets(src)
+	}
 	if len(targets) == 0 {
 		return
 	}
@@ -509,6 +555,9 @@ func (sv *Service) replicate(t *kernel.Task, job Job) {
 	for i := 0; i < width; i++ {
 		t.P.SpawnTask("repl-push", false, func(wt *kernel.Task) {
 			for next < len(targets) {
+				if job.Cancel != nil && job.Cancel() {
+					break // abandon the remaining peers cleanly
+				}
 				peer := targets[next]
 				next++
 				if sv.pushTo(wt, st, peer, job, m) {
@@ -525,9 +574,17 @@ func (sv *Service) replicate(t *kernel.Task, job Job) {
 	for finished < width {
 		joinW.Wait(t.T)
 	}
+	if job.Cancel != nil && job.Cancel() && done < len(targets) {
+		sv.Stats.RepairCancels++
+		return
+	}
 	if done == len(targets) {
+		restored = true
 		st.SetReplicationWatermark(t, job.Name, job.Generation)
 		sv.Stats.Generations++
+		if job.Repair {
+			sv.Stats.RepairJobs++
+		}
 		if sv.OnWatermark != nil {
 			sv.OnWatermark(job.Name, job.Generation, src.Hostname)
 		}
@@ -558,13 +615,16 @@ func (sv *Service) pushTo(t *kernel.Task, st *store.Store, peer *kernel.Node, jo
 	}
 
 	// 3. Ship the missing chunks, then verify the whole generation.
-	if !sv.shipChunks(t, st, fd, missing) {
+	if !sv.shipChunks(t, st, fd, missing, job) {
 		return false
 	}
-	if !sv.verifyPush(t, st, fd, job.ManifestPath, refs) {
+	if !sv.verifyPush(t, st, fd, job.ManifestPath, refs, job) {
 		return false
 	}
 	sv.Stats.Pushes++
+	if job.Repair {
+		sv.Stats.RepairPushes++
+	}
 	return true
 }
 
@@ -624,7 +684,7 @@ func (sv *Service) shipManifest(t *kernel.Task, fd int, manifestPath string) boo
 // pruned) before our manifest arrived to pin it — and, on the eager
 // streaming path, a chunk streamed ahead of the manifest could have
 // been swept as unreferenced garbage in the same window.
-func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestPath string, refs []store.ChunkRef) bool {
+func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestPath string, refs []store.ChunkRef, job Job) bool {
 	for attempt := 0; ; attempt++ {
 		var de bin.Encoder
 		de.B = append(de.B, opDone)
@@ -652,7 +712,7 @@ func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestP
 			}
 			missing = append(missing, refs[idx])
 		}
-		if !sv.shipChunks(t, st, fd, missing) {
+		if !sv.shipChunks(t, st, fd, missing, job) {
 			return false
 		}
 	}
@@ -661,17 +721,30 @@ func (sv *Service) verifyPush(t *kernel.Task, st *store.Store, fd int, manifestP
 // shipChunks streams the given chunks to an open peer connection:
 // local disk read plus one network transfer of the stored (compressed)
 // bytes each.  Chunks travel in stored form — no decompression, and
-// the transfer occupies no core.
-func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []store.ChunkRef) bool {
+// the transfer occupies no core.  Repair traffic is paced by
+// Params.RepairQoS: after each chunk's transfer the shipper idles
+// transfer×(1−q)/q, capping repair at fraction q of the push bandwidth
+// so foreground checkpoint replication keeps the rest.  A repair job
+// cancelled mid-push (its generation superseded) stops at the next
+// chunk boundary instead of finishing a transfer nobody needs.
+func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []store.ChunkRef, job Job) bool {
 	p := t.P.Node.Cluster.Params
+	repair := job.Repair
 	var sent int64
 	st.ChargeReadRaw(t, refs)
 	for _, ref := range refs {
+		if repair && job.Cancel != nil && job.Cancel() {
+			return false
+		}
 		data, err := st.ReadChunkData(ref.Hash)
 		if err != nil {
 			return false
 		}
-		t.Idle(model.TransferTime(p.NetLatency, p.NetBandwidth, ref.StoredBytes))
+		transfer := model.TransferTime(p.NetLatency, p.NetBandwidth, ref.StoredBytes)
+		t.Idle(transfer)
+		if q := p.RepairQoS; repair && q > 0 && q < 1 {
+			t.Idle(time.Duration(float64(transfer) * (1 - q) / q))
+		}
 		var ce bin.Encoder
 		ce.B = append(ce.B, opChunk)
 		ce.Str(ref.Hash)

@@ -183,7 +183,7 @@ func (s *Stream) shipTo(t *kernel.Task, peer *kernel.Node) bool {
 			if !ok {
 				return false
 			}
-			if !sv.shipChunks(t, st, fd, missing) {
+			if !sv.shipChunks(t, st, fd, missing, Job{}) {
 				return false
 			}
 			if preCommit {
@@ -207,7 +207,7 @@ func (s *Stream) shipTo(t *kernel.Task, peer *kernel.Node) bool {
 	if err != nil {
 		return false
 	}
-	if !sv.verifyPush(t, st, fd, s.manifestPath, m.Refs()) {
+	if !sv.verifyPush(t, st, fd, s.manifestPath, m.Refs(), Job{}) {
 		return false
 	}
 	sv.Stats.Pushes++

@@ -1,10 +1,67 @@
 package store
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/kernel"
 )
+
+// Repair pins: a generation being re-replicated to a new holder must
+// keep its manifest across retention passes that would otherwise age
+// it out mid-repair — the mark phase scans every committed manifest,
+// so keeping the manifest keeps its chunks live through the sweep.
+// The registry is package-level because Store handles are stateless
+// (all state lives in the filesystem); it is keyed by node and
+// counted, so overlapping repair drives nest.  The map itself is
+// mutex-guarded because independent simulations (parallel tests) share
+// the package.
+var (
+	pinMu sync.Mutex
+	pins  = map[*kernel.Node]map[string]int{}
+)
+
+func pinKey(name string, gen int64) string { return fmt.Sprintf("%s@%d", name, gen) }
+
+// PinGeneration protects (name, gen) on this node's store from
+// retention pruning until the matching UnpinGeneration.
+func (s *Store) PinGeneration(name string, gen int64) {
+	pinMu.Lock()
+	defer pinMu.Unlock()
+	m := pins[s.Node]
+	if m == nil {
+		m = make(map[string]int)
+		pins[s.Node] = m
+	}
+	m[pinKey(name, gen)]++
+}
+
+// UnpinGeneration releases one PinGeneration claim.
+func (s *Store) UnpinGeneration(name string, gen int64) {
+	pinMu.Lock()
+	defer pinMu.Unlock()
+	m := pins[s.Node]
+	if m == nil {
+		return
+	}
+	k := pinKey(name, gen)
+	if m[k] > 1 {
+		m[k]--
+		return
+	}
+	delete(m, k)
+	if len(m) == 0 {
+		delete(pins, s.Node)
+	}
+}
+
+// pinnedGen reports whether (name, gen) is pinned on this node.
+func (s *Store) pinnedGen(name string, gen int64) bool {
+	pinMu.Lock()
+	defer pinMu.Unlock()
+	return pins[s.Node][pinKey(name, gen)] > 0
+}
 
 // GCStats reports one retention + mark-and-sweep pass.
 type GCStats struct {
@@ -57,6 +114,9 @@ func (s *Store) Prune(t *kernel.Task, keep int) int {
 		for len(gens) > keep {
 			if pinned && gens[0] > wm {
 				break // unreplicated generation: pinned until the watermark passes it
+			}
+			if s.pinnedGen(name, gens[0]) {
+				break // repair in flight: pinned until the drive unpins it
 			}
 			t.Compute(p.SyscallCost)
 			s.Node.FS.Unlink(s.ManifestPath(name, gens[0]))

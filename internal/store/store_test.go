@@ -353,3 +353,48 @@ func TestWrittenPrivateChunksDoNotAliasAcrossProcesses(t *testing.T) {
 		}
 	})
 }
+
+// TestPrunePinnedGenerationSurvives pins repair's GC contract: a
+// generation pinned by an in-flight repair drive blocks the retention
+// pass (and thus the sweep) until every nested pin is released, so a
+// re-replication source can never lose chunks mid-repair.
+func TestPrunePinnedGenerationSurvives(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		s := openStore(task, false)
+		opts := mtcp.WriteOptions{Dir: "/ckpt", Store: s}
+		for i := 0; i < 4; i++ {
+			img := mtcp.Capture(task.P, 700)
+			mtcp.WriteImage(task, img, opts)
+			task.Compute(time.Millisecond)
+		}
+		name := "ckpt_m_node00_700"
+
+		// Pin the oldest generation twice (overlapping repair drives
+		// nest): retention must drop nothing, since pruning proceeds
+		// oldest-first and stops at the pin.
+		s.PinGeneration(name, 1)
+		s.PinGeneration(name, 1)
+		if pruned := s.Prune(task, 2); pruned != 0 {
+			t.Errorf("prune with pinned gen removed %d manifests", pruned)
+		}
+		if gens := s.Generations(name); len(gens) != 4 {
+			t.Errorf("generations after pinned prune = %v", gens)
+		}
+
+		// One release leaves the nested pin standing.
+		s.UnpinGeneration(name, 1)
+		if pruned := s.Prune(task, 2); pruned != 0 {
+			t.Errorf("prune with nested pin removed %d manifests", pruned)
+		}
+
+		// Final release: retention may now age the old generations out.
+		s.UnpinGeneration(name, 1)
+		if pruned := s.Prune(task, 2); pruned != 2 {
+			t.Errorf("prune after unpin removed %d manifests, want 2", pruned)
+		}
+		if gens := s.Generations(name); len(gens) != 2 || gens[0] != 3 {
+			t.Errorf("generations after unpin = %v", gens)
+		}
+	})
+}
