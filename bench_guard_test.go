@@ -228,6 +228,63 @@ func TestBenchRestoreLazyGuard(t *testing.T) {
 	}
 }
 
+// TestBenchChaosGuard pins the committed BENCH_chaos.json robustness
+// claims:
+//
+//   - every injected fault recovered and every whole schedule survived
+//     (all "recovered" cells are N/N);
+//   - a leader-isolating partition loses zero checkpoint rounds — the
+//     promoted standby resumes the in-flight round every time;
+//   - the scrubber detected every bit flip without a reader touching
+//     the data, with a measured, positive detection latency;
+//   - node death recovered with a measured, positive MTTR, and the
+//     leader takeover under partition completed inside the static
+//     detection + election budget.
+func TestBenchChaosGuard(t *testing.T) {
+	tab := loadBenchTable(t, "BENCH_chaos.json", "chaos")
+	cFault := col(t, tab, "fault")
+	cRecovered := col(t, tab, "recovered")
+	cLatency := col(t, tab, "latency (s)")
+
+	for _, row := range tab.Rows {
+		if num, den, ok := strings.Cut(row[cRecovered], "/"); !ok || num != den {
+			t.Errorf("%s: recovered %q, want all injections recovered", row[cFault], row[cRecovered])
+		}
+		switch row[cFault] {
+		case "partition leader":
+			p := model.Default()
+			budget := (p.FailureDetectDelay + p.ElectionTimeout).Seconds()
+			if take := mean(t, row[cLatency]); take <= 0 || take >= budget {
+				t.Errorf("leader takeover under partition %.3fs, want in (0, %.3fs) (detect+election budget)",
+					take, budget)
+			}
+		case "bit rot":
+			if d := mean(t, row[cLatency]); d <= 0 {
+				t.Errorf("scrub detection latency %.3fs, want > 0 (never measured)", d)
+			}
+		case "node death":
+			if mttr := mean(t, row[cLatency]); mttr <= 0 {
+				t.Errorf("MTTR %.3fs, want > 0 (never measured)", mttr)
+			}
+		}
+	}
+	if tr := tab.Metrics["chaos.trials"]; tr <= 0 {
+		t.Fatalf("chaos.trials metric = %v, want > 0", tr)
+	}
+	if s, tr := tab.Metrics["chaos.survived"], tab.Metrics["chaos.trials"]; s != tr {
+		t.Errorf("chaos.survived metric = %v, want every trial (%v)", s, tr)
+	}
+	if rl := tab.Metrics["chaos.rounds_lost"]; rl != 0 {
+		t.Errorf("chaos.rounds_lost metric = %v, want 0", rl)
+	}
+	if d := tab.Metrics["chaos.scrub_detect_s"]; d <= 0 {
+		t.Errorf("chaos.scrub_detect_s metric = %v, want > 0", d)
+	}
+	if m := tab.Metrics["chaos.mttr_s"]; m <= 0 {
+		t.Errorf("chaos.mttr_s metric = %v, want > 0", m)
+	}
+}
+
 // TestBenchCoordHAGuard pins the committed BENCH_coordha.json adaptive
 // failure-detector claims:
 //

@@ -7,7 +7,7 @@
 //
 // Experiment ids: fig3, fig4, fig5a, fig5b, fig6, table1, runcms,
 // sync, forked, barrier, dejavu, store, failover, coordha, pipeline,
-// restore, all (default).
+// restore, restorelazy, chaos, all (default).
 //
 // -json, -trace, and -report all enable tracing: every trial's spans
 // are recorded in virtual time.  With -json each experiment's table
@@ -64,6 +64,7 @@ func main() {
 		{"pipeline", "parallel pipelined checkpoint write (workers x dirty%)", func() *dmtcpsim.Table { return dmtcpsim.RunPipeline(o) }},
 		{"restore", "streamed restore pipeline (remote-fetch restart x workers)", func() *dmtcpsim.Table { return dmtcpsim.RunRestore(o) }},
 		{"restorelazy", "lazy post-copy restore (skeleton resume + striped prefetch x size)", func() *dmtcpsim.Table { return dmtcpsim.RunRestoreLazy(o) }},
+		{"chaos", "chaos schedules: partitions, lossy links, bit rot, node death", func() *dmtcpsim.Table { return dmtcpsim.RunChaos(o) }},
 	}
 	if *list {
 		for _, e := range exps {

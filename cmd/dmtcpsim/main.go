@@ -62,6 +62,7 @@ var scenarios = []scenario{
 	{"restore", "streamed restore pipeline vs serial fetch-then-install", restoreScenario},
 	{"lazy-restore", "post-copy restart: skeleton resume, demand faults, striped prefetch", lazyRestoreScenario},
 	{"straggler", "slow loaded node: straggler scoring and the worker-hint response", stragglerScenario},
+	{"chaos", "chaos schedule: leader partition, lossy links, bit rot, node death", chaosScenario},
 }
 
 func scenarioNames() string {

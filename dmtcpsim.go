@@ -55,6 +55,10 @@ type (
 	Cluster = kernel.Cluster
 	// Node is one simulated machine.
 	Node = kernel.Node
+	// FaultRule describes one injected network fault (partition, loss,
+	// latency, connection refusal) between host sets; see
+	// Cluster.InjectFault, HealFault, IsolateHost and PartitionHosts.
+	FaultRule = kernel.FaultRule
 
 	// Config selects checkpointing behavior (compression, fsync,
 	// forked checkpointing, interval, checkpoint directory).
@@ -260,6 +264,7 @@ var (
 	RunStore         = experiments.RunStore
 	RunFailover      = experiments.RunFailover
 	RunCoordFailover = experiments.RunCoordFailover
+	RunChaos         = experiments.RunChaos
 	RunPipeline      = experiments.RunPipeline
 	RunRestore       = experiments.RunRestore
 	RunRestoreLazy   = experiments.RunRestoreLazy

@@ -314,8 +314,8 @@ func restartRankOrder(stage string) int {
 // group instead of forcing recovery to start over: which ranks exist,
 // and how far each has progressed.
 type RestartGroup struct {
-	Gen    string         // restart generation tag (image set identity)
-	Expect int            // ranks in the group
+	Gen    string            // restart generation tag (image set identity)
+	Expect int               // ranks in the group
 	Ranks  map[string]string // host → furthest stage reached
 }
 

@@ -1,6 +1,7 @@
 package coordstate
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,6 +9,16 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/store"
+)
+
+// Codec errors.  Corrupt or torn journal input surfaces as one of
+// these (possibly wrapping bin.ErrTruncated) — never as a panic.
+var (
+	// ErrUnknownEvent reports an event byte with no decoder (a
+	// flipped kind byte, or a journal from a newer version).
+	ErrUnknownEvent = errors.New("coordstate: unknown event")
+	// ErrBadSeq reports an out-of-sequence journal entry.
+	ErrBadSeq = errors.New("coordstate: bad entry sequence")
 )
 
 // EventKind discriminates journal events.
@@ -596,7 +607,7 @@ func (ev Event) Encode() []byte {
 // DecodeEvent deserializes a journal event.
 func DecodeEvent(b []byte) (Event, error) {
 	if len(b) == 0 {
-		return Event{}, fmt.Errorf("coordstate: empty event")
+		return Event{}, fmt.Errorf("%w: empty record", ErrUnknownEvent)
 	}
 	d := &bin.Decoder{B: b[1:]}
 	ev := Event{Kind: EventKind(b[0])}
@@ -675,7 +686,7 @@ func DecodeEvent(b []byte) (Event, error) {
 		ev.Host = d.Str()
 		ev.Msg = d.Str()
 	default:
-		return Event{}, fmt.Errorf("coordstate: unknown event kind %d", b[0])
+		return Event{}, fmt.Errorf("%w: kind %d", ErrUnknownEvent, b[0])
 	}
 	if d.Err != nil {
 		return Event{}, fmt.Errorf("coordstate: decode %d: %w", ev.Kind, d.Err)

@@ -105,7 +105,7 @@ func (m *Machine) Apply(ev Event) []Effect {
 // the pusher re-ships from the standby's actual position.
 func (m *Machine) ApplyEntry(e Entry) ([]Effect, error) {
 	if e.Seq != m.Seq()+1 {
-		return nil, fmt.Errorf("coordstate: entry seq %d, have %d", e.Seq, m.Seq())
+		return nil, fmt.Errorf("%w: entry seq %d, have %d", ErrBadSeq, e.Seq, m.Seq())
 	}
 	ev, err := DecodeEvent(e.Data)
 	if err != nil {

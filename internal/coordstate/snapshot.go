@@ -1,6 +1,7 @@
 package coordstate
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,10 @@ import (
 
 // snapMagic guards snapshot decoding.
 const snapMagic = "CSNAP1\n"
+
+// ErrBadSnapshot reports a snapshot that fails structural validation
+// (bad magic or a decode error; the latter wraps bin.ErrTruncated).
+var ErrBadSnapshot = errors.New("coordstate: bad snapshot")
 
 // EncodeState serializes a state for snapshotting.  The in-flight
 // round is volatile protocol state and must be nil (Compact only runs
@@ -128,7 +133,7 @@ func EncodeState(st *State) ([]byte, error) {
 // DecodeState parses an EncodeState snapshot.
 func DecodeState(b []byte) (*State, error) {
 	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("coordstate: bad snapshot magic")
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
 	d := &bin.Decoder{B: b[len(snapMagic):]}
 	st := NewState()
@@ -198,7 +203,7 @@ func DecodeState(b []byte) (*State, error) {
 		st.Restart = g
 	}
 	if d.Err != nil {
-		return nil, fmt.Errorf("coordstate: snapshot decode: %w", d.Err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, d.Err)
 	}
 	return st, nil
 }

@@ -221,6 +221,14 @@ func Install(c *kernel.Cluster, cfg Config) *System {
 			sys.applyCoordEvent(coordstate.Event{Kind: coordstate.EvWatermark,
 				Name: name, Gen: gen})
 		}
+		sys.Replica.OnCorrupt = func(_ *kernel.Task, host string, ref store.ChunkRef) {
+			// A scrubbed-out (quarantined) chunk leaves its holder
+			// incomplete; the repair scan sees the hole and re-sources
+			// the generation from a clean holder.
+			if sys.Coord != nil && !sys.Coord.Node.Down {
+				sys.Coord.spawnRepair()
+			}
+		}
 	}
 
 	c.RegisterFunc("dmtcp_coordinator", sys.coordinatorMain)

@@ -1,6 +1,7 @@
 package dmtcp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,8 @@ import (
 	"repro/internal/coordstate"
 	"repro/internal/kernel"
 	"repro/internal/obs"
+	"repro/internal/replica"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -167,13 +170,21 @@ func (co *Coordinator) RestartStats() *RestartStages { return co.st().RestartSta
 // every live standby to ack the journal entry, so a standby promoted
 // mid-round has seen every release its reconstructed round claims —
 // resuming the round needs no client rollback.  A timeout proceeds
-// degraded; the manager resync handshake heals the gap after takeover.
+// degraded only while a majority of the coordinator group has acked;
+// below quorum the release stalls (a leader partitioned away with a
+// minority must not let clients past a barrier the majority side
+// cannot see).  A stalled commit that wakes deposed suppresses the
+// effects entirely: the locally journaled entry is rewound by the new
+// leader's first push after the partition heals.
 func (co *Coordinator) apply(t *kernel.Task, ev coordstate.Event) {
 	t.Compute(co.Sys.C.Params.JournalAppendCost)
 	fx := co.Mach.Apply(ev)
 	co.shipW.WakeAll()
-	if releaseBearing(fx) {
-		co.commitBarrier(t)
+	if releaseBearing(fx) && !co.commitBarrier(t) {
+		t.Trace().Add(t.Host(), "coord.deposed_suppressed", t.Now(), 1)
+		t.Trace().Instant(t.Host(), "coordinator", "coord.deposed_suppress", "coord",
+			t.Now(), obs.A("seq", co.Mach.Seq()))
+		return
 	}
 	co.runEffects(t, fx)
 }
@@ -195,30 +206,56 @@ func releaseBearing(effects []coordstate.Effect) bool {
 // up to the entry just applied, or BarrierAckTimeout elapses.  The
 // shipper runs concurrently on its own task; this wait just parks the
 // serving task until the acks arrive.
-func (co *Coordinator) commitBarrier(t *kernel.Task) {
+//
+// The timeout path is quorum-gated: proceeding degraded (some live
+// standby has not acked) is allowed only while this leader plus the
+// acked standbys form a majority of the live coordinator group.
+// Below quorum the commit stalls instead — the signature of a leader
+// cut off with a minority by a partition, where the majority side
+// will elect a new leader and releasing clients here would fork
+// history.  The stall ends when acks arrive (partition healed while
+// still leader) or the instance learns it was deposed; the false
+// return tells apply to suppress the release effects.
+//
+// Node deaths are observable in this model (Down is ground truth), so
+// the quorum denominator counts only coordinators on live nodes: a
+// leader whose standbys genuinely died keeps degrading exactly as
+// before, while one whose standbys are merely unreachable stalls.
+func (co *Coordinator) commitBarrier(t *kernel.Task) bool {
+	if co.Standby {
+		return false // deposed (or a mirror): never releases clients
+	}
 	timeout := co.Sys.C.Params.BarrierAckTimeout
-	if timeout <= 0 || co.Standby {
-		return
+	if timeout <= 0 {
+		return true // synchronous commit disabled
 	}
 	seq := co.Mach.Seq()
 	deadline := t.Now().Add(timeout)
 	for {
+		if co.Standby || co.Sys.Coord != co {
+			return false // deposed while waiting
+		}
 		peers := co.Sys.coordPeers(co)
-		committed := true
+		acks := 1 // self
 		for _, peer := range peers {
-			if co.shipped[peer.Hostname] < seq {
-				committed = false
-				break
+			if co.shipped[peer.Hostname] >= seq {
+				acks++
 			}
 		}
-		if committed {
-			return
+		if acks == len(peers)+1 {
+			return true // every live standby caught up
 		}
 		left := deadline.Sub(t.Now())
 		if left <= 0 {
-			t.Trace().Instant(t.Host(), "coordinator", "coord.commit_timeout", "coord",
-				t.Now(), obs.A("seq", seq))
-			return
+			if quorum := (len(peers)+1)/2 + 1; acks >= quorum {
+				t.Trace().Add(t.Host(), "coord.commit_timeouts", t.Now(), 1)
+				t.Trace().Instant(t.Host(), "coordinator", "coord.commit_timeout", "coord",
+					t.Now(), obs.A("seq", seq), obs.A("acks", int64(acks)))
+				return true
+			}
+			// Below quorum: stall until acks arrive or deposition.
+			co.commitW.WaitTimeout(t.T, timeout)
+			continue
 		}
 		co.commitW.WaitTimeout(t.T, left)
 	}
@@ -324,6 +361,10 @@ func (co *Coordinator) main(t *kernel.Task, _ []string) {
 		co.startHealthBeat()
 	}
 	t.P.SpawnTask("journal-ship", true, co.shipLoop)
+	if co.Sys.haEnabled() {
+		// Partition detector: idle on the leader, active on standbys.
+		t.P.SpawnTask("coord-watchdog", true, co.watchdog)
+	}
 	for {
 		fd, err := t.Accept(lfd)
 		if err != nil {
@@ -911,6 +952,10 @@ func (co *Coordinator) onRestartEnd(t *kernel.Task, body []byte) {
 // instance the loop idles until promotion.
 func (co *Coordinator) shipLoop(t *kernel.Task) {
 	p := co.Sys.C.Params
+	// Unified retry policy: flat delay (the loop doubles as the leader
+	// heartbeat), jittered so leaders that lost standbys simultaneously
+	// don't re-push in lockstep.
+	bo := retry.JournalShip(p).Backoff(co.Sys.C.Eng.Rand())
 	for {
 		if co.Standby {
 			co.shipW.Wait(t.T)
@@ -927,6 +972,14 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 			t.Trace().Span(t.Host(), "coordinator journal", "journal.ship→"+peer.Hostname,
 				"coord", shipStart, t.Now(), obs.A("seq", seq))
 			if err != nil {
+				if errors.Is(err, replica.ErrDeposed) {
+					// A peer has seen a newer epoch: this instance was
+					// deposed while partitioned away.  Step down and
+					// park; the new leader's pushes replay us back
+					// into a consistent mirror.
+					co.stepDown(t)
+					break
+				}
 				behind = true
 				continue
 			}
@@ -940,7 +993,7 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 			// A standby daemon is unreachable (booting, or its node
 			// died and liveness has not been re-read): back off and
 			// retry rather than spinning.
-			co.shipW.WaitTimeout(t.T, p.JournalRetryDelay)
+			co.shipW.WaitTimeout(t.T, bo.Next())
 			continue
 		}
 		caughtUp := true
@@ -962,6 +1015,162 @@ func (co *Coordinator) shipLoop(t *kernel.Task) {
 			t.Idle(p.JournalShipDelay)
 		}
 	}
+}
+
+// stepDown demotes a deposed leader: a partition cut this instance
+// off with a minority, the majority side elected a new leader, and a
+// healed link just told us so.  The instance re-registers as a
+// journal sink — the new leader's next push rewinds any entries this
+// one journaled alone (truncate-and-replay past the epoch fence) and
+// replays the authoritative history, converging the mirror.  Every
+// client, command, and restart-barrier connection is kicked so the
+// peers' reconnect loops re-bind to the current leader, and any
+// release stalled in commitBarrier is woken to observe the deposition
+// and suppress its effects.
+func (co *Coordinator) stepDown(t *kernel.Task) {
+	if co.Standby {
+		return
+	}
+	co.Standby = true
+	t.Trace().Instant(t.Host(), "coordinator", "coord.stepdown", "coord", t.Now(),
+		obs.A("epoch", co.Mach.Epoch()), obs.A("seq", co.Mach.Seq()))
+	t.Printf("dmtcp_coordinator: %s deposed at epoch %d: stepping down\n",
+		co.Node.Hostname, co.Mach.Epoch())
+	if co.Sys.Replica != nil {
+		co.Sys.Replica.SetJournalSink(co.Node, co.Mach)
+	}
+	for cid, fd := range co.conns {
+		t.Close(fd)
+		delete(co.conns, cid)
+	}
+	for _, fd := range co.cmdWaiters {
+		t.Close(fd)
+	}
+	co.cmdWaiters = nil
+	for name, fds := range co.pendingQ {
+		for _, fd := range fds {
+			t.Close(fd)
+		}
+		delete(co.pendingQ, name)
+	}
+	for _, g := range co.groups {
+		for id, fd := range g.fds {
+			t.Close(fd)
+			delete(g.fds, id)
+		}
+	}
+	co.commitW.WakeAll()
+}
+
+// watchdog is the standby-side partition detector: node deaths are
+// caught by onCoordNodeDown, but a leader that is alive yet
+// unreachable (partitioned away) never triggers it — its node is not
+// Down.  Each standby therefore watches the leader's journal pushes
+// (which double as heartbeats) through the replica daemon's sink
+// timestamps.  On prolonged silence it probes the leader's daemon
+// port directly, and — only if the probe fails AND this standby can
+// reach a majority of the coordinator group (so it is on the winning
+// side of the cut) — the best-ranked reachable candidate promotes
+// itself.  The silence threshold staggers by rank exactly like the
+// node-death election, so candidates never race.
+func (co *Coordinator) watchdog(t *kernel.Task) {
+	s := co.Sys
+	p := s.C.Params
+	iv := p.HeartbeatInterval
+	if iv <= 0 || s.Replica == nil {
+		return
+	}
+	rng := s.C.Eng.Rand()
+	// Silence is measured from the later of the last journal contact
+	// and the last time the leader answered a probe.
+	lastUp := t.Now()
+	for {
+		t.Idle(p.Jitter(rng, iv))
+		if !co.Standby || co.Node.Down {
+			// Not watching while active (or dead); a deposed leader
+			// re-enters the standby pool and resumes watching.
+			lastUp = t.Now()
+			continue
+		}
+		lead := s.Coord
+		if lead == nil || lead == co || lead.Node.Down {
+			lastUp = t.Now() // node-death election owns this case
+			continue
+		}
+		if seen, ok := s.Replica.JournalSeen(co.Node); ok && seen > lastUp {
+			lastUp = seen
+		}
+		detect := co.st().HostDeadline(lead.Node.Hostname,
+			p.PhiTimeoutFactor, p.PhiFloor, p.FailureDetectDelay)
+		rank := co.watchRank()
+		if t.Now().Sub(lastUp) < detect+time.Duration(rank+1)*p.ElectionTimeout {
+			continue
+		}
+		if co.probe(t, lead.Node.Hostname) {
+			lastUp = t.Now() // leader reachable: just quiet, not gone
+			continue
+		}
+		// Leader unreachable.  Quorum-probe the rest of the group: a
+		// standby cut off with the minority must stand down, or a
+		// partition would elect one leader per side.
+		reach := 1 // self
+		best := co
+		for _, other := range s.coords {
+			if other == co || other.Node.Down || other.proc == nil {
+				continue
+			}
+			if other != lead && co.probe(t, other.Node.Hostname) {
+				reach++
+				if other.Standby && other.Node.ID < best.Node.ID {
+					best = other
+				}
+			}
+		}
+		group := 1 // self
+		for _, other := range s.coords {
+			if other != co && !other.Node.Down && other.proc != nil {
+				group++
+			}
+		}
+		if reach < group/2+1 {
+			continue // minority side: keep waiting for the heal
+		}
+		if s.Coord != lead {
+			lastUp = t.Now() // someone already took over
+			continue
+		}
+		if best == co {
+			s.promote(t, co)
+		}
+	}
+}
+
+// watchRank returns this standby's election rank (position by node id
+// among live standby instances), used to stagger silence thresholds.
+func (co *Coordinator) watchRank() int {
+	rank := 0
+	for _, other := range co.Sys.coords {
+		if other == co || other.Node.Down || other.proc == nil || !other.Standby {
+			continue
+		}
+		if other.Node.ID < co.Node.ID {
+			rank++
+		}
+	}
+	return rank
+}
+
+// probe checks whether host's replica daemon port answers a TCP
+// handshake from this node (a partition or refuse window fails it
+// fast with a refused connection).
+func (co *Coordinator) probe(t *kernel.Task, host string) bool {
+	fd := t.Socket()
+	if of, err := t.P.FD(fd); err == nil {
+		of.Protected = true
+	}
+	err := t.Connect(fd, kernel.Addr{Host: host, Port: replica.Port})
+	t.Close(fd)
+	return err == nil
 }
 
 // promote turns a standby into the active coordinator.  An in-flight

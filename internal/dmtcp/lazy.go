@@ -132,7 +132,10 @@ func (lc *lazyCtrl) installer(t *kernel.Task) {
 // coordinate.  Runs on the installer or on a faulting thread.
 func (lc *lazyCtrl) install(t *kernel.Task, key [2]int, ref store.ChunkRef) {
 	lc.local.ChargeRead(t, []store.ChunkRef{ref})
-	data, _ := lc.local.ReadChunkData(ref.Hash)
+	// Verified read: a corrupt local copy is quarantined and never
+	// lands in the process (data stays nil), and the quarantine
+	// counters surface the hit.
+	data, _ := lc.local.ReadChunkVerified(t, ref)
 	if lc.wired {
 		if a := lc.areas[key[0]]; a != nil {
 			a.InstallChunk(key[1], data)

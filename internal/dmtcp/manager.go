@@ -9,6 +9,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/mtcp"
 	"repro/internal/obs"
+	"repro/internal/retry"
 )
 
 // drainToken is the flush cookie sent through every socket at drain
@@ -59,6 +60,12 @@ type Manager struct {
 	socks map[*kernel.OpenFile]*SockMeta
 
 	coordFD int
+	// coordTo is the coordinator address coordFD is connected to; the
+	// heartbeat loop compares it against the active leader's address
+	// and kicks the connection when leadership moved without the old
+	// link dying (a partition takeover parks frames instead of
+	// resetting flows, so no read error would ever arrive).
+	coordTo kernel.Addr
 	mgrTask *kernel.Task
 	// hbProc is the process whose heartbeat task is live; restore
 	// re-arms the beat on the restored process (the old task died with
@@ -153,6 +160,33 @@ func (m *Manager) startHeartbeat() {
 			if m.coordFD < 0 {
 				continue // reconnect in progress; skip this beat
 			}
+			if m.sys.haEnabled() && m.coordTo != m.sys.coordAddr() {
+				// Leadership moved while this connection stayed up (a
+				// partition takeover parks frames rather than resetting
+				// flows).  Abandon the stale link only if the new
+				// leader is actually reachable from here: a manager on
+				// the minority side keeps its (parked) connection and
+				// is kicked by the deposed leader's step-down after
+				// the heal instead.  Closing the link makes the
+				// manager loop's read fail, and its reconnect path
+				// resyncs with the current leader.
+				addr := m.sys.coordAddr()
+				pfd := t.Socket()
+				if of, err := t.P.FD(pfd); err == nil {
+					of.Protected = true
+				}
+				rerr := t.Connect(pfd, addr)
+				t.Close(pfd)
+				if rerr == nil && m.coordFD >= 0 {
+					fd := m.coordFD
+					m.coordFD = -1
+					t.Close(fd)
+					continue
+				}
+				// New leader unreachable: fall through and keep
+				// heartbeating on the existing link so the old leader
+				// does not expire this (perfectly alive) client.
+			}
 			n := m.p.Node
 			var backlog, seq int64
 			if m.sys.Replica != nil {
@@ -201,6 +235,7 @@ func (m *Manager) connectCoordinator(t *kernel.Task) {
 		panic(fmt.Sprintf("dmtcp: register: %v", err))
 	}
 	m.coordFD = fd
+	m.coordTo = addr
 }
 
 // coordLost handles a dead coordinator connection.  Without standbys
@@ -218,11 +253,12 @@ func (m *Manager) coordLost(t *kernel.Task) error {
 }
 
 // reconnectCoordinator dials the (possibly re-elected) coordinator
-// with capped backoff and resyncs this manager's identity.
+// with the unified jittered-backoff policy and resyncs this manager's
+// identity.
 func (m *Manager) reconnectCoordinator(t *kernel.Task) error {
-	p := m.sys.C.Params
-	delay := p.CoordRetryBase
-	deadline := t.Now().Add(p.CoordRetryWindow)
+	pol := retry.CoordRetry(m.sys.C.Params)
+	bo := pol.Backoff(m.sys.C.Eng.Rand())
+	deadline := t.Now().Add(pol.Deadline)
 	attempts := 0
 	var lastErr error
 	if m.coordFD >= 0 {
@@ -255,17 +291,15 @@ func (m *Manager) reconnectCoordinator(t *kernel.Task) error {
 				t.Close(fd)
 			} else {
 				m.coordFD = fd
+				m.coordTo = addr
 				return nil
 			}
 		}
+		delay := bo.Next()
 		if t.Now().Add(delay) > deadline {
 			return &CoordLostError{Addr: addr, Attempts: attempts, Err: lastErr}
 		}
 		t.Idle(delay)
-		delay *= 2
-		if delay > p.CoordRetryCap {
-			delay = p.CoordRetryCap
-		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mtcp"
 	"repro/internal/obs"
 	"repro/internal/replica"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -856,13 +857,16 @@ func (s *System) restoreProcess(
 }
 
 // dialCoord connects a protected socket to the (possibly just
-// promoted) coordinator, retrying with capped backoff across a
-// takeover interregnum; it gives up only when the detection +
-// election + retry window closes with no leader answering.
+// promoted) coordinator, retrying with the unified jittered-backoff
+// policy across a takeover interregnum; it gives up only when the
+// detection + election + retry window closes with no leader answering.
+// The jitter matters here most of all: every restarting rank dials at
+// once, and identical backoff schedules would stampede the coordinator
+// in lockstep after each refusal.
 func (s *System) dialCoord(t *kernel.Task) (int, error) {
-	p := s.C.Params
-	delay := p.CoordRetryBase
-	deadline := t.Now().Add(p.FailureDetectDelay + p.ElectionTimeout + p.CoordRetryWindow)
+	pol := retry.RestartDial(s.C.Params)
+	bo := pol.Backoff(s.C.Eng.Rand())
+	deadline := t.Now().Add(pol.Deadline)
 	for {
 		fd := t.Socket()
 		if of, err := t.P.FD(fd); err == nil {
@@ -873,13 +877,11 @@ func (s *System) dialCoord(t *kernel.Task) (int, error) {
 			return fd, nil
 		}
 		t.Close(fd)
+		delay := bo.Next()
 		if t.Now().Add(delay) > deadline {
 			return -1, err
 		}
 		t.Idle(delay)
-		if delay *= 2; delay > p.CoordRetryCap {
-			delay = p.CoordRetryCap
-		}
 	}
 }
 

@@ -187,6 +187,7 @@ func All(o Opts) []*Table {
 		RunPipeline(o),
 		RunRestore(o),
 		RunRestoreLazy(o),
+		RunChaos(o),
 	}
 }
 

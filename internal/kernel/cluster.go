@@ -48,6 +48,13 @@ type Cluster struct {
 	nextConnID int64
 	nextShmID  int64
 
+	// faults are the active network fault rules (see faults.go);
+	// parkedEps lists endpoints holding partition-parked frames, in
+	// park order so heal-time re-injection stays deterministic.
+	faults      []*activeFault
+	nextFaultID int
+	parkedEps   []*TCPEndpoint
+
 	// SAN and NFS are the shared central-storage write paths used by
 	// the Fig. 5b experiment; nodes route paths under /san to one of
 	// them according to their mount table.

@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"errors"
+	"repro/internal/sim"
+	"testing"
+	"time"
+)
+
+// echoSink registers a server on node 1 that accepts one connection
+// and records everything it reads, with receive timestamps.
+type sinkState struct {
+	got     []byte
+	lastAt  time.Duration
+	gotEOF  bool
+	started bool
+}
+
+func startSink(t *testing.T, te *testEnv, port int) *sinkState {
+	t.Helper()
+	st := &sinkState{}
+	te.c.RegisterFunc("fault-sink", func(task *Task, _ []string) {
+		st.started = true
+		lfd, err := task.ListenTCP(port)
+		if err != nil {
+			t.Errorf("listen: %v", err)
+			return
+		}
+		cfd, err := task.Accept(lfd)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		for {
+			data, err := task.Recv(cfd, 1<<20)
+			if len(data) > 0 {
+				st.got = append(st.got, data...)
+				st.lastAt = task.Now().Duration()
+			}
+			if err != nil {
+				st.gotEOF = true
+				return
+			}
+		}
+	})
+	if _, err := te.c.Node(1).Kern.Spawn("fault-sink", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPartitionParksAndHealsInOrder(t *testing.T) {
+	te := newEnv(t, 2)
+	st := startSink(t, te, 9100)
+	te.run(t, func(task *Task) {
+		fd := task.Socket()
+		if err := task.Connect(fd, Addr{Host: "node01", Port: 9100}); err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		task.Send(fd, []byte("aaa"))
+		task.Compute(10 * time.Millisecond)
+		id := te.c.IsolateHost("node01")
+		task.Send(fd, []byte("bbb"))
+		task.Send(fd, []byte("ccc"))
+		task.Compute(100 * time.Millisecond)
+		if string(st.got) != "aaa" {
+			t.Errorf("during partition sink got %q, want %q", st.got, "aaa")
+		}
+		healAt := task.Now().Duration()
+		te.c.HealFault(id)
+		task.Close(fd)
+		task.Compute(100 * time.Millisecond)
+		if string(st.got) != "aaabbbccc" {
+			t.Errorf("after heal sink got %q, want %q", st.got, "aaabbbccc")
+		}
+		if st.lastAt < healAt {
+			t.Errorf("parked bytes arrived at %v, before heal at %v", st.lastAt, healAt)
+		}
+		if !st.gotEOF {
+			t.Errorf("parked FIN never delivered after heal")
+		}
+	})
+}
+
+func TestPartitionBlocksNewConnections(t *testing.T) {
+	te := newEnv(t, 2)
+	startSink(t, te, 9101)
+	te.run(t, func(task *Task) {
+		task.Compute(5 * time.Millisecond) // let the sink listen
+		id := te.c.PartitionHosts([]string{"node00"}, []string{"node01"})
+		fd := task.Socket()
+		err := task.Connect(fd, Addr{Host: "node01", Port: 9101})
+		if !errors.Is(err, ErrConnRefused) {
+			t.Errorf("connect across partition = %v, want ErrConnRefused", err)
+		}
+		task.Close(fd)
+		te.c.HealFault(id)
+		fd2 := task.Socket()
+		if err := task.Connect(fd2, Addr{Host: "node01", Port: 9101}); err != nil {
+			t.Errorf("connect after heal: %v", err)
+		}
+		task.Close(fd2)
+	})
+}
+
+func TestOneWayPartitionIsAsymmetric(t *testing.T) {
+	te := newEnv(t, 2)
+	var clientGot []byte
+	te.c.RegisterFunc("oneway-server", func(task *Task, _ []string) {
+		lfd, _ := task.ListenTCP(9102)
+		cfd, err := task.Accept(lfd)
+		if err != nil {
+			return
+		}
+		// Server talks regardless of what it hears.
+		task.Send(cfd, []byte("pong"))
+		task.Compute(500 * time.Millisecond)
+	})
+	te.c.Node(1).Kern.Spawn("oneway-server", nil, nil)
+	te.run(t, func(task *Task) {
+		fd := task.Socket()
+		if err := task.Connect(fd, Addr{Host: "node01", Port: 9102}); err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		// Client→server direction only.
+		te.c.InjectFault(FaultRule{
+			Src: []string{"node00"}, Dst: []string{"node01"},
+			OneWay: true, Partition: true,
+		})
+		task.Send(fd, []byte("ping"))
+		data, err := task.RecvTimeout(fd, 16, sim.Time(200*time.Millisecond))
+		if err != nil {
+			t.Fatalf("recv on the open direction: %v", err)
+		}
+		clientGot = append(clientGot, data...)
+		if string(clientGot) != "pong" {
+			t.Errorf("client got %q, want %q (reverse direction must flow)", clientGot, "pong")
+		}
+		te.c.HealAllFaults()
+	})
+}
+
+func TestDropDelaysDelivery(t *testing.T) {
+	elapsedFor := func(rule *FaultRule) time.Duration {
+		te := newEnv(t, 2)
+		st := startSink(t, te, 9103)
+		var elapsed time.Duration
+		te.run(t, func(task *Task) {
+			fd := task.Socket()
+			if err := task.Connect(fd, Addr{Host: "node01", Port: 9103}); err != nil {
+				t.Fatalf("connect: %v", err)
+			}
+			if rule != nil {
+				te.c.InjectFault(*rule)
+			}
+			start := task.Now().Duration()
+			task.Send(fd, []byte("payload"))
+			task.Compute(3 * time.Second)
+			if string(st.got) != "payload" {
+				t.Fatalf("sink got %q", st.got)
+			}
+			elapsed = st.lastAt - start
+		})
+		return elapsed
+	}
+	base := elapsedFor(nil)
+	lossy := elapsedFor(&FaultRule{Drop: 1.0}) // every transmission lost k times
+	if lossy < base+100*time.Millisecond {
+		t.Errorf("drop=1.0 delivery took %v vs clean %v; want retransmission backoff", lossy, base)
+	}
+	slow := elapsedFor(&FaultRule{ExtraLatency: 80 * time.Millisecond})
+	if slow < base+70*time.Millisecond {
+		t.Errorf("extra-latency delivery took %v vs clean %v; want ≥ +70ms", slow, base)
+	}
+}
+
+func TestRefuseWindowLeavesEstablishedFlows(t *testing.T) {
+	te := newEnv(t, 2)
+	st := startSink(t, te, 9104)
+	te.run(t, func(task *Task) {
+		fd := task.Socket()
+		if err := task.Connect(fd, Addr{Host: "node01", Port: 9104}); err != nil {
+			t.Fatalf("connect: %v", err)
+		}
+		id := te.c.InjectFault(FaultRule{Src: []string{"node00"}, Dst: []string{"node01"}, Refuse: true})
+		// Established flow keeps running...
+		task.Send(fd, []byte("still-works"))
+		task.Compute(50 * time.Millisecond)
+		if string(st.got) != "still-works" {
+			t.Errorf("established flow under refuse got %q", st.got)
+		}
+		// ...while new connections are refused.
+		fd2 := task.Socket()
+		if err := task.Connect(fd2, Addr{Host: "node01", Port: 9104}); !errors.Is(err, ErrConnRefused) {
+			t.Errorf("connect in refuse window = %v, want ErrConnRefused", err)
+		}
+		task.Close(fd2)
+		te.c.HealFault(id)
+	})
+}

@@ -76,6 +76,11 @@ type TCPEndpoint struct {
 	inflight    int64    // bytes scheduled for delivery into recvBuf
 	lastArrival sim.Time // serialization point for FIFO delivery
 
+	// parked holds frames a network partition is withholding from this
+	// endpoint, in arrival order; HealFault re-injects them.  Parked
+	// bytes count in inflight so senders see window backpressure.
+	parked []parkedFrame
+
 	closedLocal bool // this side shut down
 	peerClosed  bool // FIN from peer delivered
 
@@ -145,9 +150,20 @@ func (ep *TCPEndpoint) linkFrom(src *Node) (lat float64, bw float64) {
 // enqueue schedules delivery of data into ep's receive buffer,
 // preserving FIFO order and modeling link serialization.
 func (ep *TCPEndpoint) enqueue(src *Node, data []byte) {
-	e := ep.node.Cluster.Eng
+	c := ep.node.Cluster
+	e := c.Eng
+	if len(ep.parked) > 0 || c.linkPartitioned(src, ep.node) {
+		// The link is partitioned (or earlier frames still are parked,
+		// which FIFO must not let this frame overtake): hold the frame
+		// until the fault heals.
+		c.parkFrame(ep, src, data, false)
+		return
+	}
 	lat, bw := ep.linkFrom(src)
 	xfer := float64(len(data)) / bw * 1e9 // ns
+	if extra := c.faultExtraDelay(src, ep.node); extra > 0 {
+		lat += float64(extra.Nanoseconds())
+	}
 	arrive := e.Now() + sim.Time(lat)
 	if ep.lastArrival > arrive {
 		arrive = ep.lastArrival
@@ -169,7 +185,13 @@ func (ep *TCPEndpoint) enqueue(src *Node, data []byte) {
 // sendFIN schedules the peer-closed notification, ordered after all
 // data already in flight.
 func (ep *TCPEndpoint) sendFIN(src *Node) {
-	e := ep.node.Cluster.Eng
+	c := ep.node.Cluster
+	e := c.Eng
+	if len(ep.parked) > 0 || c.linkPartitioned(src, ep.node) {
+		// The FIN is ordered after parked data: park it too.
+		c.parkFrame(ep, src, nil, true)
+		return
+	}
 	lat, _ := ep.linkFrom(src)
 	arrive := e.Now() + sim.Time(lat)
 	if ep.lastArrival > arrive {
@@ -343,6 +365,13 @@ func (t *Task) Connect(fd int, addr Addr) error {
 	// SYN travels to the server.
 	t.T.Sleep(sim.Time(lat).Duration())
 	if dst == nil || dst.Down {
+		return ErrConnRefused
+	}
+	if c.faultBlocksConnect(p.Node, dst) {
+		// The handshake dies in the partition (SYN or SYN-ACK lost) or
+		// in a refuse window: the caller sees a refused connection
+		// after another round trip, same as a closed port.
+		t.T.Sleep(sim.Time(lat).Duration())
 		return ErrConnRefused
 	}
 	ls, ok := dst.Kern.tcpPorts[addr.Port]

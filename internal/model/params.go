@@ -106,6 +106,10 @@ type Params struct {
 	// SocketBufBytes is the kernel socket buffer capacity (the upper
 	// bound §5.4 gives for flush-and-resend cost: "tens of KB").
 	SocketBufBytes int64
+	// RetransTimeout is the base retransmission timeout a lossy link
+	// (fault-injected Drop probability) charges per lost transmission;
+	// successive losses of one frame back off exponentially from it.
+	RetransTimeout time.Duration
 
 	// ---- Storage ----
 
@@ -228,10 +232,17 @@ type Params struct {
 	// reconnect backoff when its coordinator connection dies: retries
 	// start at Base, double to Cap, and give up (with a typed error)
 	// after Window.  Window must comfortably cover failure detection
-	// plus election plus resync.
+	// plus election plus resync.  Every retry loop built on these (the
+	// shared retry.Policy) jitters each delay by ±RetryJitterPct from
+	// the seeded engine RNG, so a healed partition sees its reconnect
+	// stampede spread out instead of synchronized.
 	CoordRetryBase   time.Duration
 	CoordRetryCap    time.Duration
 	CoordRetryWindow time.Duration
+	// RetryJitterPct is the bounded uniform jitter applied to every
+	// retry.Policy backoff delay.  0 disables it (deterministic,
+	// stampede-prone backoff).
+	RetryJitterPct float64
 	// ResyncWindow is the grace period after a takeover before the new
 	// leader drops replayed clients that never reconnected (their
 	// processes died while no coordinator was watching).
@@ -265,6 +276,19 @@ type Params struct {
 	// to [PhiFloor, FailureDetectDelay]: observations only ever make
 	// detection FASTER than the static detector, never slower.
 	PhiFloor time.Duration
+
+	// ---- Integrity scrubbing ----
+
+	// ScrubInterval is the pause a node's background scrub daemon takes
+	// between full passes over its local chunk store.  0 disables
+	// scrubbing.
+	ScrubInterval time.Duration
+	// ScrubQoS is the fraction of local disk read bandwidth the scrub
+	// daemon may consume: after verifying each chunk the scrubber
+	// idles read×(1-q)/q, so restores and checkpoint writes always see
+	// at least (1-q) of the disk.  Clamped to (0, 1]; 1 disables
+	// pacing.
+	ScrubQoS float64
 
 	// JitterPct adds bounded uniform noise to the big time charges
 	// (suspend quantum, compression, storage) so repeated trials show
@@ -300,6 +324,7 @@ func Default() *Params {
 		LoopbackLatency:   15 * time.Microsecond,
 		LoopbackBandwidth: 900 * float64(MB),
 		SocketBufBytes:    64 * KB,
+		RetransTimeout:    20 * time.Millisecond,
 
 		DiskAbsorbBW:   400 * float64(MB),
 		DiskPhysicalBW: 100 * float64(MB),
@@ -332,12 +357,19 @@ func Default() *Params {
 		CoordRetryBase:         10 * time.Millisecond,
 		CoordRetryCap:          200 * time.Millisecond,
 		CoordRetryWindow:       5 * time.Second,
+		RetryJitterPct:         0.2,
 		ResyncWindow:           500 * time.Millisecond,
 		BarrierAckTimeout:      25 * time.Millisecond,
 
 		HeartbeatInterval: 25 * time.Millisecond,
 		PhiTimeoutFactor:  1.5,
 		PhiFloor:          60 * time.Millisecond,
+
+		// Scrubbing defaults off (0): continuously re-reading and
+		// re-hashing every store would shift the timing of every
+		// baseline experiment.  Chaos/integrity scenarios enable it.
+		ScrubInterval: 0,
+		ScrubQoS:      0.25,
 	}
 }
 

@@ -368,9 +368,9 @@ func loadChunked(t *kernel.Task, path string) (*Image, error) {
 		}
 		var buf []byte
 		for _, ref := range ac.Chunks {
-			data, err := s.ReadChunkData(ref.Hash)
+			data, err := s.ReadChunkVerified(t, ref)
 			if err != nil {
-				return nil, fmt.Errorf("%w: missing chunk %s", ErrBadImage, ref.Hash)
+				return nil, fmt.Errorf("%w: missing or corrupt chunk %s: %v", ErrBadImage, ref.Hash, err)
 			}
 			buf = append(buf, data...)
 		}

@@ -1,6 +1,7 @@
 package mtcp
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/kernel"
@@ -110,8 +111,14 @@ func RestoreLazy(t *kernel.Task, path string, opts RestoreOptions, skeletonChunk
 	var missing []store.ChunkRef
 	seen := map[string]bool{}
 	for _, c := range skeleton {
-		if seen[c.Ref.Hash] || s.HasChunk(c.Ref.Hash) {
+		if seen[c.Ref.Hash] {
 			continue
+		}
+		if err := s.VerifyChunk(c.Ref); err == nil {
+			continue
+		} else if errors.Is(err, store.ErrCorruptChunk) {
+			// Quarantine the corrupt local copy and fetch clean bytes.
+			s.Quarantine(t, c.Ref.Hash)
 		}
 		seen[c.Ref.Hash] = true
 		missing = append(missing, c.Ref)
@@ -133,7 +140,7 @@ func RestoreLazy(t *kernel.Task, path string, opts RestoreOptions, skeletonChunk
 	for _, c := range skeleton {
 		ai := m.Areas[c.Area].Area
 		s.ChargeRead(t, []store.ChunkRef{c.Ref})
-		data, err := s.ReadChunkData(c.Ref.Hash)
+		data, err := s.ReadChunkVerified(t, c.Ref)
 		if err != nil {
 			return nil, nil, rs, fmt.Errorf("%w: skeleton chunk %s missing after fetch: %v",
 				ErrBadImage, c.Ref.Hash, err)

@@ -1,6 +1,7 @@
 package mtcp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -122,6 +123,9 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 	// Partition: already-local chunks short-circuit the network stage;
 	// the rest go to the fetcher (unique by hash — a dedup'd chunk
 	// referenced by several areas travels once and installs everywhere).
+	// A local chunk that fails content verification is quarantined here
+	// and re-fetched like a missing one, so latent disk corruption
+	// discovered at restore time heals instead of aborting the restart.
 	ready := make([]int, 0, len(items))
 	byHash := make(map[string][]int)
 	var missing []store.ChunkRef
@@ -130,9 +134,12 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 			byHash[it.ref.Hash] = append(byHash[it.ref.Hash], i)
 			continue
 		}
-		if s.HasChunk(it.ref.Hash) {
+		if err := s.VerifyChunk(it.ref); err == nil {
 			ready = append(ready, i)
 		} else {
+			if errors.Is(err, store.ErrCorruptChunk) {
+				s.Quarantine(t, it.ref.Hash)
+			}
 			byHash[it.ref.Hash] = append(byHash[it.ref.Hash], i)
 			missing = append(missing, it.ref)
 		}
@@ -215,7 +222,7 @@ func RestoreStreamed(t *kernel.Task, path string, opts RestoreOptions) (*Image, 
 				ready = ready[1:]
 				it := items[i]
 				s.ChargeRead(wt, []store.ChunkRef{it.ref})
-				data, err := s.ReadChunkData(it.ref.Hash)
+				data, err := s.ReadChunkVerified(wt, it.ref)
 				if err != nil {
 					if fetchErr == nil {
 						fetchErr = fmt.Errorf("%w: chunk %s vanished mid-restore: %v",

@@ -1,0 +1,120 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bin"
+	"repro/internal/coordstate"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// TestRawStaleEpochWritesAreFencedAndCounted speaks the journal wire
+// protocol directly (the ops are unexported, so this test lives inside
+// the package): a sink machine already on epoch 1 must answer raw
+// epoch-0 opJSnap and opJAppend frames with opErr, leave its state
+// untouched, and count each rejection in Stats.FencedWrites — the
+// counter operators watch to spot a deposed leader still trying to
+// write.
+func TestRawStaleEpochWritesAreFencedAndCounted(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := kernel.NewCluster(eng, model.Default(), 2)
+	t.Cleanup(eng.Shutdown)
+	sv := Install(c, Config{Factor: 1, Root: "/ckpt/store"})
+	if err := sv.StartAll(); err != nil {
+		t.Fatal(err)
+	}
+	sink := coordstate.NewMachine()
+	sink.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "a/x[1]"})
+	sink.Apply(coordstate.Event{Kind: coordstate.EvTakeover, Leader: "node01", Epoch: 1})
+	sv.SetJournalSink(c.Node(1), sink)
+	preSeq := sink.Seq()
+
+	// A plausible epoch-0 payload: what a deposed leader that never
+	// heard of the takeover would actually ship.
+	stale := coordstate.NewMachine()
+	stale.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "a/x[1]"})
+	stale.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "ghost/y[2]"})
+
+	c.RegisterFunc("m", func(task *kernel.Task, _ []string) {
+		task.Compute(time.Millisecond) // let the daemons listen
+		defer eng.Stop()
+		send := func(frame []byte) byte {
+			fd := task.Socket()
+			defer task.Close(fd)
+			if err := task.Connect(fd, kernel.Addr{Host: "node01", Port: Port}); err != nil {
+				t.Errorf("connect: %v", err)
+				return 0
+			}
+			if err := task.SendFrame(fd, frame); err != nil {
+				t.Errorf("send: %v", err)
+				return 0
+			}
+			resp, err := task.RecvFrame(fd)
+			if err != nil || len(resp) == 0 {
+				t.Errorf("recv: %v", err)
+				return 0
+			}
+			return resp[0]
+		}
+
+		// Stale snapshot install: must not rewind the newer epoch.
+		base, snap := stale.Snapshot()
+		var se bin.Encoder
+		se.B = append(se.B, opJSnap)
+		se.I64(0) // deposed epoch
+		se.I64(base)
+		se.Bytes(snap)
+		if op := send(se.B); op != opErr {
+			t.Errorf("stale opJSnap answered %q, want opErr", op)
+		}
+		if sv.Stats.FencedWrites != 1 {
+			t.Errorf("FencedWrites after stale snap = %d, want 1", sv.Stats.FencedWrites)
+		}
+
+		// Stale append: must not extend (or rewind) the history.
+		entries := stale.EntriesSince(1)
+		var je bin.Encoder
+		je.B = append(je.B, opJAppend)
+		je.I64(0) // deposed epoch
+		je.I64(1) // rewind point below the sink's seq
+		je.U32(uint32(len(entries)))
+		for _, ent := range entries {
+			je.I64(ent.Seq)
+			je.Bytes(ent.Data)
+		}
+		if op := send(je.B); op != opErr {
+			t.Errorf("stale opJAppend answered %q, want opErr", op)
+		}
+		if sv.Stats.FencedWrites != 2 {
+			t.Errorf("FencedWrites after stale append = %d, want 2", sv.Stats.FencedWrites)
+		}
+
+		// The read-only handshake still answers honestly, so the
+		// deposed pusher can learn the newer epoch — and it is not a
+		// fenced write.
+		var we bin.Encoder
+		we.B = append(we.B, opJWant)
+		we.I64(0)
+		if op := send(we.B); op != opAck {
+			t.Errorf("stale opJWant answered %q, want opAck (read-only)", op)
+		}
+		if sv.Stats.FencedWrites != 2 {
+			t.Errorf("FencedWrites after handshake = %d, want 2 (reads never fence)", sv.Stats.FencedWrites)
+		}
+	})
+	if _, err := c.Node(0).Kern.Spawn("m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Seq() != preSeq || sink.Epoch() != 1 {
+		t.Fatalf("sink moved: seq %d -> %d, epoch %d", preSeq, sink.Seq(), sink.Epoch())
+	}
+	if sink.State().ClientByDesc("ghost/y[2]") != 0 {
+		t.Fatal("stale entry applied through the fence")
+	}
+}

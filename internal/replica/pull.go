@@ -161,6 +161,7 @@ func (ps *PullStream) fetchOne(t *kernel.Task, cfd int, holder string, ref store
 	var e bin.Encoder
 	e.B = append(e.B, opGetChunk)
 	e.Str(ref.Hash)
+	e.Str(ref.Sum)
 	if err := t.SendFrame(cfd, e.B); err != nil {
 		return err
 	}
@@ -172,7 +173,9 @@ func (ps *PullStream) fetchOne(t *kernel.Task, cfd int, holder string, ref store
 		return fmt.Errorf("replica: %s lacks chunk %s", holder, ref.Hash)
 	}
 	d := &bin.Decoder{B: resp[1:]}
-	ps.local.PutReplicaChunk(t, ref, d.Bytes())
+	if _, err := ps.local.PutReplicaChunk(t, ref, d.Bytes()); err != nil {
+		return fmt.Errorf("replica: pull %s from %s: %w", ref.Hash, holder, err)
+	}
 	return nil
 }
 

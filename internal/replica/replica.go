@@ -32,6 +32,7 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -140,12 +141,23 @@ type Stats struct {
 	JournalEntries   int
 	JournalBytes     int64
 	JournalSnapshots int
+	// FencedWrites counts journal write ops (snapshot installs and
+	// appends) rejected because the pusher's epoch was stale — a
+	// deposed leader trying to extend a superseded history.
+	FencedWrites int
 	// RepairJobs counts re-replication (repair) jobs that restored
 	// full redundancy; RepairPushes the (generation, peer) copies they
 	// completed; RepairCancels the jobs abandoned via Job.Cancel.
 	RepairJobs    int
 	RepairPushes  int
 	RepairCancels int
+	// ScrubChunks counts chunk objects verified by the background
+	// scrubber; ScrubCorrupt the verification failures it quarantined;
+	// CorruptServed the serve-side rejections where a fetcher's
+	// expected checksum exposed a corrupt local copy.
+	ScrubChunks   int
+	ScrubCorrupt  int
+	CorruptServed int
 }
 
 // FetchStats reports one EnsureLocal call.
@@ -178,6 +190,11 @@ type Service struct {
 	// OnWatermark, when set, is called after a generation's full
 	// fan-out completes and the source store's watermark advances.
 	OnWatermark func(name string, gen int64, src string)
+	// OnCorrupt, when set, is called from a scrubber task after it
+	// quarantines a corrupt chunk on host — the DMTCP layer uses it to
+	// kick the repair drive so redundancy is restored from a clean
+	// holder.
+	OnCorrupt func(t *kernel.Task, host string, ref store.ChunkRef)
 
 	queues map[*kernel.Node]*nodeQueue
 	// inflight counts committed-but-not-yet-enqueued generations per
@@ -198,6 +215,10 @@ type Service struct {
 	// daemon feeds with journal records pushed by the active
 	// coordinator.
 	sinks map[*kernel.Node]*coordstate.Machine
+	// sinkSeen records the virtual time each sink last accepted a
+	// journal op from the leader; the standby silence watchdog reads
+	// it to detect a leader that is alive but partitioned away.
+	sinkSeen map[*kernel.Node]sim.Time
 }
 
 // Install registers the dmtcp_replicad program and returns the
@@ -213,6 +234,7 @@ func Install(c *kernel.Cluster, cfg Config) *Service {
 		daemons:  make(map[*kernel.Node]*kernel.Process),
 		streams:  make(map[*kernel.Node][]*Stream),
 		sinks:    make(map[*kernel.Node]*coordstate.Machine),
+		sinkSeen: make(map[*kernel.Node]sim.Time),
 	}
 	c.RegisterFunc("dmtcp_replicad", sv.daemonMain)
 	return sv
@@ -343,6 +365,21 @@ func (sv *Service) SetJournalSink(n *kernel.Node, m *coordstate.Machine) { sv.si
 // longer accepts pushed entries — it is the pusher now).
 func (sv *Service) ClearJournalSink(n *kernel.Node) { delete(sv.sinks, n) }
 
+// JournalSeen returns the virtual time n's sink last accepted a
+// journal op from a leader (ok=false before the first one).  Standby
+// watchdogs compare it against the leader's heartbeat cadence: a
+// live leader's shipper re-pushes at least every heartbeat interval,
+// so prolonged silence means the leader is dead or unreachable.
+func (sv *Service) JournalSeen(n *kernel.Node) (sim.Time, bool) {
+	ts, ok := sv.sinkSeen[n]
+	return ts, ok
+}
+
+// ErrDeposed reports that a journal push was refused because the peer
+// has seen a newer coordinator epoch: the pusher is a deposed leader
+// and must step down.
+var ErrDeposed = errors.New("replica: deposed by newer coordinator epoch")
+
 // PushJournal ships the coordinator journal records peerHost lacks,
 // using the same want/missing discipline as chunk replication: ask
 // the peer's daemon for its epoch and last applied seq, then send
@@ -379,7 +416,7 @@ func (sv *Service) PushJournal(t *kernel.Task, peerHost string, m *coordstate.Ma
 	d := &bin.Decoder{B: resp[1:]}
 	peerEpoch, have := d.I64(), d.I64()
 	if peerEpoch > m.Epoch() {
-		return 0, fmt.Errorf("replica: %s is on epoch %d, pusher on %d (deposed)", peerHost, peerEpoch, m.Epoch())
+		return 0, fmt.Errorf("%s is on epoch %d, pusher on %d: %w", peerHost, peerEpoch, m.Epoch(), ErrDeposed)
 	}
 	from := have
 	if fence := m.FenceFor(peerEpoch); fence < from {
@@ -466,6 +503,9 @@ func (sv *Service) Targets(src *kernel.Node) []*kernel.Node {
 func (sv *Service) daemonMain(t *kernel.Task, _ []string) {
 	sv.daemons[t.P.Node] = t.P
 	t.P.SpawnTask("repl-worker", true, sv.worker)
+	if t.P.Node.Cluster.Params.ScrubInterval > 0 {
+		t.P.SpawnTask("repl-scrub", true, sv.scrubber)
+	}
 	lfd, err := t.ListenTCP(Port)
 	if err != nil {
 		t.Printf("dmtcp_replicad: %v\n", err)
@@ -478,6 +518,34 @@ func (sv *Service) daemonMain(t *kernel.Task, _ []string) {
 		}
 		c := fd
 		t.P.SpawnTask("repl-conn", false, func(h *kernel.Task) { sv.serve(h, c) })
+	}
+}
+
+// scrubber is the background integrity daemon: it walks this node's
+// local store pass after pass, verifying every committed chunk against
+// the checksum its manifest carries and quarantining failures (which
+// OnCorrupt then routes to the repair drive).  Passes are paced by
+// Params.ScrubQoS and separated by a jittered Params.ScrubInterval so
+// the fleet's scrubbers stay desynchronized.
+func (sv *Service) scrubber(t *kernel.Task) {
+	p := t.P.Node.Cluster.Params
+	rng := t.P.Node.Cluster.Eng.Rand()
+	st := store.Open(t.P.Node, store.Config{Root: sv.Cfg.Root})
+	for {
+		t.Idle(p.Jitter(rng, p.ScrubInterval))
+		start := t.Now()
+		res := st.ScrubPass(t, p.ScrubQoS, func(ref store.ChunkRef) {
+			sv.Stats.ScrubCorrupt++
+			if sv.OnCorrupt != nil {
+				sv.OnCorrupt(t, t.P.Node.Hostname, ref)
+			}
+		})
+		sv.Stats.ScrubChunks += res.Checked
+		if res.Checked > 0 {
+			t.Trace().Span(t.Host(), "replicad scrub", "scrub.pass", "integrity",
+				start, t.Now(), obs.A("chunks", int64(res.Checked)),
+				obs.A("corrupt", int64(res.Corrupt)), obs.A("bytes", res.Bytes))
+		}
 	}
 }
 
@@ -736,7 +804,10 @@ func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []st
 		if repair && job.Cancel != nil && job.Cancel() {
 			return false
 		}
-		data, err := st.ReadChunkData(ref.Hash)
+		// Verified read: a locally corrupt chunk is quarantined instead
+		// of shipped, the push fails, and the repair drive re-sources
+		// the generation from a clean holder.
+		data, err := st.ReadChunkVerified(t, ref)
 		if err != nil {
 			return false
 		}
@@ -753,6 +824,7 @@ func (sv *Service) shipChunks(t *kernel.Task, st *store.Store, fd int, refs []st
 		ce.F64(ref.Entropy)
 		ce.F64(ref.ZeroFrac)
 		ce.I64(ref.Heat)
+		ce.Str(ref.Sum)
 		ce.Bytes(data)
 		if err := t.SendFrame(fd, ce.B); err != nil {
 			return false
@@ -807,8 +879,12 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			ref.Entropy = d.F64()
 			ref.ZeroFrac = d.F64()
 			ref.Heat = d.I64()
+			ref.Sum = d.Str()
 			data := d.Bytes()
 			if d.Err == nil {
+				// A chunk failing content verification is never
+				// installed; the pusher's opDone hole check will see the
+				// gap and re-ship.
 				st.PutReplicaChunk(t, ref, data)
 			}
 		case opManifest:
@@ -851,12 +927,13 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			}
 			d := &bin.Decoder{B: body}
 			epoch := d.I64()
-			if epoch < mach.Epoch() {
-				// A deposed leader pushing under a stale epoch is
-				// fenced off; its entries must never overwrite the new
-				// epoch's.
-				t.SendFrame(fd, []byte{opErr})
-				continue
+			// The handshake is read-only, so even a stale-epoch pusher
+			// gets an honest answer: seeing the newer epoch in the ack
+			// is exactly how a deposed leader learns it must step down
+			// (PushJournal turns it into ErrDeposed).  Only the write
+			// ops below fence.
+			if epoch >= mach.Epoch() {
+				sv.sinkSeen[t.P.Node] = t.Now()
 			}
 			var e bin.Encoder
 			e.B = append(e.B, opAck)
@@ -874,6 +951,8 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			data := d.Bytes()
 			if d.Err != nil || epoch < mach.Epoch() {
 				// A deposed leader cannot rewind a newer epoch's state.
+				sv.Stats.FencedWrites++
+				t.Trace().Add(t.Host(), "coord.fenced_writes", t.Now(), 1)
 				t.SendFrame(fd, []byte{opErr})
 				continue
 			}
@@ -895,6 +974,10 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 			d := &bin.Decoder{B: body}
 			epoch, from := d.I64(), d.I64()
 			if d.Err != nil || epoch < mach.Epoch() {
+				// Fenced: stale-epoch entries must never extend (or
+				// rewind) the new epoch's history.
+				sv.Stats.FencedWrites++
+				t.Trace().Add(t.Host(), "coord.fenced_writes", t.Now(), 1)
 				t.SendFrame(fd, []byte{opErr})
 				continue
 			}
@@ -937,8 +1020,19 @@ func (sv *Service) serve(t *kernel.Task, fd int) {
 		case opGetChunk:
 			d := &bin.Decoder{B: body}
 			hash := d.Str()
+			sum := d.Str()
 			ino, err := t.P.Node.FS.ReadFile(st.ChunkPath(hash))
 			if err != nil {
+				t.SendFrame(fd, []byte{opErr})
+				continue
+			}
+			if sum != "" && store.ContentSum(ino.Data) != sum {
+				// The requester told us what the bytes should hash to
+				// and ours don't: quarantine the local copy and decline,
+				// so the fetcher falls back to another holder and the
+				// repair drive re-replicates a clean copy here.
+				st.Quarantine(t, hash)
+				sv.Stats.CorruptServed++
 				t.SendFrame(fd, []byte{opErr})
 				continue
 			}
@@ -1059,6 +1153,7 @@ func (sv *Service) FetchChunks(t *kernel.Task, fromHost string, refs []store.Chu
 		var e bin.Encoder
 		e.B = append(e.B, opGetChunk)
 		e.Str(ref.Hash)
+		e.Str(ref.Sum)
 		if err := ft.SendFrame(cfd, e.B); err != nil {
 			return err
 		}
@@ -1070,7 +1165,9 @@ func (sv *Service) FetchChunks(t *kernel.Task, fromHost string, refs []store.Chu
 			return fmt.Errorf("replica: %s lacks chunk %s", fromHost, ref.Hash)
 		}
 		d := &bin.Decoder{B: resp[1:]}
-		local.PutReplicaChunk(ft, ref, d.Bytes())
+		if _, err := local.PutReplicaChunk(ft, ref, d.Bytes()); err != nil {
+			return fmt.Errorf("replica: fetch %s from %s: %w", ref.Hash, fromHost, err)
+		}
 		bytes += ref.StoredBytes
 		chunks++
 		if deliver != nil {

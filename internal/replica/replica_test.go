@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -304,8 +305,8 @@ func TestJournalPushAndFencing(t *testing.T) {
 		// be fenced off.
 		standby.Apply(coordstate.Event{Kind: coordstate.EvTakeover, Leader: "node01", Epoch: 1})
 		leader.Apply(coordstate.Event{Kind: coordstate.EvRegister, Desc: "stale"})
-		if _, err := sv.PushJournal(task, "node01", leader); err == nil {
-			t.Fatal("stale-epoch push accepted")
+		if _, err := sv.PushJournal(task, "node01", leader); !errors.Is(err, replica.ErrDeposed) {
+			t.Fatalf("stale-epoch push: err = %v, want ErrDeposed", err)
 		}
 		if standby.State().ClientByDesc("stale") != 0 {
 			t.Fatal("stale entry applied through the fence")

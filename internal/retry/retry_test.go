@@ -1,0 +1,71 @@
+package retry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 40 * time.Millisecond}
+	b := p.Backoff(nil) // no jitter without an RNG
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Errorf("step %d = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterIsBoundedAndSeeded(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 100 * time.Millisecond, JitterPct: 0.2}
+	seq := func(seed int64) []time.Duration {
+		b := p.Backoff(rand.New(rand.NewSource(seed)))
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, bs, c := seq(1), seq(1), seq(2)
+	varied := false
+	for i := range a {
+		if a[i] != bs[i] {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, a[i], bs[i])
+		}
+		lo, hi := 80*time.Millisecond, 120*time.Millisecond
+		if a[i] < lo || a[i] > hi {
+			t.Errorf("step %d = %v outside ±20%% band", i, a[i])
+		}
+		if a[i] != c[i] {
+			varied = true
+		}
+		if a[i] != 100*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Errorf("jitter had no effect across seeds")
+	}
+}
+
+func TestPoliciesDeriveFromParams(t *testing.T) {
+	p := model.Default()
+	cr := CoordRetry(p)
+	if cr.Base != p.CoordRetryBase || cr.Cap != p.CoordRetryCap || cr.Deadline != p.CoordRetryWindow {
+		t.Errorf("CoordRetry = %+v, want params-derived", cr)
+	}
+	rd := RestartDial(p)
+	if rd.Deadline != p.FailureDetectDelay+p.ElectionTimeout+p.CoordRetryWindow {
+		t.Errorf("RestartDial deadline = %v", rd.Deadline)
+	}
+	js := JournalShip(p)
+	if js.Base != p.JournalRetryDelay || js.Cap != p.JournalRetryDelay {
+		t.Errorf("JournalShip = %+v", js)
+	}
+	if cr.JitterPct <= 0 {
+		t.Errorf("default policies must carry jitter, got %v", cr.JitterPct)
+	}
+}

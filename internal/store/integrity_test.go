@@ -1,0 +1,165 @@
+package store_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mtcp"
+	"repro/internal/store"
+)
+
+// commitOne writes one generation and returns the store plus every
+// chunk ref the manifest carries.
+func commitOne(t *testing.T, task *kernel.Task) (*store.Store, []store.ChunkRef) {
+	t.Helper()
+	s := openStore(task, true)
+	img := capture(task)
+	res := mtcp.WriteImage(task, img, mtcp.WriteOptions{Dir: "/ckpt", Compress: true, Store: s})
+	m, err := s.LoadManifest(res.Path)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	var refs []store.ChunkRef
+	for _, a := range m.Areas {
+		refs = append(refs, a.Chunks...)
+	}
+	if len(refs) == 0 {
+		t.Fatal("no chunks committed")
+	}
+	return s, refs
+}
+
+// TestCorruptChunkDetectedQuarantinedAndRefused pins the read-path
+// half of the integrity story: a flipped bit in a committed chunk is
+// detected by content-hash verification, the bad object is moved to
+// quarantine (so it reads as missing, never as silent garbage), and
+// the verified read returns the typed ErrCorruptChunk.
+func TestCorruptChunkDetectedQuarantinedAndRefused(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		s, refs := commitOne(t, task)
+		rng := rand.New(rand.NewSource(7))
+		hash, ok := s.CorruptRandomChunk(rng)
+		if !ok {
+			t.Fatal("nothing to corrupt")
+		}
+		var ref store.ChunkRef
+		for _, r := range refs {
+			if r.Hash == hash {
+				ref = r
+			}
+		}
+		if ref.Hash == "" {
+			t.Fatalf("corrupted chunk %s not in manifest", hash)
+		}
+		if err := s.VerifyChunk(ref); !errors.Is(err, store.ErrCorruptChunk) {
+			t.Fatalf("VerifyChunk = %v, want ErrCorruptChunk", err)
+		}
+		if _, err := s.ReadChunkVerified(task, ref); !errors.Is(err, store.ErrCorruptChunk) {
+			t.Fatalf("ReadChunkVerified = %v, want ErrCorruptChunk", err)
+		}
+		// Quarantined: gone from the chunk namespace, preserved for
+		// post-mortem.
+		if _, err := s.ReadChunkData(hash); err == nil {
+			t.Error("corrupt chunk still readable after quarantine")
+		}
+		if q := s.Quarantined(); len(q) != 1 || q[0] != hash {
+			t.Errorf("Quarantined() = %v, want [%s]", q, hash)
+		}
+		// A clean chunk still verifies and reads.
+		for _, r := range refs {
+			if r.Hash == hash {
+				continue
+			}
+			if err := s.VerifyChunk(r); err != nil {
+				t.Fatalf("clean chunk %s: %v", r.Hash, err)
+			}
+			break
+		}
+	})
+}
+
+// TestScrubPassFindsAndQuarantinesCorruption pins the scrub-path
+// half: a background pass over committed manifests detects the
+// flipped bit without any reader asking for the data, quarantines it,
+// and reports it through the onCorrupt hook (the repair-drive
+// trigger).  A second pass over the now-clean store finds nothing.
+func TestScrubPassFindsAndQuarantinesCorruption(t *testing.T) {
+	eng, c := testCluster(t)
+	run(t, eng, c, func(task *kernel.Task) {
+		s, _ := commitOne(t, task)
+		rng := rand.New(rand.NewSource(11))
+		hash, ok := s.CorruptRandomChunk(rng)
+		if !ok {
+			t.Fatal("nothing to corrupt")
+		}
+		var reported []string
+		st := s.ScrubPass(task, 0, func(ref store.ChunkRef) {
+			reported = append(reported, ref.Hash)
+		})
+		if st.Corrupt != 1 {
+			t.Fatalf("scrub found %d corrupt chunks, want 1 (checked %d)", st.Corrupt, st.Checked)
+		}
+		if len(reported) != 1 || reported[0] != hash {
+			t.Errorf("onCorrupt reported %v, want [%s]", reported, hash)
+		}
+		if q := s.Quarantined(); len(q) != 1 || q[0] != hash {
+			t.Errorf("Quarantined() = %v, want [%s]", q, hash)
+		}
+		// The store is clean again (the bad object reads as missing).
+		if st := s.ScrubPass(task, 0, nil); st.Corrupt != 0 {
+			t.Errorf("second scrub still sees %d corrupt chunks", st.Corrupt)
+		}
+	})
+}
+
+// TestManifestDecodeCorruptTruncateNeverPanics fuzzes the v3 manifest
+// codec: random truncations and bit flips of a real encoded manifest
+// must never panic, and every decode failure must carry the typed
+// ErrBadManifest.
+func TestManifestDecodeCorruptTruncateNeverPanics(t *testing.T) {
+	eng, c := testCluster(t)
+	var enc []byte
+	run(t, eng, c, func(task *kernel.Task) {
+		s := openStore(task, true)
+		img := capture(task)
+		res := mtcp.WriteImage(task, img, mtcp.WriteOptions{Dir: "/ckpt", Compress: true, Store: s})
+		m, err := s.LoadManifest(res.Path)
+		if err != nil {
+			t.Fatalf("manifest: %v", err)
+		}
+		enc = m.Encode()
+	})
+	if _, err := store.DecodeManifest(enc); err != nil {
+		t.Fatalf("clean decode: %v", err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		b := append([]byte(nil), enc...)
+		switch rng.Intn(3) {
+		case 0: // truncate
+			b = b[:rng.Intn(len(b)+1)]
+		case 1: // flip one bit
+			j := rng.Intn(len(b))
+			b[j] ^= 1 << uint(rng.Intn(8))
+		default: // truncate and flip
+			b = b[:rng.Intn(len(b)+1)]
+			if len(b) > 0 {
+				j := rng.Intn(len(b))
+				b[j] ^= 1 << uint(rng.Intn(8))
+			}
+		}
+		m, err := store.DecodeManifest(b)
+		if err != nil {
+			if !errors.Is(err, store.ErrBadManifest) {
+				t.Fatalf("iter %d: decode error not typed: %v", i, err)
+			}
+			continue
+		}
+		if m == nil {
+			t.Fatalf("iter %d: nil manifest with nil error", i)
+		}
+	}
+}

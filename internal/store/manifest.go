@@ -115,6 +115,7 @@ func (m *Manifest) Encode() []byte {
 			e.F64(c.Entropy)
 			e.F64(c.ZeroFrac)
 			e.I64(c.Heat)
+			e.Str(c.Sum)
 		}
 	}
 	return e.B
@@ -140,6 +141,7 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 				Entropy:      d.F64(),
 				ZeroFrac:     d.F64(),
 				Heat:         d.I64(),
+				Sum:          d.Str(),
 			})
 		}
 		m.Areas = append(m.Areas, a)

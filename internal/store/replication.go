@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -99,18 +100,25 @@ func (s *Store) MissingChunks(refs []ChunkRef) []ChunkRef {
 }
 
 // PutReplicaChunk stores an already-compressed chunk received from a
-// peer: it charges the index probe and storage bandwidth for the
-// stored size (no recompression — the bytes arrive in stored form) and
-// writes the object if absent.  It reports whether the chunk was new.
-func (s *Store) PutReplicaChunk(t *kernel.Task, ref ChunkRef, data []byte) bool {
+// peer: it verifies the received bytes against the ref's content
+// checksum (a corrupt chunk is never installed — the error surfaces to
+// the fetcher, which falls back to another holder), charges the index
+// probe and storage bandwidth for the stored size (no recompression —
+// the bytes arrive in stored form) and writes the object if absent.
+// It reports whether the chunk was new.
+func (s *Store) PutReplicaChunk(t *kernel.Task, ref ChunkRef, data []byte) (bool, error) {
+	if ref.Sum != "" && ContentSum(data) != ref.Sum {
+		t.Trace().Add(t.Host(), "store.reject_corrupt", t.Now(), 1)
+		return false, fmt.Errorf("%w: %s (received)", ErrCorruptChunk, ref.Hash)
+	}
 	t.Compute(s.params().ChunkLookupCost)
 	path := s.ChunkPath(ref.Hash)
 	if s.Node.FS.Exists(path) {
-		return false
+		return false, nil
 	}
 	s.Node.WritePipeFor(path).Write(t.T, ref.StoredBytes)
 	s.Node.FS.WriteFile(path, data, ref.StoredBytes)
-	return true
+	return true, nil
 }
 
 // PutRawManifest stores serialized manifest bytes received from a

@@ -89,6 +89,10 @@ type ChunkRef struct {
 	// recency proxy the lazy restore prefetcher uses to pull the
 	// hottest (most recently written) chunks first.
 	Heat int64
+	// Sum is the content checksum of the chunk's payload bytes
+	// (ContentSum), carried in manifests and replica transfers so any
+	// holder can verify its stored copy end-to-end (see integrity.go).
+	Sum string
 }
 
 // Class reconstructs the chunk's compressibility class.
@@ -215,6 +219,12 @@ func (s *Store) releasePut(hash string) {
 // compression and write while the rest see a dedup hit.
 func (s *Store) PutChunk(t *kernel.Task, ref *ChunkRef, data []byte) (int64, bool) {
 	p := s.params()
+	if ref.Sum == "" {
+		// Content checksum for end-to-end verification; free here — the
+		// payload is already flowing through the fingerprint hash the
+		// writer charged for.
+		ref.Sum = ContentSum(data)
+	}
 	t.Compute(p.ChunkLookupCost)
 	for {
 		path := s.ChunkPath(ref.Hash)
